@@ -1,0 +1,60 @@
+// Command experiments regenerates the paper's evaluation: every figure
+// (2–8), the §4 externalization scenario, the §2.2 recovery experiment,
+// the §5 related-work model table, and the DESIGN.md ablation.
+//
+// Usage:
+//
+//	experiments               # run everything at full scale
+//	experiments -quick        # scaled-down run (seconds, for CI)
+//	experiments -fig 3        # a single experiment (2,3,4,5,6,8,
+//	                          # external, recovery, related, ablation)
+//	experiments -list         # list available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streammine/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	quick := flag.Bool("quick", false, "scaled-down parameters (finishes in seconds)")
+	fig := flag.String("fig", "", "run a single experiment by id")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick}
+	runners := experiments.Runners()
+
+	if *list {
+		for _, r := range runners {
+			fmt.Printf("%-10s %s\n", r.ID, r.Desc)
+		}
+		return nil
+	}
+	if *fig != "" {
+		for _, r := range runners {
+			if r.ID == *fig {
+				tables, err := r.Run(cfg)
+				if err != nil {
+					return err
+				}
+				for _, t := range tables {
+					fmt.Println(t.String())
+				}
+				return nil
+			}
+		}
+		return fmt.Errorf("unknown experiment %q (use -list)", *fig)
+	}
+	return experiments.RunAll(cfg, os.Stdout)
+}

@@ -1,0 +1,276 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"streammine/internal/graph"
+	"streammine/internal/operator"
+)
+
+// TopologyConfig is the JSON description of a pipeline accepted by the
+// streammine command.
+type TopologyConfig struct {
+	// Speculative is the default speculation switch for all nodes.
+	Speculative bool `json:"speculative"`
+	// DiskLatencyMillis models the stable-storage write time.
+	DiskLatencyMillis int `json:"diskLatencyMillis"`
+	// Disks is the number of storage points (default 1).
+	Disks int `json:"disks"`
+	// Seed makes runs reproducible.
+	Seed uint64 `json:"seed"`
+	// Nodes lists the operators; edges derive from each node's inputs.
+	Nodes []NodeConfig `json:"nodes"`
+}
+
+// NodeConfig is one node of the topology.
+type NodeConfig struct {
+	Name string `json:"name"`
+	// Type selects the operator: source, union, split, classifier,
+	// count_window_avg, time_window_sum, sketch, enrich, passthrough,
+	// join, filter_even, shedder, pattern, distinct_count, dedup, sink.
+	Type string `json:"type"`
+	// Inputs are upstream node names, in input-index order. For split
+	// upstreams, the form "name:port" selects an output port.
+	Inputs []string `json:"inputs"`
+
+	// Source parameters.
+	Rate  int `json:"rate"`  // events/second
+	Count int `json:"count"` // total events to publish
+
+	// Operator parameters (meaning depends on Type).
+	Window       int      `json:"window"`
+	Width        int      `json:"width"`
+	Depth        int      `json:"depth"`
+	Classes      int      `json:"classes"`
+	Buckets      int      `json:"buckets"`
+	Outputs      int      `json:"outputs"`
+	CostMicros   int      `json:"costMicros"`
+	LogDecision  bool     `json:"logDecision"`
+	DropPerMille uint64   `json:"dropPerMille"`
+	Stages       []uint64 `json:"stages"`
+	Precision    uint     `json:"precision"`
+	Workers      int      `json:"workers"`
+	Checkpoint   int      `json:"checkpointEvery"`
+	Speculative  *bool    `json:"speculative"`
+	Key          string   `json:"key"` // split: "hash" for by-key routing
+}
+
+// LoadTopology reads and parses a topology file.
+func LoadTopology(path string) (*TopologyConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read topology: %w", err)
+	}
+	var cfg TopologyConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parse topology: %w", err)
+	}
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("topology has no nodes")
+	}
+	return &cfg, nil
+}
+
+// buildResult carries the constructed graph plus the roles the runner
+// needs to drive it.
+type buildResult struct {
+	graph   *graph.Graph
+	sources []sourceSpec
+	sinks   []graph.NodeID
+	names   map[string]graph.NodeID
+}
+
+// sourceSpec is one source node with its publishing parameters.
+type sourceSpec struct {
+	id    graph.NodeID
+	name  string
+	rate  int
+	count int
+}
+
+// Build converts the config into a validated graph.
+func (cfg *TopologyConfig) Build() (*buildResult, error) {
+	g := graph.New()
+	res := &buildResult{graph: g, names: make(map[string]graph.NodeID)}
+
+	for _, nc := range cfg.Nodes {
+		spec, isSource, isSink, err := cfg.makeNode(nc)
+		if err != nil {
+			return nil, fmt.Errorf("node %q: %w", nc.Name, err)
+		}
+		id := g.AddNode(spec)
+		res.names[nc.Name] = id
+		if isSource {
+			rate := nc.Rate
+			if rate <= 0 {
+				rate = 1000
+			}
+			count := nc.Count
+			if count <= 0 {
+				count = 1000
+			}
+			res.sources = append(res.sources, sourceSpec{id: id, name: nc.Name, rate: rate, count: count})
+		}
+		if isSink {
+			res.sinks = append(res.sinks, id)
+		}
+	}
+	// Wire edges now that all names resolve.
+	for _, nc := range cfg.Nodes {
+		to := res.names[nc.Name]
+		for input, ref := range nc.Inputs {
+			name, port := splitRef(ref)
+			from, ok := res.names[name]
+			if !ok {
+				return nil, fmt.Errorf("node %q: unknown input %q", nc.Name, name)
+			}
+			g.Connect(from, port, to, input)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// splitRef parses "name" or "name:port".
+func splitRef(ref string) (string, int) {
+	for i := 0; i < len(ref); i++ {
+		if ref[i] == ':' {
+			port := 0
+			for _, c := range ref[i+1:] {
+				if c < '0' || c > '9' {
+					return ref, 0
+				}
+				port = port*10 + int(c-'0')
+			}
+			return ref[:i], port
+		}
+	}
+	return ref, 0
+}
+
+// makeNode translates one NodeConfig into a graph.Node.
+func (cfg *TopologyConfig) makeNode(nc NodeConfig) (graph.Node, bool, bool, error) {
+	spec := graph.Node{
+		Name:            nc.Name,
+		Workers:         nc.Workers,
+		CheckpointEvery: nc.Checkpoint,
+		Speculative:     cfg.Speculative,
+	}
+	if nc.Speculative != nil {
+		spec.Speculative = *nc.Speculative
+	}
+	cost := time.Duration(nc.CostMicros) * time.Microsecond
+	switch nc.Type {
+	case "source":
+		return spec, true, false, nil
+	case "sink":
+		// A sink is a pass-through node the runner subscribes to.
+		spec.Op = &operator.Passthrough{}
+		return spec, false, true, nil
+	case "union":
+		spec.Op = &operator.Union{}
+		spec.Traits = operator.Traits{Stateful: true, OrderSensitive: true}
+		return spec, false, false, nil
+	case "split":
+		outs := nc.Outputs
+		if outs <= 0 {
+			outs = 2
+		}
+		spec.Op = &operator.Split{Outputs: outs, ByKey: nc.Key == "hash"}
+		spec.OutputPorts = outs
+		return spec, false, false, nil
+	case "classifier":
+		classes := nc.Classes
+		if classes <= 0 {
+			classes = 16
+		}
+		spec.Op = &operator.Classifier{Classes: classes, Cost: cost}
+		spec.Traits = operator.ClassifierTraits(classes)
+		return spec, false, false, nil
+	case "count_window_avg":
+		w := nc.Window
+		if w <= 0 {
+			w = 10
+		}
+		spec.Op = &operator.CountWindowAvg{Window: w}
+		spec.Traits = operator.CountWindowTraits
+		return spec, false, false, nil
+	case "time_window_sum":
+		w := nc.Width
+		if w <= 0 {
+			w = 1000
+		}
+		spec.Op = &operator.TimeWindowSum{Width: int64(w)}
+		spec.Traits = operator.TimeWindowTraits
+		return spec, false, false, nil
+	case "sketch":
+		depth, width := nc.Depth, nc.Width
+		if depth <= 0 {
+			depth = 4
+		}
+		if width <= 0 {
+			width = 1024
+		}
+		spec.Op = &operator.SketchOp{Depth: depth, Width: width, Seed: cfg.Seed + 1, Cost: cost}
+		spec.Traits = operator.SketchTraits(depth, width)
+		return spec, false, false, nil
+	case "enrich":
+		spec.Op = &operator.Enrich{Cost: cost}
+		spec.Traits = operator.EnrichTraits
+		return spec, false, false, nil
+	case "passthrough":
+		spec.Op = &operator.Passthrough{Cost: cost, LogDecision: nc.LogDecision}
+		return spec, false, false, nil
+	case "join":
+		buckets := nc.Buckets
+		if buckets <= 0 {
+			buckets = 256
+		}
+		spec.Op = &operator.Join{Buckets: buckets}
+		spec.Traits = operator.JoinTraits(buckets)
+		return spec, false, false, nil
+	case "filter_even":
+		spec.Op = &operator.Filter{Pred: func(e eventAlias) bool { return e.Key%2 == 0 }}
+		spec.Traits = operator.FilterTraits
+		return spec, false, false, nil
+	case "shedder":
+		spec.Op = &operator.Shedder{DropPerMille: nc.DropPerMille}
+		spec.Traits = operator.ShedderTraits
+		return spec, false, false, nil
+	case "pattern":
+		stages := nc.Stages
+		if len(stages) < 2 {
+			stages = []uint64{1, 2, 3}
+		}
+		buckets := nc.Buckets
+		if buckets <= 0 {
+			buckets = 256
+		}
+		spec.Op = &operator.Pattern{Stages: stages, Buckets: buckets}
+		spec.Traits = operator.PatternTraits(buckets)
+		return spec, false, false, nil
+	case "distinct_count":
+		prec := nc.Precision
+		if prec == 0 {
+			prec = 12
+		}
+		spec.Op = &operator.DistinctCount{Precision: prec, Seed: cfg.Seed + 2}
+		spec.Traits = operator.DistinctCountTraits(prec)
+		return spec, false, false, nil
+	case "dedup":
+		capKeys := nc.Buckets
+		if capKeys <= 0 {
+			capKeys = 1024
+		}
+		spec.Op = &operator.Dedup{Capacity: capKeys}
+		spec.Traits = operator.DedupTraits(capKeys)
+		return spec, false, false, nil
+	default:
+		return graph.Node{}, false, false, fmt.Errorf("unknown node type %q", nc.Type)
+	}
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTopo(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "topo.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadExampleTopology(t *testing.T) {
+	path := writeTopo(t, exampleTopology)
+	cfg, err := LoadTopology(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(built.sources) != 2 {
+		t.Fatalf("sources = %d", len(built.sources))
+	}
+	if len(built.sinks) != 1 {
+		t.Fatalf("sinks = %d", len(built.sinks))
+	}
+	if err := built.graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildAllNodeTypes(t *testing.T) {
+	path := writeTopo(t, `{
+		"speculative": true,
+		"nodes": [
+			{"name": "src", "type": "source", "rate": 100, "count": 10},
+			{"name": "shed", "type": "shedder", "dropPerMille": 100, "inputs": ["src"]},
+			{"name": "pat", "type": "pattern", "stages": [1,2], "buckets": 32, "inputs": ["shed"]},
+			{"name": "dc", "type": "distinct_count", "precision": 8, "inputs": ["pat"]},
+			{"name": "dd", "type": "dedup", "buckets": 64, "inputs": ["dc"]},
+			{"name": "spl", "type": "split", "outputs": 2, "key": "hash", "inputs": ["dd"]},
+			{"name": "enr", "type": "enrich", "costMicros": 10, "inputs": ["spl:0"]},
+			{"name": "flt", "type": "filter_even", "inputs": ["spl:1"]},
+			{"name": "agg", "type": "count_window_avg", "window": 5, "inputs": ["enr"]},
+			{"name": "tws", "type": "time_window_sum", "width": 100, "inputs": ["flt"]},
+			{"name": "sk", "type": "sketch", "depth": 3, "width": 64, "inputs": ["agg"]},
+			{"name": "out1", "type": "sink", "inputs": ["sk"]},
+			{"name": "out2", "type": "sink", "inputs": ["tws"]}
+		]
+	}`)
+	cfg, err := LoadTopology(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(built.graph.Nodes()); got != 13 {
+		t.Fatalf("nodes = %d, want 13", got)
+	}
+	if len(built.sinks) != 2 {
+		t.Fatalf("sinks = %d", len(built.sinks))
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		body string
+	}{
+		{"empty", `{"nodes": []}`},
+		{"bad json", `{`},
+		{"unknown type", `{"nodes": [{"name": "x", "type": "teleporter"}]}`},
+		{"unknown input", `{"nodes": [{"name": "a", "type": "sink", "inputs": ["ghost"]}]}`},
+		{"cycle", `{"nodes": [
+			{"name": "a", "type": "passthrough", "inputs": ["b"]},
+			{"name": "b", "type": "passthrough", "inputs": ["a"]}
+		]}`},
+		{"dup names", `{"nodes": [
+			{"name": "a", "type": "source"},
+			{"name": "a", "type": "sink", "inputs": ["a"]}
+		]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			path := writeTopo(t, tt.body)
+			cfg, err := LoadTopology(path)
+			if err != nil {
+				return // load-stage rejection is fine
+			}
+			if _, err := cfg.Build(); err == nil {
+				t.Fatalf("topology %q built without error", tt.name)
+			}
+		})
+	}
+}
+
+func TestLoadTopologyMissingFile(t *testing.T) {
+	if _, err := LoadTopology("/does/not/exist.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSplitRef(t *testing.T) {
+	tests := []struct {
+		in   string
+		name string
+		port int
+	}{
+		{"node", "node", 0},
+		{"node:1", "node", 1},
+		{"node:12", "node", 12},
+		{"weird:x", "weird:x", 0},
+	}
+	for _, tt := range tests {
+		name, port := splitRef(tt.in)
+		if name != tt.name || port != tt.port {
+			t.Errorf("splitRef(%q) = %q,%d want %q,%d", tt.in, name, port, tt.name, tt.port)
+		}
+	}
+}
+
+func TestNodeSpeculativeOverride(t *testing.T) {
+	path := writeTopo(t, `{
+		"speculative": true,
+		"nodes": [
+			{"name": "src", "type": "source"},
+			{"name": "a", "type": "passthrough", "inputs": ["src"]},
+			{"name": "b", "type": "passthrough", "speculative": false, "inputs": ["a"]}
+		]
+	}`)
+	cfg, err := LoadTopology(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := built.graph.Nodes()
+	if !nodes[1].Speculative {
+		t.Fatal("default speculative not applied")
+	}
+	if nodes[2].Speculative {
+		t.Fatal("per-node override not applied")
+	}
+}

@@ -1,0 +1,115 @@
+// Query shows the continuous-query layer: three queries compiled onto the
+// speculative engine, all fed by the same pair of market-data streams.
+//
+//	go run ./examples/query
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"streammine/internal/core"
+	"streammine/internal/cq"
+	"streammine/internal/detrand"
+	"streammine/internal/event"
+	"streammine/internal/graph"
+	"streammine/internal/operator"
+	"streammine/internal/storage"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	queries := []string{
+		"SELECT AVG(VALUE) FROM nyse, nasdaq WINDOW COUNT 50",
+		"SELECT COUNT(DISTINCT KEY) FROM nyse",
+		"SELECT VALUE FROM nasdaq WHERE VALUE >= 950",
+	}
+
+	// One graph, two shared source nodes, three compiled query pipelines.
+	g := graph.New()
+	nyse := g.AddNode(graph.Node{Name: "nyse"})
+	nasdaq := g.AddNode(graph.Node{Name: "nasdaq"})
+	sources := map[string]graph.NodeID{"nyse": nyse, "nasdaq": nasdaq}
+
+	var outputs []graph.NodeID
+	for i, text := range queries {
+		q, err := cq.Parse(text)
+		if err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+		att, err := cq.Attach(g, q, sources, cq.Options{
+			Speculative: true,
+			NamePrefix:  fmt.Sprintf("q%d", i),
+		})
+		if err != nil {
+			return fmt.Errorf("attach query %d: %w", i, err)
+		}
+		outputs = append(outputs, att.Output)
+	}
+
+	pool := storage.NewPool([]storage.Disk{storage.NewMemDisk()})
+	defer pool.Close()
+	eng, err := core.New(g, core.Options{Pool: pool, Seed: 9})
+	if err != nil {
+		return err
+	}
+	if err := eng.Start(); err != nil {
+		return err
+	}
+	defer eng.Stop()
+
+	var mu sync.Mutex
+	counts := make([]int, len(queries))
+	lasts := make([]uint64, len(queries))
+	for i, out := range outputs {
+		i := i
+		if err := eng.Subscribe(out, 0, func(ev event.Event, final bool) {
+			if !final {
+				return
+			}
+			mu.Lock()
+			counts[i]++
+			lasts[i] = operator.DecodeValue(ev.Payload)
+			mu.Unlock()
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Publish 2×1500 ticks: keys are symbols, values are prices 0..999.
+	hN, err := eng.Source(nyse)
+	if err != nil {
+		return err
+	}
+	hQ, err := eng.Source(nasdaq)
+	if err != nil {
+		return err
+	}
+	rng := detrand.New(77)
+	for i := 0; i < 1500; i++ {
+		if _, err := hN.Emit(uint64(rng.Intn(40)), operator.EncodeValue(uint64(rng.Intn(1000)))); err != nil {
+			return err
+		}
+		if _, err := hQ.Emit(uint64(40+rng.Intn(40)), operator.EncodeValue(uint64(rng.Intn(1000)))); err != nil {
+			return err
+		}
+	}
+	eng.Drain()
+	if err := eng.Err(); err != nil {
+		return err
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i, text := range queries {
+		fmt.Printf("%-55s → %4d results (last value %d)\n", text, counts[i], lasts[i])
+	}
+	return nil
+}

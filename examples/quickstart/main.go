@@ -1,0 +1,87 @@
+// Quickstart: the smallest useful StreamMine pipeline.
+//
+// A source publishes numbers; a filter keeps the even ones; a count-window
+// aggregate emits the average of every 5 survivors. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"streammine/internal/core"
+	"streammine/internal/event"
+	"streammine/internal/graph"
+	"streammine/internal/operator"
+	"streammine/internal/storage"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Describe the topology.
+	g := graph.New()
+	src := g.AddNode(graph.Node{Name: "numbers"})
+	evens := g.AddNode(graph.Node{
+		Name:        "evens",
+		Op:          &operator.Filter{Pred: func(e event.Event) bool { return e.Key%2 == 0 }},
+		Traits:      operator.FilterTraits,
+		Speculative: true,
+	})
+	avg := g.AddNode(graph.Node{
+		Name:        "avg5",
+		Op:          &operator.CountWindowAvg{Window: 5},
+		Traits:      operator.CountWindowTraits,
+		Speculative: true,
+	})
+	g.Connect(src, 0, evens, 0)
+	g.Connect(evens, 0, avg, 0)
+
+	// 2. Start the engine over an in-memory stable store.
+	pool := storage.NewPool([]storage.Disk{storage.NewMemDisk()})
+	defer pool.Close()
+	eng, err := core.New(g, core.Options{Pool: pool, Seed: 1})
+	if err != nil {
+		return err
+	}
+	if err := eng.Start(); err != nil {
+		return err
+	}
+	defer eng.Stop()
+
+	// 3. Subscribe to finalized window averages.
+	done := make(chan struct{})
+	windows := 0
+	if err := eng.Subscribe(avg, 0, func(ev event.Event, final bool) {
+		if !final {
+			return
+		}
+		windows++
+		fmt.Printf("window %d: average of evens = %d\n", windows, operator.DecodeValue(ev.Payload))
+		if windows == 4 {
+			close(done)
+		}
+	}); err != nil {
+		return err
+	}
+
+	// 4. Publish 0..39: evens 0,2,...,38 → four windows of five.
+	handle, err := eng.Source(src)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < 40; i++ {
+		if _, err := handle.Emit(i, operator.EncodeValue(i)); err != nil {
+			return err
+		}
+	}
+	<-done
+	eng.Drain()
+	return eng.Err()
+}

@@ -1,0 +1,3 @@
+module streammine
+
+go 1.22

@@ -1,0 +1,155 @@
+// Package baseline provides the recovery-approach latency models the paper
+// positions itself against (§5, Borealis/Flux): analytic per-event latency
+// for passive standby, active standby, upstream backup, and the
+// non-speculative log-and-wait baseline, alongside the speculative model.
+//
+// These are first-order models — each approach is reduced to what it must
+// synchronously wait for per hop before an output may be externalized with
+// precise-recovery guarantees:
+//
+//	non-speculative logging   wait for the local decision-log write
+//	passive standby           wait for a full state checkpoint write
+//	active standby            wait for a replica round trip per decision
+//	upstream backup           wait for nothing (but precise only for
+//	                          deterministic operators)
+//	speculative (this paper)  one log write, overlapped across all hops
+//
+// The experiment harness uses them for the related-work comparison table;
+// the measured speculative/non-speculative numbers come from the real
+// engine (internal/experiments).
+package baseline
+
+import (
+	"fmt"
+	"time"
+)
+
+// Params describe a linear pipeline and its environment.
+type Params struct {
+	// Hops is the number of operators that take loggable decisions.
+	Hops int
+	// DiskLatency is the stable-storage write time for a decision batch.
+	DiskLatency time.Duration
+	// CheckpointLatency is the stable write time for a full state
+	// snapshot (passive standby pays this per output batch).
+	CheckpointLatency time.Duration
+	// ReplicaRTT is the network round trip to an active-standby replica.
+	ReplicaRTT time.Duration
+	// DecisionsPerEvent is how many non-deterministic decisions each hop
+	// takes per event (active standby synchronizes each).
+	DecisionsPerEvent int
+	// Processing is the pure computation time per hop.
+	Processing time.Duration
+	// Transport is the per-hop message delay.
+	Transport time.Duration
+}
+
+// validate normalizes degenerate parameters.
+func (p Params) validate() Params {
+	if p.Hops < 1 {
+		p.Hops = 1
+	}
+	if p.DecisionsPerEvent < 1 {
+		p.DecisionsPerEvent = 1
+	}
+	return p
+}
+
+// base is the inescapable pipeline cost: processing and transport.
+func (p Params) base() time.Duration {
+	return time.Duration(p.Hops) * (p.Processing + p.Transport)
+}
+
+// NonSpeculative models the log-and-wait baseline: every hop blocks its
+// outputs on its own stable log write, so the writes serialize along the
+// chain (paper §2.4).
+func NonSpeculative(p Params) time.Duration {
+	p = p.validate()
+	return p.base() + time.Duration(p.Hops)*p.DiskLatency
+}
+
+// Speculative models the paper's approach: outputs travel speculatively
+// and all hops' log writes overlap, so the pipeline pays approximately a
+// single disk write regardless of length.
+func Speculative(p Params) time.Duration {
+	p = p.validate()
+	return p.base() + p.DiskLatency
+}
+
+// SpeculativeExternalized models the paper's closing scenario (§4): the
+// environment accepts speculative outputs, so logging leaves the critical
+// path entirely.
+func SpeculativeExternalized(p Params) time.Duration {
+	p = p.validate()
+	return p.base()
+}
+
+// PassiveStandby models Borealis-style passive standby with precise
+// recovery: an operator may only forward checkpointed tuples, so every hop
+// pays a checkpoint write before sending (Hwang et al., ICDE'05).
+func PassiveStandby(p Params) time.Duration {
+	p = p.validate()
+	return p.base() + time.Duration(p.Hops)*p.CheckpointLatency
+}
+
+// ActiveStandby models process-pair replication with precise recovery:
+// each non-deterministic decision is shipped to the secondary and
+// acknowledged before the event is sent downstream.
+func ActiveStandby(p Params) time.Duration {
+	p = p.validate()
+	return p.base() + time.Duration(p.Hops*p.DecisionsPerEvent)*p.ReplicaRTT
+}
+
+// UpstreamBackup models Borealis upstream backup: upstream nodes buffer
+// outputs, nothing is synchronously persisted. It is only *precise* for
+// repeatable/deterministic graphs — for non-deterministic operators it
+// provides gap-free but not duplicate-identical recovery.
+func UpstreamBackup(p Params) time.Duration {
+	p = p.validate()
+	return p.base()
+}
+
+// Approach names a modelled recovery strategy.
+type Approach string
+
+// Modelled approaches.
+const (
+	ApproachNonSpeculative Approach = "non-speculative-logging"
+	ApproachSpeculative    Approach = "speculative (this paper)"
+	ApproachSpecExternal   Approach = "speculative+external-filter"
+	ApproachPassive        Approach = "passive-standby"
+	ApproachActive         Approach = "active-standby"
+	ApproachUpstream       Approach = "upstream-backup (not precise for ND)"
+)
+
+// Estimate returns the modelled per-event latency for an approach.
+func Estimate(a Approach, p Params) (time.Duration, error) {
+	switch a {
+	case ApproachNonSpeculative:
+		return NonSpeculative(p), nil
+	case ApproachSpeculative:
+		return Speculative(p), nil
+	case ApproachSpecExternal:
+		return SpeculativeExternalized(p), nil
+	case ApproachPassive:
+		return PassiveStandby(p), nil
+	case ApproachActive:
+		return ActiveStandby(p), nil
+	case ApproachUpstream:
+		return UpstreamBackup(p), nil
+	default:
+		return 0, fmt.Errorf("baseline: unknown approach %q", a)
+	}
+}
+
+// All lists the modelled approaches in presentation order.
+func All() []Approach {
+	return []Approach{
+		ApproachNonSpeculative,
+		ApproachPassive,
+		ApproachActive,
+		ApproachUpstream,
+		ApproachSpeculative,
+		ApproachSpecExternal,
+	}
+}

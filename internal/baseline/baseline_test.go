@@ -1,0 +1,98 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+)
+
+func params() Params {
+	return Params{
+		Hops:              4,
+		DiskLatency:       10 * time.Millisecond,
+		CheckpointLatency: 25 * time.Millisecond,
+		ReplicaRTT:        2 * time.Millisecond,
+		DecisionsPerEvent: 3,
+		Processing:        100 * time.Microsecond,
+		Transport:         50 * time.Microsecond,
+	}
+}
+
+func TestNonSpeculativeScalesWithHops(t *testing.T) {
+	p := params()
+	lat4 := NonSpeculative(p)
+	p.Hops = 8
+	lat8 := NonSpeculative(p)
+	// Doubling hops roughly doubles the latency (logging dominates).
+	if lat8 < lat4*19/10 || lat8 > lat4*21/10 {
+		t.Fatalf("NonSpeculative: 4 hops %v, 8 hops %v — not ≈2×", lat4, lat8)
+	}
+}
+
+func TestSpeculativeFlatInHops(t *testing.T) {
+	p := params()
+	lat4 := Speculative(p)
+	p.Hops = 8
+	lat8 := Speculative(p)
+	// Only base pipeline cost grows; the single disk write dominates.
+	growth := lat8 - lat4
+	if growth >= p.DiskLatency {
+		t.Fatalf("Speculative grew by %v over 4 extra hops — logging not overlapped", growth)
+	}
+}
+
+func TestOrderingOfApproaches(t *testing.T) {
+	p := params()
+	spec := Speculative(p)
+	nonspec := NonSpeculative(p)
+	passive := PassiveStandby(p)
+	active := ActiveStandby(p)
+	upstream := UpstreamBackup(p)
+	external := SpeculativeExternalized(p)
+
+	if !(external < spec && spec < nonspec) {
+		t.Fatalf("expected external < spec < nonspec: %v %v %v", external, spec, nonspec)
+	}
+	// Checkpoint-before-send is the most expensive precise approach here.
+	if passive <= nonspec {
+		t.Fatalf("passive standby (%v) should exceed log-and-wait (%v) for larger checkpoint writes", passive, nonspec)
+	}
+	if active <= upstream {
+		t.Fatalf("active standby (%v) must exceed upstream backup (%v)", active, upstream)
+	}
+	if upstream != external {
+		t.Fatalf("upstream backup (%v) and externalized speculation (%v) both pay only the base cost", upstream, external)
+	}
+}
+
+func TestActiveStandbyScalesWithDecisions(t *testing.T) {
+	p := params()
+	lat3 := ActiveStandby(p)
+	p.DecisionsPerEvent = 6
+	lat6 := ActiveStandby(p)
+	if lat6 <= lat3 {
+		t.Fatalf("more decisions must cost more: %v vs %v", lat3, lat6)
+	}
+}
+
+func TestEstimateDispatch(t *testing.T) {
+	p := params()
+	for _, a := range All() {
+		lat, err := Estimate(a, p)
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if lat <= 0 {
+			t.Fatalf("%s: non-positive latency %v", a, lat)
+		}
+	}
+	if _, err := Estimate("bogus", p); err == nil {
+		t.Fatal("unknown approach accepted")
+	}
+}
+
+func TestValidateDegenerate(t *testing.T) {
+	lat := NonSpeculative(Params{DiskLatency: time.Millisecond})
+	if lat != time.Millisecond {
+		t.Fatalf("degenerate params: %v, want 1ms (1 hop)", lat)
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"streammine/internal/graph"
+	"streammine/internal/transport"
+)
+
+// BridgeOut connects a node's output port to a remote engine over TCP:
+// data events and control messages flow out on the connection, and ACKs /
+// replay requests from the remote side flow back into the node. The
+// remote engine must be listening with BridgeIn. The caller owns the
+// returned connection and should Close it after Stop.
+//
+// This is the paper's deployment model (§2.3: operators as processes
+// connected by TCP) bridged at engine granularity.
+func (e *Engine) BridgeOut(id graph.NodeID, port int, addr string) (transport.Conn, error) {
+	n, err := e.node(id)
+	if err != nil {
+		return nil, err
+	}
+	if port < 0 || port >= n.spec.OutputPorts {
+		return nil, fmt.Errorf("core: node %q has no output port %d", n.spec.Name, port)
+	}
+	conn, err := transport.Dial(addr, func(m transport.Message) {
+		// Control traffic from downstream (ACK, REPLAY).
+		n.mailbox.Push(m)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bridge out %q port %d: %w", n.spec.Name, port, err)
+	}
+	n.addLink(port, &remoteLink{conn: conn})
+	return conn, nil
+}
+
+// BridgeIn returns a connection handler that feeds a node input from a
+// remote engine. Wire it to a transport listener:
+//
+//	h, _ := eng.BridgeIn(nodeID, 0)
+//	srv, _ := transport.ListenConn("127.0.0.1:7070", h)
+//
+// The first message on a connection binds it as the input's upstream, so
+// the node's ACKs and recovery replay requests travel back over it.
+func (e *Engine) BridgeIn(id graph.NodeID, input int) (transport.ConnHandler, error) {
+	n, err := e.node(id)
+	if err != nil {
+		return nil, err
+	}
+	if input < 0 {
+		return nil, fmt.Errorf("core: negative input %d", input)
+	}
+	return func(c transport.Conn, m transport.Message) {
+		n.mu.Lock()
+		if n.upstream[input] == nil {
+			n.upstream[input] = remoteUpstream{c: c}
+		}
+		n.mu.Unlock()
+		m.Input = input
+		n.mailbox.Push(m)
+	}, nil
+}

@@ -1,0 +1,312 @@
+// Package core implements the StreamMine speculation engine — the paper's
+// primary contribution. It hosts an operator graph and executes every
+// event under a speculative transaction (internal/stm), so that:
+//
+//   - operators may emit output events *before* their non-deterministic
+//     decisions are stable on disk; such events are tagged speculative and
+//     later finalized with a FINALIZE control message once the decision
+//     log commits (paper §2.4, §3) — this overlaps the per-hop logging
+//     latencies that a conventional engine pays serially;
+//   - downstream operators process speculative events immediately inside
+//     open transactions; fine-grained STM dependency tracking decides
+//     whether their own outputs are speculative (paper §3.1);
+//   - when a speculative event is replaced after an upstream rollback,
+//     only the transactions that actually read affected state are rolled
+//     back and re-executed, and re-executions whose outputs are unchanged
+//     do not disturb downstream at all;
+//   - expensive operators are optimistically parallelized by running
+//     several events' transactions concurrently (paper §4, Figures 4–7).
+//
+// A node configured non-speculative reproduces the baseline system the
+// paper compares against: outputs are held until the decision log is
+// stable and every consumed input is final.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"streammine/internal/checkpoint"
+	"streammine/internal/detrand"
+	"streammine/internal/event"
+	"streammine/internal/graph"
+	"streammine/internal/storage"
+	"streammine/internal/vclock"
+	"streammine/internal/wal"
+)
+
+// Options configure an Engine.
+type Options struct {
+	// Pool is the stable-storage writer pool used by the decision log.
+	// Required.
+	Pool *storage.Pool
+	// NodePools optionally gives individual nodes their own storage pool
+	// (the paper's per-process setup: every operator process owns its
+	// logging queues and storage points). Nodes not listed share Pool.
+	NodePools map[graph.NodeID]*storage.Pool
+	// Clock supplies source timestamps; defaults to a wall clock.
+	Clock vclock.Clock
+	// Seed derives every operator's deterministic PRNG.
+	Seed uint64
+	// TaintAll enables the coarse speculation ablation: any output of an
+	// operator with open speculation is marked speculative, regardless of
+	// data dependencies (DESIGN.md §6.1).
+	TaintAll bool
+	// StrictFinality closes the fine-grained finality hole (DESIGN.md
+	// §6.1): an output is only sent final while ANY open task of the node
+	// is tainted if strictness is off. The paper's rule (default) may in
+	// rare interleavings replace an already-final output; with strict
+	// finality such outputs are marked speculative instead.
+	StrictFinality bool
+	// CheckpointStore receives operator snapshots; defaults to an
+	// in-memory store.
+	CheckpointStore checkpoint.Store
+	// LogScanner, when set, is the recovery read path: it returns all
+	// stable decision records (e.g. wal.SegmentStore.Scan over real
+	// files). When nil, recovery reads each node's in-memory mirror of
+	// stable records.
+	LogScanner func() ([]wal.Record, error)
+	// ConflictBackoff trades promptness for wasted work under contention
+	// (paper §4): a task that has already aborted waits attempts×backoff
+	// before re-executing, so it stops burning re-executions while the
+	// conflicting older transaction is still open. Zero retries
+	// immediately (maximum promptness).
+	ConflictBackoff time.Duration
+}
+
+// Engine hosts one process's share of the operator graph.
+type Engine struct {
+	g     *graph.Graph
+	opts  Options
+	store checkpoint.Store
+	tick  *vclock.Ticker
+
+	nodes []*node
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+}
+
+// Common engine errors.
+var (
+	// ErrNotStarted is returned for operations requiring Start.
+	ErrNotStarted = errors.New("core: engine not started")
+	// ErrStopped is returned after Stop.
+	ErrStopped = errors.New("core: engine stopped")
+	// ErrUnknownNode reports an out-of-range node ID.
+	ErrUnknownNode = errors.New("core: unknown node")
+)
+
+// New validates the graph and builds an engine for it.
+func New(g *graph.Graph, opts Options) (*Engine, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("validate graph: %w", err)
+	}
+	if opts.Pool == nil {
+		return nil, errors.New("core: Options.Pool is required")
+	}
+	if opts.Clock == nil {
+		opts.Clock = vclock.NewWall()
+	}
+	eng := &Engine{
+		g:    g,
+		opts: opts,
+		tick: vclock.NewTicker(opts.Clock),
+	}
+	if opts.CheckpointStore != nil {
+		eng.store = opts.CheckpointStore
+	} else {
+		eng.store = checkpoint.NewMemStore()
+	}
+	master := detrand.New(opts.Seed)
+	for _, spec := range g.Nodes() {
+		pool := opts.Pool
+		if p, ok := opts.NodePools[spec.ID]; ok && p != nil {
+			pool = p
+		}
+		n, err := newNode(eng, spec, master.Fork(), wal.New(pool))
+		if err != nil {
+			return nil, fmt.Errorf("node %q: %w", spec.Name, err)
+		}
+		eng.nodes = append(eng.nodes, n)
+	}
+	// Wire edges: each upstream node gets a link per outgoing edge, and
+	// each downstream node learns its upstream per input (for ACKs and
+	// replay requests).
+	for _, e := range g.Edges() {
+		up, down := eng.nodes[e.From], eng.nodes[e.To]
+		up.addLink(e.FromPort, &localLink{target: down, input: e.ToInput})
+		down.setUpstream(e.ToInput, localUpstream{n: up})
+	}
+	return eng, nil
+}
+
+// Graph returns the topology the engine runs.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// node returns the runtime for a node ID.
+func (e *Engine) node(id graph.NodeID) (*node, error) {
+	if int(id) < 0 || int(id) >= len(e.nodes) {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	return e.nodes[id], nil
+}
+
+// Start launches every node's goroutines.
+func (e *Engine) Start() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return errors.New("core: already started")
+	}
+	e.started = true
+	for _, n := range e.nodes {
+		if err := n.start(); err != nil {
+			return fmt.Errorf("start node %q: %w", n.spec.Name, err)
+		}
+	}
+	return nil
+}
+
+// Stop shuts every node down and waits for their goroutines. It does not
+// close the storage pool (the caller owns it).
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	if !e.started || e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	e.mu.Unlock()
+	for _, n := range e.nodes {
+		n.stop()
+	}
+}
+
+// Drain blocks until every node's mailbox is empty and all dispatched
+// tasks have committed (or the engine stops). Nodes are drained in
+// topological order so upstream finalizations reach downstream nodes
+// before those are waited on. It is the quiesce point used by tests and
+// benchmarks between workload phases.
+func (e *Engine) Drain() {
+	order, err := e.g.TopoOrder()
+	if err != nil {
+		return // validated at New; unreachable
+	}
+	for _, id := range order {
+		e.nodes[id].drain()
+	}
+}
+
+// Err returns the first operator or logging error any node recorded, or
+// nil.
+func (e *Engine) Err() error {
+	for _, n := range e.nodes {
+		if err := n.err(); err != nil {
+			return fmt.Errorf("node %q: %w", n.spec.Name, err)
+		}
+	}
+	return nil
+}
+
+// Subscribe attaches fn to a node's output port. fn is called once per
+// output event arrival (final=false while speculative) and once more with
+// final=true when the event is finalized; events arriving already final
+// get a single final=true call. fn runs on engine goroutines and must be
+// fast and non-blocking.
+func (e *Engine) Subscribe(id graph.NodeID, port int, fn func(ev event.Event, final bool)) error {
+	n, err := e.node(id)
+	if err != nil {
+		return err
+	}
+	n.addLink(port, &callbackLink{fn: fn})
+	return nil
+}
+
+// Source returns an injector handle for a source node (one with Op == nil
+// and no inputs). Events created through it are final.
+func (e *Engine) Source(id graph.NodeID) (*SourceHandle, error) {
+	n, err := e.node(id)
+	if err != nil {
+		return nil, err
+	}
+	if n.spec.Op != nil || len(e.g.InputsOf(id)) != 0 {
+		return nil, fmt.Errorf("core: node %q is not a source", n.spec.Name)
+	}
+	return &SourceHandle{n: n, tick: e.tick}, nil
+}
+
+// SourceHandle injects events into the graph through a source node.
+type SourceHandle struct {
+	n    *node
+	tick *vclock.Ticker
+
+	mu  sync.Mutex
+	seq event.Seq
+}
+
+// Emit publishes one final event with a fresh timestamp, returning it.
+func (s *SourceHandle) Emit(key uint64, payload []byte) (event.Event, error) {
+	return s.EmitAt(s.tick.Next(), key, payload)
+}
+
+// EmitAt publishes one final event with an explicit timestamp.
+func (s *SourceHandle) EmitAt(ts int64, key uint64, payload []byte) (event.Event, error) {
+	s.mu.Lock()
+	s.seq++
+	seq := s.seq
+	s.mu.Unlock()
+	ev := event.Event{
+		ID:        event.ID{Source: event.SourceID(s.n.spec.ID), Seq: seq},
+		Timestamp: ts,
+		Key:       key,
+		Payload:   payload,
+	}
+	if err := s.n.publishSourceEvent(ev); err != nil {
+		return event.Event{}, err
+	}
+	return ev, nil
+}
+
+// NodeStats aggregates one node's runtime counters.
+type NodeStats struct {
+	Dispatched      uint64
+	Executed        uint64
+	Committed       uint64
+	Reexecuted      uint64 // re-executions after rollback
+	SpecSent        uint64 // outputs first sent speculative
+	FinalSent       uint64 // outputs first sent final
+	Aborts          uint64 // STM aborts
+	Conflicts       uint64 // STM conflicts observed
+	FinalViolations uint64 // replacements of already-final outputs (DESIGN §9.1)
+}
+
+// TotalStats sums NodeStats across the whole engine.
+func (e *Engine) TotalStats() NodeStats {
+	var total NodeStats
+	for _, n := range e.nodes {
+		s := n.stats()
+		total.Dispatched += s.Dispatched
+		total.Executed += s.Executed
+		total.Committed += s.Committed
+		total.Reexecuted += s.Reexecuted
+		total.SpecSent += s.SpecSent
+		total.FinalSent += s.FinalSent
+		total.Aborts += s.Aborts
+		total.Conflicts += s.Conflicts
+		total.FinalViolations += s.FinalViolations
+	}
+	return total
+}
+
+// Stats returns a node's counters.
+func (e *Engine) Stats(id graph.NodeID) (NodeStats, error) {
+	n, err := e.node(id)
+	if err != nil {
+		return NodeStats{}, err
+	}
+	return n.stats(), nil
+}

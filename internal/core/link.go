@@ -1,0 +1,133 @@
+package core
+
+import (
+	"sync"
+
+	"streammine/internal/event"
+	"streammine/internal/transport"
+)
+
+// link is one delivery target attached to a node output port.
+type link interface {
+	// deliver hands a message to the target; must not block indefinitely.
+	deliver(m transport.Message)
+	// buffered reports whether the link participates in the output-buffer
+	// ACK protocol (node-to-node links do; sink callbacks do not).
+	buffered() bool
+}
+
+// localLink delivers into another node's mailbox within the same engine.
+type localLink struct {
+	target *node
+	input  int
+}
+
+var _ link = (*localLink)(nil)
+
+func (l *localLink) deliver(m transport.Message) {
+	m.Input = l.input
+	l.target.mailbox.Push(m)
+}
+
+func (l *localLink) buffered() bool { return true }
+
+// callbackLink adapts a subscriber function to a link. It tracks
+// speculative events so the finalize callback can re-deliver their content
+// with final=true.
+type callbackLink struct {
+	fn func(ev event.Event, final bool)
+
+	mu      sync.Mutex
+	pending map[event.ID]event.Event
+}
+
+var _ link = (*callbackLink)(nil)
+
+func (l *callbackLink) deliver(m transport.Message) {
+	switch m.Type {
+	case transport.MsgEvent:
+		ev := m.Event
+		if ev.Speculative {
+			l.mu.Lock()
+			if l.pending == nil {
+				l.pending = make(map[event.ID]event.Event)
+			}
+			l.pending[ev.ID] = ev
+			l.mu.Unlock()
+			l.fn(ev, false)
+			return
+		}
+		// A final event supersedes any speculative copy.
+		l.mu.Lock()
+		delete(l.pending, ev.ID)
+		l.mu.Unlock()
+		l.fn(ev, true)
+	case transport.MsgFinalize:
+		l.mu.Lock()
+		ev, ok := l.pending[m.ID]
+		if ok && ev.Version == m.Version {
+			delete(l.pending, m.ID)
+		}
+		l.mu.Unlock()
+		if ok && ev.Version == m.Version {
+			l.fn(ev.AsFinal(), true)
+		}
+	case transport.MsgRevoke:
+		l.mu.Lock()
+		delete(l.pending, m.ID)
+		l.mu.Unlock()
+	}
+}
+
+func (l *callbackLink) buffered() bool { return false }
+
+// remoteLink forwards over a transport connection (TCP bridging between
+// engine processes). The remote side routes by registering a bridge input.
+type remoteLink struct {
+	conn transport.Conn
+}
+
+var _ link = (*remoteLink)(nil)
+
+func (l *remoteLink) deliver(m transport.Message) {
+	// Send errors mean the peer is gone; the replay protocol recovers
+	// anything lost once it reconnects, so drop on the floor here.
+	_ = l.conn.Send(m)
+}
+
+func (l *remoteLink) buffered() bool { return true }
+
+// outRecord is one output event retained in a node's output buffer until
+// every buffered downstream link has acknowledged it (paper §2.2: upstream
+// output buffers enable replay; ACKs prune them).
+type outRecord struct {
+	id      event.ID
+	port    int
+	ts      int64
+	key     uint64
+	payload []byte
+
+	version     event.Version
+	finalSent   bool
+	pendingAcks int
+	seq         uint64 // emission order within the node, for ordered replay
+}
+
+// matches reports whether a newly produced output is identical to the
+// record (same observable content on the same port).
+func (r *outRecord) matches(port int, ts int64, key uint64, payload []byte) bool {
+	return r.port == port && r.ts == ts && r.key == key && string(r.payload) == string(payload)
+}
+
+// toEvent materializes the record as an event with the given speculation
+// flag.
+func (r *outRecord) toEvent(spec bool) event.Event {
+	return event.Event{
+		ID:          r.id,
+		Timestamp:   r.ts,
+		Version:     r.version,
+		Speculative: spec,
+		Key:         r.key,
+		Payload:     r.payload,
+	}
+}

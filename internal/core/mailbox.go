@@ -1,0 +1,75 @@
+package core
+
+import "sync"
+
+// mailbox is an unbounded FIFO queue with blocking Pop. Node mailboxes are
+// unbounded by design: control messages (FINALIZE, ACK, re-execution
+// commands) flow against the data direction, so bounded queues could
+// deadlock a cycle of blocked senders. Data-rate backpressure is the
+// source's responsibility (all experiment workloads are rate-driven, as in
+// the paper).
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []any
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Push enqueues an item; it never blocks. Pushing to a closed mailbox is a
+// silent no-op (shutdown races are benign).
+func (m *mailbox) Push(item any) {
+	m.mu.Lock()
+	if !m.closed {
+		m.items = append(m.items, item)
+		m.cond.Signal()
+	}
+	m.mu.Unlock()
+}
+
+// Pop dequeues the oldest item, blocking while the mailbox is empty. It
+// returns ok=false once the mailbox is closed and drained.
+func (m *mailbox) Pop() (any, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.items) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.items) == 0 {
+		return nil, false
+	}
+	item := m.items[0]
+	m.items = m.items[1:]
+	return item, true
+}
+
+// Len reports the queued item count.
+func (m *mailbox) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.items)
+}
+
+// Close wakes all blocked Pops; queued items remain poppable.
+func (m *mailbox) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Reopen clears a closed mailbox for reuse, discarding anything still
+// queued. Node recovery reopens the original mailbox instead of replacing
+// it so concurrent senders never observe a torn field write; the events
+// dropped here are exactly the unacknowledged ones upstream will replay.
+func (m *mailbox) Reopen() {
+	m.mu.Lock()
+	m.items = nil
+	m.closed = false
+	m.mu.Unlock()
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMailboxFIFO(t *testing.T) {
+	m := newMailbox()
+	for i := 0; i < 10; i++ {
+		m.Push(i)
+	}
+	if m.Len() != 10 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := m.Pop()
+		if !ok || v.(int) != i {
+			t.Fatalf("Pop %d = %v, %v", i, v, ok)
+		}
+	}
+}
+
+func TestMailboxBlockingPop(t *testing.T) {
+	m := newMailbox()
+	got := make(chan any, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, ok := m.Pop()
+		if ok {
+			got <- v
+		}
+	}()
+	m.Push("hello")
+	wg.Wait()
+	if v := <-got; v.(string) != "hello" {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestMailboxCloseDrainsThenStops(t *testing.T) {
+	m := newMailbox()
+	m.Push(1)
+	m.Push(2)
+	m.Close()
+	// Queued items remain poppable after Close.
+	if v, ok := m.Pop(); !ok || v.(int) != 1 {
+		t.Fatalf("Pop after close = %v, %v", v, ok)
+	}
+	if v, ok := m.Pop(); !ok || v.(int) != 2 {
+		t.Fatalf("Pop after close = %v, %v", v, ok)
+	}
+	if _, ok := m.Pop(); ok {
+		t.Fatal("Pop on closed empty mailbox returned ok")
+	}
+	// Push after close is a silent no-op.
+	m.Push(3)
+	if _, ok := m.Pop(); ok {
+		t.Fatal("Push after Close enqueued an item")
+	}
+}
+
+func TestMailboxCloseUnblocksWaiters(t *testing.T) {
+	m := newMailbox()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, ok := m.Pop(); ok {
+			t.Error("Pop returned ok on close")
+		}
+	}()
+	m.Close()
+	<-done
+}
+
+func TestMailboxConcurrentProducers(t *testing.T) {
+	m := newMailbox()
+	const producers, per = 4, 100
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Push(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Len() != producers*per {
+		t.Fatalf("Len = %d, want %d", m.Len(), producers*per)
+	}
+}

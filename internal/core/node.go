@@ -1,0 +1,1066 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streammine/internal/checkpoint"
+	"streammine/internal/detrand"
+	"streammine/internal/event"
+	"streammine/internal/graph"
+	"streammine/internal/stm"
+	"streammine/internal/transport"
+	"streammine/internal/wal"
+)
+
+// cmdReexec asks the dispatcher to re-execute a task whose transaction tx
+// was aborted (rollback, cascade, or conflict retry).
+type cmdReexec struct {
+	t  *task
+	tx *stm.Tx
+}
+
+// cmdInject carries a source-node event from a SourceHandle.
+type cmdInject struct {
+	ev event.Event
+}
+
+// node is the runtime for one graph node: a dispatcher goroutine that owns
+// ordering decisions, a worker pool that executes tasks under speculative
+// transactions, and a committer that commits tasks in arrival order once
+// they are authorized (log stable + inputs final + dependencies committed).
+type node struct {
+	eng  *Engine
+	spec graph.Node
+	opID uint32
+	mem  *stm.Memory
+	log  *wal.Log
+
+	rngMu sync.Mutex
+	rng   *detrand.Source
+
+	mailbox *mailbox
+	execQ   *mailbox
+
+	mu            sync.Mutex
+	tasks         map[event.ID]*task
+	bySeq         map[int64]*task
+	nextSeq       int64
+	committed     map[event.ID]bool
+	outBuf        map[event.ID]*outRecord
+	outEmitSeq    uint64
+	lastCommitted map[int]event.ID
+	sinceCkpt     []ackTarget
+	ckptEpoch     uint64
+	coveredLSN    wal.LSN
+	commitCount   uint64
+
+	commitMu   sync.Mutex
+	commitCond *sync.Cond
+	commitGen  uint64
+	nextCommit atomic.Int64
+
+	// replay, when non-nil, holds the recovery-mode admission plan;
+	// recoverCover records, per input, the last event position the
+	// restored snapshot already covers (both guarded by mu).
+	replay       *replayPlan
+	recoverCover map[int]event.ID
+
+	links    [][]link
+	upstream map[int]upstreamSender
+
+	stopFlag atomic.Bool
+	wg       sync.WaitGroup
+
+	errMu    sync.Mutex
+	firstErr error
+
+	// stableRecs mirrors this node's decision records once stable — the
+	// recovery read path (equivalent to scanning the log disk). Sorted by
+	// LSN on demand.
+	recMu      sync.Mutex
+	stableRecs []wal.Record
+
+	cDispatched     atomic.Uint64
+	cExecuted       atomic.Uint64
+	cCommitted      atomic.Uint64
+	cReexec         atomic.Uint64
+	cSpecSent       atomic.Uint64
+	cFinalSent      atomic.Uint64
+	openTainted     atomic.Int64
+	finalViolations atomic.Uint64
+}
+
+// ackTarget identifies one consumed input event pending upstream ACK.
+type ackTarget struct {
+	input int
+	id    event.ID
+}
+
+// newNode builds the runtime for a graph node.
+func newNode(eng *Engine, spec graph.Node, rng *detrand.Source, log *wal.Log) (*node, error) {
+	capWords := spec.Traits.StateWords + 64
+	if capWords < 256 {
+		capWords = 256
+	}
+	n := &node{
+		eng:           eng,
+		spec:          spec,
+		opID:          uint32(spec.ID),
+		mem:           stm.NewMemory(capWords),
+		log:           log,
+		rng:           rng,
+		mailbox:       newMailbox(),
+		execQ:         newMailbox(),
+		tasks:         make(map[event.ID]*task),
+		bySeq:         make(map[int64]*task),
+		committed:     make(map[event.ID]bool),
+		outBuf:        make(map[event.ID]*outRecord),
+		lastCommitted: make(map[int]event.ID),
+		links:         make([][]link, spec.OutputPorts),
+		upstream:      make(map[int]upstreamSender),
+		nextSeq:       1,
+	}
+	n.nextCommit.Store(1)
+	n.commitCond = sync.NewCond(&n.commitMu)
+	return n, nil
+}
+
+func (n *node) addLink(port int, l link) {
+	n.links[port] = append(n.links[port], l)
+}
+
+// upstreamSender delivers control messages (ACK, REPLAY) against the data
+// direction: to a node in the same engine or over a bridge connection.
+type upstreamSender interface {
+	send(m transport.Message)
+}
+
+// localUpstream targets a node in the same engine.
+type localUpstream struct{ n *node }
+
+func (u localUpstream) send(m transport.Message) { u.n.mailbox.Push(m) }
+
+// remoteUpstream targets a bridged engine over a transport connection.
+type remoteUpstream struct{ c transport.Conn }
+
+func (u remoteUpstream) send(m transport.Message) { _ = u.c.Send(m) }
+
+func (n *node) setUpstream(input int, up upstreamSender) {
+	n.mu.Lock()
+	n.upstream[input] = up
+	n.mu.Unlock()
+}
+
+// bufferedLinks counts links on a port that participate in ACKs.
+func (n *node) bufferedLinks(port int) int {
+	c := 0
+	for _, l := range n.links[port] {
+		if l.buffered() {
+			c++
+		}
+	}
+	return c
+}
+
+// initContext adapts the node for operator.Init.
+type initContext struct{ n *node }
+
+func (c initContext) Memory() *stm.Memory { return c.n.mem }
+func (c initContext) OperatorID() uint32  { return c.n.opID }
+
+// start initializes the operator and launches the goroutines.
+func (n *node) start() error {
+	if n.spec.Op != nil {
+		if err := n.spec.Op.Init(initContext{n: n}); err != nil {
+			return fmt.Errorf("init: %w", err)
+		}
+	}
+	n.wg.Add(1)
+	go n.dispatcher()
+	for i := 0; i < n.spec.Workers; i++ {
+		n.wg.Add(1)
+		go n.worker()
+	}
+	n.wg.Add(1)
+	go n.committer()
+	return nil
+}
+
+// stop shuts the node down and waits for its goroutines.
+func (n *node) stop() {
+	if n.stopFlag.Swap(true) {
+		return
+	}
+	n.mailbox.Close()
+	n.execQ.Close()
+	n.notifyCommitter()
+	n.wg.Wait()
+	if n.spec.Op != nil {
+		_ = n.spec.Op.Terminate()
+	}
+}
+
+// fail records the node's first operator error.
+func (n *node) fail(err error) {
+	n.errMu.Lock()
+	if n.firstErr == nil {
+		n.firstErr = err
+	}
+	n.errMu.Unlock()
+}
+
+// err returns the node's first operator error.
+func (n *node) err() error {
+	n.errMu.Lock()
+	defer n.errMu.Unlock()
+	return n.firstErr
+}
+
+// stats snapshots the node counters.
+func (n *node) stats() NodeStats {
+	return NodeStats{
+		Dispatched:      n.cDispatched.Load(),
+		Executed:        n.cExecuted.Load(),
+		Committed:       n.cCommitted.Load(),
+		Reexecuted:      n.cReexec.Load(),
+		SpecSent:        n.cSpecSent.Load(),
+		FinalSent:       n.cFinalSent.Load(),
+		Aborts:          n.mem.Stats().Aborts,
+		Conflicts:       n.mem.Stats().Conflicts,
+		FinalViolations: n.finalViolations.Load(),
+	}
+}
+
+// openCount reports tasks not yet committed or cleaned up.
+func (n *node) openCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.bySeq)
+}
+
+// drain blocks until the node has no queued work and no open tasks.
+func (n *node) drain() {
+	for !n.stopFlag.Load() {
+		if n.mailbox.Len() == 0 && n.execQ.Len() == 0 && n.openCount() == 0 {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// ---------- dispatcher ----------
+
+// dispatcher serializes ordering decisions: event admission (assigning the
+// per-node sequence = STM timestamp, the logged input-order decision),
+// replacements, finalization, revocation, ACK bookkeeping and re-execution
+// requests.
+func (n *node) dispatcher() {
+	defer n.wg.Done()
+	for {
+		item, ok := n.mailbox.Pop()
+		if !ok {
+			return
+		}
+		switch v := item.(type) {
+		case transport.Message:
+			n.handleMessage(v)
+		case cmdReexec:
+			n.handleReexec(v)
+		case cmdInject:
+			n.handleInject(v)
+		}
+	}
+}
+
+func (n *node) handleMessage(m transport.Message) {
+	switch m.Type {
+	case transport.MsgEvent:
+		n.handleEvent(m)
+	case transport.MsgFinalize:
+		n.handleFinalize(m)
+	case transport.MsgRevoke:
+		n.handleRevoke(m)
+	case transport.MsgAck:
+		n.handleAck(m)
+	case transport.MsgReplay:
+		n.handleReplay()
+	}
+}
+
+// handleEvent admits a new input event or applies a replacement to an
+// existing task (paper §3.1: reception of E1”). In recovery mode the
+// event first passes through the replay plan, which enforces the logged
+// admission order and attaches logged decisions.
+func (n *node) handleEvent(m transport.Message) {
+	n.mu.Lock()
+	replaying := n.replay != nil
+	n.mu.Unlock()
+	if replaying {
+		for _, pe := range n.replayAdmit(m) {
+			n.admitEvent(pe)
+		}
+		return
+	}
+	n.admitEvent(plannedEvent{msg: m})
+}
+
+// admitEvent performs normal (non-replay) admission of one event.
+func (n *node) admitEvent(pe plannedEvent) {
+	m := pe.msg
+	id := m.Event.ID
+	n.mu.Lock()
+	if n.committed[id] {
+		n.mu.Unlock()
+		// Precise recovery: a replayed duplicate of a committed event is
+		// byte-identical and silently dropped; re-ACK so upstream prunes.
+		n.ackUpstream(m.Input, id)
+		return
+	}
+	if cover, ok := n.recoverCover[m.Input]; ok &&
+		id.Source == cover.Source && id.Seq <= cover.Seq {
+		// Redelivery of an event the restored snapshot already covers
+		// (its covering mark never became stable): drop and re-ACK.
+		n.mu.Unlock()
+		n.ackUpstream(m.Input, id)
+		return
+	}
+	if t, ok := n.tasks[id]; ok {
+		n.mu.Unlock()
+		n.applyReplacement(t, m.Event)
+		return
+	}
+	t := &task{
+		n:         n,
+		seq:       n.nextSeq,
+		input:     m.Input,
+		state:     taskQueued,
+		ev:        m.Event.Clone(),
+		evFinal:   !m.Event.Speculative,
+		decisions: pe.decisions,
+		maxLSN:    pe.maxLSN,
+	}
+	n.nextSeq++
+	n.tasks[id] = t
+	n.bySeq[t.seq] = t
+	n.mu.Unlock()
+	n.cDispatched.Add(1)
+
+	// The interleaving order across inputs is a non-deterministic decision
+	// for stateful operators: log it before execution can externalize
+	// anything that depends on it. Replayed events are already logged.
+	if n.spec.Traits.Stateful && !pe.logged {
+		t.mu.Lock()
+		t.pendingLogs++
+		t.mu.Unlock()
+		n.appendRecords(t, []wal.Record{{
+			Kind:     wal.KindInput,
+			Operator: n.opID,
+			Event:    id,
+			Value:    uint64(m.Input),
+		}})
+	}
+	n.execQ.Push(t)
+}
+
+// applyReplacement updates a task's input event in place. Identical
+// content only upgrades finality; changed content rolls the task back.
+func (n *node) applyReplacement(t *task, ev event.Event) {
+	t.mu.Lock()
+	if t.state == taskCommitted || t.state == taskCancelled {
+		t.mu.Unlock()
+		return
+	}
+	if t.ev.SameContent(ev) {
+		changed := false
+		if !ev.Speculative && !t.evFinal {
+			t.evFinal = true
+			t.ev.Speculative = false
+			changed = true
+		}
+		if ev.Version > t.ev.Version {
+			t.ev.Version = ev.Version
+		}
+		t.mu.Unlock()
+		if changed {
+			n.notifyCommitter()
+		}
+		return
+	}
+	// Content changed: adopt the new version and roll back if the old one
+	// was already (being) processed.
+	t.ev = ev.Clone()
+	t.evFinal = !ev.Speculative
+	tx := t.tx
+	state := t.state
+	t.mu.Unlock()
+	if state == taskExecuting || state == taskOpen {
+		if tx != nil {
+			tx.Abort() // OnAbort enqueues the re-execution
+		}
+	}
+}
+
+func (n *node) handleFinalize(m transport.Message) {
+	n.mu.Lock()
+	t := n.tasks[m.ID]
+	n.mu.Unlock()
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.ev.Version == m.Version && !t.evFinal {
+		t.evFinal = true
+		t.ev.Speculative = false
+		t.mu.Unlock()
+		n.notifyCommitter()
+		return
+	}
+	t.mu.Unlock()
+}
+
+// handleRevoke cancels the task consuming a revoked event and revokes its
+// own outputs (cascading the revocation downstream).
+func (n *node) handleRevoke(m transport.Message) {
+	n.mu.Lock()
+	t := n.tasks[m.ID]
+	n.mu.Unlock()
+	if t == nil {
+		return
+	}
+	n.cancelTask(t)
+}
+
+func (n *node) cancelTask(t *task) {
+	t.mu.Lock()
+	if t.state == taskCommitted || t.state == taskCancelled {
+		t.mu.Unlock()
+		return
+	}
+	t.state = taskCancelled
+	tx := t.tx
+	sent := t.sent
+	t.sent = nil
+	if t.tainted {
+		t.tainted = false
+		n.openTainted.Add(-1)
+	}
+	t.mu.Unlock()
+	if tx != nil {
+		tx.Abort()
+	}
+	for _, rec := range sent {
+		n.revokeRecord(rec)
+	}
+	n.notifyCommitter()
+}
+
+func (n *node) revokeRecord(rec *outRecord) {
+	n.mu.Lock()
+	delete(n.outBuf, rec.id)
+	n.mu.Unlock()
+	n.deliverToPort(rec.port, transport.Message{
+		Type: transport.MsgRevoke, ID: rec.id, Version: rec.version,
+	})
+}
+
+func (n *node) handleAck(m transport.Message) {
+	n.mu.Lock()
+	if rec, ok := n.outBuf[m.ID]; ok {
+		rec.pendingAcks--
+		if rec.pendingAcks <= 0 {
+			delete(n.outBuf, m.ID)
+		}
+	}
+	n.mu.Unlock()
+}
+
+// handleReplay re-sends every unacknowledged buffered output, oldest
+// first, with its current speculation state. Nodes that already saw an
+// event drop it as a duplicate (and re-ACK).
+func (n *node) handleReplay() {
+	n.mu.Lock()
+	recs := make([]*outRecord, 0, len(n.outBuf))
+	for _, r := range n.outBuf {
+		recs = append(recs, r)
+	}
+	n.mu.Unlock()
+	// Oldest first so downstream admission order approximates the original.
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0 && recs[j].seq < recs[j-1].seq; j-- {
+			recs[j], recs[j-1] = recs[j-1], recs[j]
+		}
+	}
+	for _, rec := range recs {
+		n.deliverToPort(rec.port, transport.Message{
+			Type:  transport.MsgEvent,
+			Event: rec.toEvent(!rec.finalSent),
+		})
+	}
+}
+
+// handleReexec re-dispatches a task whose transaction was aborted.
+func (n *node) handleReexec(c cmdReexec) {
+	t := c.t
+	t.mu.Lock()
+	if t.tx != c.tx || t.state == taskCancelled || t.state == taskCommitted {
+		t.mu.Unlock()
+		return
+	}
+	if t.state == taskExecuting {
+		// The worker will observe the conflict and requeue itself.
+		t.mu.Unlock()
+		return
+	}
+	t.state = taskQueued
+	t.tx = nil
+	t.cursor = 0
+	t.published = false
+	t.mu.Unlock()
+	n.cReexec.Add(1)
+	n.execQ.Push(t)
+}
+
+// handleInject publishes a source event: buffered for replay and sent
+// final downstream.
+func (n *node) handleInject(c cmdInject) {
+	n.mu.Lock()
+	n.outEmitSeq++
+	rec := &outRecord{
+		id:          c.ev.ID,
+		port:        0,
+		ts:          c.ev.Timestamp,
+		key:         c.ev.Key,
+		payload:     c.ev.Payload,
+		finalSent:   true,
+		pendingAcks: n.bufferedLinks(0),
+		seq:         n.outEmitSeq,
+	}
+	if rec.pendingAcks > 0 {
+		n.outBuf[rec.id] = rec
+	}
+	n.mu.Unlock()
+	n.cFinalSent.Add(1)
+	n.deliverToPort(0, transport.Message{Type: transport.MsgEvent, Event: c.ev})
+}
+
+// publishSourceEvent is called by SourceHandle.Emit.
+func (n *node) publishSourceEvent(ev event.Event) error {
+	if n.stopFlag.Load() {
+		return ErrStopped
+	}
+	n.mailbox.Push(cmdInject{ev: ev})
+	return nil
+}
+
+// deliverToPort fans a message out to every link on a port.
+func (n *node) deliverToPort(port int, m transport.Message) {
+	for _, l := range n.links[port] {
+		l.deliver(m)
+	}
+}
+
+// ackUpstream notifies the upstream feeding the given input that an event
+// will never be requested again.
+func (n *node) ackUpstream(input int, id event.ID) {
+	n.mu.Lock()
+	up := n.upstream[input]
+	n.mu.Unlock()
+	if up == nil {
+		return
+	}
+	up.send(transport.Message{Type: transport.MsgAck, ID: id})
+}
+
+// appendRecords submits decision records to the log and wires the
+// stability callback into the task.
+func (n *node) appendRecords(t *task, recs []wal.Record) {
+	_, err := n.log.Append(recs, func(err error) {
+		if err != nil {
+			n.fail(fmt.Errorf("decision log: %w", err))
+			return
+		}
+		n.mirrorStable(recs)
+		var maxLSN wal.LSN
+		for _, r := range recs {
+			if r.LSN > maxLSN {
+				maxLSN = r.LSN
+			}
+		}
+		t.mu.Lock()
+		t.pendingLogs--
+		if maxLSN > t.maxLSN {
+			t.maxLSN = maxLSN
+		}
+		t.mu.Unlock()
+		n.notifyCommitter()
+	})
+	if err != nil {
+		n.fail(fmt.Errorf("submit decision log: %w", err))
+		t.mu.Lock()
+		t.pendingLogs--
+		t.mu.Unlock()
+	}
+}
+
+// ---------- workers ----------
+
+// worker executes queued tasks under speculative transactions.
+func (n *node) worker() {
+	defer n.wg.Done()
+	for {
+		item, ok := n.execQ.Pop()
+		if !ok {
+			return
+		}
+		t, ok := item.(*task)
+		if !ok {
+			continue
+		}
+		n.runTask(t)
+	}
+}
+
+func (n *node) runTask(t *task) {
+	t.mu.Lock()
+	if t.state != taskQueued || t.tx != nil {
+		t.mu.Unlock()
+		return
+	}
+	attempts := t.attempts
+	t.mu.Unlock()
+	// Promptness/waste trade-off (paper §4): back off retries so doomed
+	// speculative executions stop burning resources while the conflicting
+	// older transaction is still open.
+	if backoff := n.eng.opts.ConflictBackoff; backoff > 0 && attempts > 0 {
+		time.Sleep(time.Duration(attempts) * backoff)
+	}
+	t.mu.Lock()
+	if t.state != taskQueued || t.tx != nil {
+		t.mu.Unlock()
+		return
+	}
+	tx := n.mem.Begin(t.seq)
+	t.tx = tx
+	t.state = taskExecuting
+	t.attempts++
+	ev := t.ev.Clone()
+	decisions := t.decisions // immutable during execution
+	t.mu.Unlock()
+
+	tx.OnAbort(func(*stm.Tx) {
+		n.mailbox.Push(cmdReexec{t: t, tx: tx})
+	})
+
+	ctx := &procCtx{t: t, tx: tx, decisions: decisions, truncateAt: -1}
+	var err error
+	if n.spec.Op != nil {
+		err = n.spec.Op.Process(ctx, ev)
+	}
+	if err == nil {
+		err = tx.Complete()
+	}
+	if err != nil {
+		if errors.Is(err, stm.ErrConflict) {
+			t.mu.Lock()
+			if t.state == taskExecuting {
+				t.state = taskQueued
+			}
+			t.mu.Unlock()
+			tx.Abort()
+			n.mailbox.Push(cmdReexec{t: t, tx: tx})
+			return
+		}
+		n.fail(fmt.Errorf("node %q event %s: %w", n.spec.Name, ev.ID, err))
+		tx.Abort()
+		n.cancelTask(t)
+		return
+	}
+
+	t.mu.Lock()
+	if t.state != taskExecuting || t.tx != tx {
+		t.mu.Unlock()
+		tx.Abort()
+		return
+	}
+	t.state = taskOpen
+	t.published = !n.spec.Speculative // speculative nodes publish below
+	if ctx.truncateAt >= 0 && ctx.truncateAt < len(t.decisions) {
+		t.decisions = t.decisions[:ctx.truncateAt]
+	}
+	t.decisions = append(t.decisions, ctx.taken...)
+	t.outs = ctx.outs
+	newDecs := ctx.taken
+	if len(newDecs) > 0 {
+		t.pendingLogs++
+	}
+	t.mu.Unlock()
+
+	if len(newDecs) > 0 {
+		recs := make([]wal.Record, len(newDecs))
+		for i, d := range newDecs {
+			recs[i] = wal.Record{Kind: d.kind, Operator: n.opID, Event: ev.ID, Value: d.value}
+		}
+		n.appendRecords(t, recs)
+	}
+	n.cExecuted.Add(1)
+	if n.spec.Speculative {
+		n.publishOutputs(t)
+	}
+	n.notifyCommitter()
+}
+
+// computeTainted decides whether the task's outputs must be marked
+// speculative right now (paper §3.1's fine-grained rule, plus the TaintAll
+// and StrictFinality ablations).
+func (n *node) computeTainted(t *task) bool {
+	if !t.evFinal || t.pendingLogs > 0 {
+		return true
+	}
+	if n.eng.opts.TaintAll {
+		return n.committedBelow(t.seq)
+	}
+	if n.eng.opts.StrictFinality && n.openTainted.Load() > 0 {
+		return true
+	}
+	return t.tx.DepsOpen() > 0
+}
+
+// committedBelow reports whether any task with a smaller sequence is still
+// uncommitted.
+func (n *node) committedBelow(seq int64) bool {
+	return n.nextCommit.Load() < seq
+}
+
+// publishOutputs sends the current execution's outputs downstream,
+// diffing against what was already sent: unchanged outputs are left
+// alone, changed ones are re-sent as a higher version, vanished ones are
+// revoked (paper §3.1).
+func (n *node) publishOutputs(t *task) {
+	type sendOp struct {
+		rec  *outRecord
+		spec bool
+	}
+	var sends []sendOp
+	var revokes []*outRecord
+
+	t.mu.Lock()
+	if t.state != taskOpen {
+		t.mu.Unlock()
+		return
+	}
+	spec := n.computeTainted(t)
+	if spec && !t.tainted {
+		t.tainted = true
+		n.openTainted.Add(1)
+	}
+	for k, out := range t.outs {
+		if k < len(t.sent) {
+			rec := t.sent[k]
+			if rec.matches(out.port, out.ts, out.key, out.payload) {
+				continue
+			}
+			if rec.finalSent {
+				// A previously-final output changed: the theoretical hole
+				// in fine-grained finality (DESIGN.md §6.1). Count it and
+				// prefer correct content over the finality promise.
+				n.finalViolations.Add(1)
+				rec.finalSent = false
+			}
+			rec.version++
+			rec.port, rec.ts, rec.key, rec.payload = out.port, out.ts, out.key, out.payload
+			sends = append(sends, sendOp{rec: rec, spec: true})
+			continue
+		}
+		n.mu.Lock()
+		n.outEmitSeq++
+		rec := &outRecord{
+			id:          outputID(n.opID, t.ev.ID, k),
+			port:        out.port,
+			ts:          out.ts,
+			key:         out.key,
+			payload:     out.payload,
+			pendingAcks: n.bufferedLinks(out.port),
+			seq:         n.outEmitSeq,
+		}
+		if !spec {
+			rec.finalSent = true
+		}
+		if rec.pendingAcks > 0 {
+			n.outBuf[rec.id] = rec
+		}
+		n.mu.Unlock()
+		t.sent = append(t.sent, rec)
+		sends = append(sends, sendOp{rec: rec, spec: spec})
+	}
+	if len(t.outs) < len(t.sent) {
+		revokes = append(revokes, t.sent[len(t.outs):]...)
+		t.sent = t.sent[:len(t.outs)]
+	}
+	t.published = true
+	t.mu.Unlock()
+
+	for _, s := range sends {
+		if s.spec {
+			n.cSpecSent.Add(1)
+		} else {
+			n.cFinalSent.Add(1)
+		}
+		n.deliverToPort(s.rec.port, transport.Message{
+			Type: transport.MsgEvent, Event: s.rec.toEvent(s.spec),
+		})
+	}
+	for _, rec := range revokes {
+		n.revokeRecord(rec)
+	}
+}
+
+// ---------- committer ----------
+
+// notifyCommitter wakes the commit loop to re-evaluate the head task.
+// It must never block for long: it is called from storage-pool callbacks.
+func (n *node) notifyCommitter() {
+	n.commitMu.Lock()
+	n.commitGen++
+	n.commitCond.Broadcast()
+	n.commitMu.Unlock()
+}
+
+// commitSignalGen reads the current notification generation.
+func (n *node) commitSignalGen() uint64 {
+	n.commitMu.Lock()
+	defer n.commitMu.Unlock()
+	return n.commitGen
+}
+
+// waitCommitSignal blocks until the generation moves past seen (or stop).
+func (n *node) waitCommitSignal(seen uint64) {
+	n.commitMu.Lock()
+	for n.commitGen == seen && !n.stopFlag.Load() {
+		n.commitCond.Wait()
+	}
+	n.commitMu.Unlock()
+}
+
+// committer commits tasks strictly in arrival order once authorized:
+// executed, input final, decisions stable, STM dependencies committed
+// (paper §3: "gets the authorization to commit").
+func (n *node) committer() {
+	defer n.wg.Done()
+	for !n.stopFlag.Load() {
+		gen := n.commitSignalGen()
+		n.mu.Lock()
+		t := n.bySeq[n.nextCommit.Load()]
+		n.mu.Unlock()
+		if t == nil {
+			n.waitCommitSignal(gen)
+			continue
+		}
+		t.mu.Lock()
+		state := t.state
+		ready := state == taskOpen && t.published && t.evFinal && t.pendingLogs == 0
+		tx := t.tx
+		t.mu.Unlock()
+		switch {
+		case state == taskCancelled:
+			n.cleanupHead(t)
+			continue
+		case !ready:
+			n.waitCommitSignal(gen)
+			continue
+		}
+		err := tx.Commit()
+		switch {
+		case err == nil:
+			n.finishCommit(t)
+		case errors.Is(err, stm.ErrDepsOpen):
+			// Dependencies are earlier tasks, which commit first in seq
+			// order; transient — yield and retry.
+			time.Sleep(10 * time.Microsecond)
+		case errors.Is(err, stm.ErrConflict):
+			// Validation failed or a cascade aborted the transaction; a
+			// re-execution is (being) scheduled. Make sure one is queued
+			// and wait for it.
+			n.mailbox.Push(cmdReexec{t: t, tx: tx})
+			n.waitCommitSignal(gen)
+		default:
+			n.fail(fmt.Errorf("commit seq %d: %w", t.seq, err))
+			n.cleanupHead(t)
+		}
+	}
+}
+
+// cleanupHead removes a cancelled head task and advances the commit
+// cursor.
+func (n *node) cleanupHead(t *task) {
+	n.mu.Lock()
+	delete(n.bySeq, t.seq)
+	delete(n.tasks, t.ev.ID)
+	n.mu.Unlock()
+	n.nextCommit.Add(1)
+}
+
+// finishCommit runs the post-commit protocol: finalize speculative
+// outputs (or publish held outputs for non-speculative nodes), ACK the
+// consumed event upstream, advance the commit cursor, and checkpoint if
+// due. Called with commitMu held.
+func (n *node) finishCommit(t *task) {
+	t.mu.Lock()
+	t.state = taskCommitted
+	if t.tainted {
+		t.tainted = false
+		n.openTainted.Add(-1)
+	}
+	inputID := t.ev.ID
+	input := t.input
+	maxLSN := t.maxLSN
+
+	var finalizes []*outRecord
+	var lateFinals []*outRecord
+	if n.spec.Speculative {
+		for _, rec := range t.sent {
+			if !rec.finalSent {
+				rec.finalSent = true
+				finalizes = append(finalizes, rec)
+			}
+		}
+	} else {
+		// Baseline path: outputs were held; publish them final now.
+		for k, out := range t.outs {
+			n.mu.Lock()
+			n.outEmitSeq++
+			rec := &outRecord{
+				id:          outputID(n.opID, inputID, k),
+				port:        out.port,
+				ts:          out.ts,
+				key:         out.key,
+				payload:     out.payload,
+				finalSent:   true,
+				pendingAcks: n.bufferedLinks(out.port),
+				seq:         n.outEmitSeq,
+			}
+			if rec.pendingAcks > 0 {
+				n.outBuf[rec.id] = rec
+			}
+			n.mu.Unlock()
+			t.sent = append(t.sent, rec)
+			lateFinals = append(lateFinals, rec)
+		}
+	}
+	t.mu.Unlock()
+
+	for _, rec := range finalizes {
+		n.deliverToPort(rec.port, transport.Message{
+			Type: transport.MsgFinalize, ID: rec.id, Version: rec.version,
+		})
+	}
+	for _, rec := range lateFinals {
+		n.cFinalSent.Add(1)
+		n.deliverToPort(rec.port, transport.Message{
+			Type: transport.MsgEvent, Event: rec.toEvent(false),
+		})
+	}
+
+	n.mu.Lock()
+	n.committed[inputID] = true
+	delete(n.tasks, inputID)
+	delete(n.bySeq, t.seq)
+	n.lastCommitted[input] = inputID
+	if maxLSN > n.coveredLSN {
+		n.coveredLSN = maxLSN
+	}
+	n.commitCount++
+	ckptDue := false
+	if n.spec.Traits.Stateful && n.spec.CheckpointEvery > 0 {
+		n.sinceCkpt = append(n.sinceCkpt, ackTarget{input: input, id: inputID})
+		ckptDue = n.commitCount%uint64(n.spec.CheckpointEvery) == 0
+	}
+	n.mu.Unlock()
+
+	// Stateless nodes (and stateful ones without periodic checkpoints)
+	// ACK at commit; checkpointing stateful nodes batch their ACKs until
+	// the covering checkpoint is stable (paper §2.2: upstream keeps events
+	// processed after the last checkpoint).
+	if !n.spec.Traits.Stateful || n.spec.CheckpointEvery == 0 {
+		n.ackUpstream(input, inputID)
+	}
+	if ckptDue {
+		n.takeCheckpoint()
+	}
+
+	n.nextCommit.Add(1)
+	n.cCommitted.Add(1)
+}
+
+// takeCheckpoint snapshots the operator state, persists it, marks the log
+// and releases the batched upstream ACKs once the snapshot is saved.
+func (n *node) takeCheckpoint() {
+	n.rngMu.Lock()
+	randState := n.rng.State()
+	n.rngMu.Unlock()
+
+	n.mu.Lock()
+	n.ckptEpoch++
+	snap := &checkpoint.Snapshot{
+		Operator:       n.opID,
+		Epoch:          n.ckptEpoch,
+		CoveredLSN:     uint64(n.coveredLSN),
+		RandState:      randState,
+		Memory:         nil, // filled below, outside n.mu
+		InputPositions: make(map[int]event.ID, len(n.lastCommitted)),
+	}
+	for i, id := range n.lastCommitted {
+		snap.InputPositions[i] = id
+	}
+	acks := n.sinceCkpt
+	n.sinceCkpt = nil
+	covered := n.coveredLSN
+	n.mu.Unlock()
+
+	snap.Memory = n.mem.Snapshot()
+	if err := n.eng.store.Save(snap); err != nil {
+		n.fail(fmt.Errorf("save checkpoint: %w", err))
+		return
+	}
+	// Write the covering mark and mirror it (recovery reads the mirror to
+	// know which prefix of the log the snapshot supersedes). The batched
+	// upstream ACKs are released only once the mark is stable: releasing
+	// them earlier opens a crash window in which upstream buffers are
+	// pruned while the replay plan still demands the covered events.
+	mark := []wal.Record{{Kind: wal.KindCheckpointMark, Operator: n.opID, Value: uint64(covered)}}
+	_, err := n.log.Append(mark, func(err error) {
+		if err != nil {
+			n.fail(fmt.Errorf("mark checkpoint: %w", err))
+			return
+		}
+		n.log.Truncate(covered)
+		n.mirrorStable(mark)
+		for _, a := range acks {
+			n.ackUpstream(a.input, a.id)
+		}
+	})
+	if err != nil {
+		n.fail(fmt.Errorf("mark checkpoint: %w", err))
+	}
+}
+
+// mirrorStable retains stable decision records for recovery replay.
+func (n *node) mirrorStable(recs []wal.Record) {
+	n.recMu.Lock()
+	n.stableRecs = append(n.stableRecs, recs...)
+	n.recMu.Unlock()
+}
+
+// stableRecords returns this node's stable decision records in LSN order.
+func (n *node) stableRecords() []wal.Record {
+	n.recMu.Lock()
+	out := make([]wal.Record, len(n.stableRecs))
+	copy(out, n.stableRecs)
+	n.recMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].LSN < out[j].LSN })
+	return out
+}

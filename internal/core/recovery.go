@@ -1,0 +1,289 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"streammine/internal/checkpoint"
+	"streammine/internal/event"
+	"streammine/internal/graph"
+	"streammine/internal/stm"
+	"streammine/internal/transport"
+	"streammine/internal/wal"
+)
+
+// Crash simulates a fail-stop crash of one node: its goroutines stop and
+// every piece of volatile state — operator memory, in-flight tasks, input
+// queues, output buffers, duplicate-suppression tables — is discarded.
+// Only what the paper assumes survives a crash remains: the stable
+// decision log and the checkpoint store.
+//
+// Source nodes cannot crash (they are driven by the harness, which owns
+// their durability).
+func (e *Engine) Crash(id graph.NodeID) error {
+	n, err := e.node(id)
+	if err != nil {
+		return err
+	}
+	if n.spec.Op == nil {
+		return fmt.Errorf("core: node %q is a source; crash not supported", n.spec.Name)
+	}
+	n.crash()
+	return nil
+}
+
+// Recover restarts a crashed node: deterministic state re-allocation, the
+// latest checkpoint image (if any), a replay plan built from the stable
+// decision log (input order + logged decisions), and replay requests to
+// every upstream node (paper §2.2's recovery protocol).
+//
+// Stateful nodes must run with CheckpointEvery > 0 to be recoverable:
+// without checkpoints they acknowledge events at commit, so upstream
+// buffers no longer hold the events needed to rebuild their state.
+func (e *Engine) Recover(id graph.NodeID) error {
+	n, err := e.node(id)
+	if err != nil {
+		return err
+	}
+	return n.recover()
+}
+
+// crash tears down the node and wipes volatile state.
+func (n *node) crash() {
+	n.stopFlag.Store(true)
+	n.mailbox.Close()
+	n.execQ.Close()
+	n.notifyCommitter()
+	n.wg.Wait()
+
+	// Abort open transactions so no downstream STM chains dangle. (All
+	// state dies with the memory anyway; this is bookkeeping hygiene.)
+	n.mu.Lock()
+	for _, t := range n.bySeq {
+		t.mu.Lock()
+		tx := t.tx
+		t.mu.Unlock()
+		if tx != nil {
+			tx.Abort()
+		}
+	}
+	n.tasks = make(map[event.ID]*task)
+	n.bySeq = make(map[int64]*task)
+	n.committed = make(map[event.ID]bool)
+	n.outBuf = make(map[event.ID]*outRecord)
+	n.lastCommitted = make(map[int]event.ID)
+	n.recoverCover = nil
+	n.replay = nil
+	n.sinceCkpt = nil
+	n.nextSeq = 1
+	n.outEmitSeq = 0
+	n.commitCount = 0
+	n.mem = stm.NewMemory(n.mem.Capacity())
+	n.mu.Unlock()
+	n.nextCommit.Store(1)
+}
+
+// replayPlan drives recovery-mode dispatch: logged events are admitted in
+// logged order with their logged decisions; unlogged events (the tail that
+// was in flight at the crash) follow afterwards in arrival order.
+type replayPlan struct {
+	order    []event.ID
+	pos      int
+	decs     map[event.ID][]decision
+	lsns     map[event.ID]wal.LSN
+	buffered map[event.ID]transport.Message
+	tail     []transport.Message
+}
+
+// buildReplayPlan digests the node's stable decision records, read from
+// the configured log scanner (real storage) or the in-memory mirror.
+// snapCover is the restored snapshot's covered LSN: records at or below it
+// are already reflected in the restored state even if their covering mark
+// never reached stable storage (the snapshot is saved before the mark).
+func (n *node) buildReplayPlan(snapCover wal.LSN) (*replayPlan, error) {
+	var stable []wal.Record
+	if scan := n.eng.opts.LogScanner; scan != nil {
+		recs, err := scan()
+		if err != nil {
+			return nil, fmt.Errorf("scan decision log: %w", err)
+		}
+		stable = recs
+	} else {
+		stable = n.stableRecords()
+	}
+	recs := wal.Replay(stable, n.opID)
+	plan := &replayPlan{
+		decs:     make(map[event.ID][]decision),
+		lsns:     make(map[event.ID]wal.LSN),
+		buffered: make(map[event.ID]transport.Message),
+	}
+	seen := make(map[event.ID]bool)
+	for _, r := range recs {
+		if r.LSN <= snapCover {
+			continue
+		}
+		switch r.Kind {
+		case wal.KindInput:
+			if !seen[r.Event] {
+				seen[r.Event] = true
+				plan.order = append(plan.order, r.Event)
+			}
+		case wal.KindRandom, wal.KindTime:
+			plan.decs[r.Event] = append(plan.decs[r.Event], decision{kind: r.Kind, value: r.Value})
+		}
+		if r.LSN > plan.lsns[r.Event] {
+			plan.lsns[r.Event] = r.LSN
+		}
+	}
+	if len(plan.order) == 0 && len(plan.decs) == 0 {
+		return nil, nil // nothing logged: plain restart
+	}
+	return plan, nil
+}
+
+// recover rebuilds the node and rejoins the graph.
+func (n *node) recover() error {
+	if !n.stopFlag.Load() {
+		return fmt.Errorf("core: node %q is not crashed", n.spec.Name)
+	}
+	n.mailbox.Reopen()
+	n.execQ.Reopen()
+
+	// Deterministic state layout, then overwrite with the checkpoint.
+	if n.spec.Op != nil {
+		if err := n.spec.Op.Init(initContext{n: n}); err != nil {
+			return fmt.Errorf("re-init: %w", err)
+		}
+	}
+	snapCover := wal.LSN(0)
+	snap, err := n.eng.store.Latest(n.opID)
+	switch {
+	case err == nil:
+		if err := n.mem.Restore(snap.Memory); err != nil {
+			return fmt.Errorf("restore checkpoint: %w", err)
+		}
+		n.rngMu.Lock()
+		n.rng.Restore(snap.RandState)
+		n.rngMu.Unlock()
+		snapCover = wal.LSN(snap.CoveredLSN)
+		n.mu.Lock()
+		n.ckptEpoch = snap.Epoch
+		n.coveredLSN = snapCover
+		// Redeliveries of events the snapshot already covers must be
+		// dropped (and re-ACKed): the covering mark may never have become
+		// stable, in which case upstream was never told to prune them.
+		// Per-input sequence positions identify them (paper §2.2: replay
+		// "starting at the last logged messages from each source").
+		n.recoverCover = make(map[int]event.ID, len(snap.InputPositions))
+		for i, id := range snap.InputPositions {
+			n.lastCommitted[i] = id
+			n.recoverCover[i] = id
+		}
+		n.mu.Unlock()
+	case isNotFound(err):
+		// No checkpoint yet: rebuild from scratch via full replay.
+	default:
+		return fmt.Errorf("load checkpoint: %w", err)
+	}
+
+	plan, err := n.buildReplayPlan(snapCover)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.replay = plan
+	n.mu.Unlock()
+
+	n.stopFlag.Store(false)
+	n.wg.Add(1)
+	go n.dispatcher()
+	for i := 0; i < n.spec.Workers; i++ {
+		n.wg.Add(1)
+		go n.worker()
+	}
+	n.wg.Add(1)
+	go n.committer()
+
+	// Ask every upstream to re-send its unacknowledged outputs.
+	n.mu.Lock()
+	ups := make([]upstreamSender, 0, len(n.upstream))
+	for _, up := range n.upstream {
+		if up != nil {
+			ups = append(ups, up)
+		}
+	}
+	n.mu.Unlock()
+	for _, up := range ups {
+		up.send(transport.Message{Type: transport.MsgReplay})
+	}
+	return nil
+}
+
+// isNotFound matches the checkpoint store's miss error.
+func isNotFound(err error) bool {
+	return errors.Is(err, checkpoint.ErrNotFound)
+}
+
+// replayAdmit routes an incoming event through the replay plan. It returns
+// the messages (with their pre-seeded decisions) that are now ready for
+// normal admission, in order. Caller holds no locks.
+func (n *node) replayAdmit(m transport.Message) []plannedEvent {
+	n.mu.Lock()
+	plan := n.replay
+	if plan == nil {
+		n.mu.Unlock()
+		return []plannedEvent{{msg: m}}
+	}
+	var ready []plannedEvent
+	id := m.Event.ID
+	if _, logged := planContains(plan, id); logged {
+		plan.buffered[id] = m
+	} else {
+		plan.tail = append(plan.tail, m)
+	}
+	for plan.pos < len(plan.order) {
+		next := plan.order[plan.pos]
+		bm, ok := plan.buffered[next]
+		if !ok {
+			break
+		}
+		delete(plan.buffered, next)
+		ready = append(ready, plannedEvent{
+			msg:       bm,
+			decisions: plan.decs[next],
+			logged:    true,
+			maxLSN:    plan.lsns[next],
+		})
+		plan.pos++
+	}
+	if plan.pos >= len(plan.order) {
+		// Plan complete: flush the unlogged tail and leave recovery mode.
+		for _, tm := range plan.tail {
+			ready = append(ready, plannedEvent{msg: tm})
+		}
+		n.replay = nil
+	}
+	n.mu.Unlock()
+	return ready
+}
+
+// plannedEvent is an admitted event plus its recovered decisions.
+type plannedEvent struct {
+	msg       transport.Message
+	decisions []decision
+	logged    bool
+	// maxLSN is the highest original decision-log LSN of this event;
+	// replayed tasks must carry it so post-recovery checkpoints report
+	// the correct coverage (nothing is re-logged during replay).
+	maxLSN wal.LSN
+}
+
+// planContains reports whether the plan's order includes id.
+func planContains(plan *replayPlan, id event.ID) (int, bool) {
+	for i := plan.pos; i < len(plan.order); i++ {
+		if plan.order[i] == id {
+			return i, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"streammine/internal/graph"
+	"streammine/internal/transport"
+)
+
+// ReliableBridge is a self-healing BridgeOut: it dials the downstream
+// engine, forwards the node's outputs, and on connection failure keeps
+// redialing in the background. After every reconnect it replays the
+// node's unacknowledged output buffer — exactly the paper's upstream-
+// replay protocol (§2.2) applied to link failures: the downstream engine
+// drops byte-identical duplicates and re-ACKs, so no event is lost or
+// double-applied.
+type ReliableBridge struct {
+	n     *node
+	addr  string
+	retry time.Duration
+
+	mu     sync.Mutex
+	conn   transport.Conn
+	closed bool
+
+	stop chan struct{}
+	done chan struct{}
+
+	reconnects int
+}
+
+// BridgeOutReliable attaches a reconnecting bridge to a node output port.
+// retry is the redial interval (default 100 ms).
+func (e *Engine) BridgeOutReliable(id graph.NodeID, port int, addr string, retry time.Duration) (*ReliableBridge, error) {
+	n, err := e.node(id)
+	if err != nil {
+		return nil, err
+	}
+	if port < 0 || port >= n.spec.OutputPorts {
+		return nil, fmt.Errorf("core: node %q has no output port %d", n.spec.Name, port)
+	}
+	if retry <= 0 {
+		retry = 100 * time.Millisecond
+	}
+	b := &ReliableBridge{
+		n:     n,
+		addr:  addr,
+		retry: retry,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	// The first connection is established synchronously so misconfigured
+	// addresses fail fast.
+	if err := b.connect(); err != nil {
+		return nil, fmt.Errorf("bridge to %s: %w", addr, err)
+	}
+	n.addLink(port, &reliableLink{b: b})
+	go b.supervise()
+	return b, nil
+}
+
+// connect dials and installs a fresh connection.
+func (b *ReliableBridge) connect() error {
+	conn, err := transport.Dial(b.addr, func(m transport.Message) {
+		b.n.mailbox.Push(m) // ACKs and replay requests from downstream
+	})
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return conn.Close()
+	}
+	b.conn = conn
+	b.mu.Unlock()
+	return nil
+}
+
+// send forwards one message, reporting failure so the supervisor redials.
+func (b *ReliableBridge) send(m transport.Message) bool {
+	b.mu.Lock()
+	conn := b.conn
+	b.mu.Unlock()
+	if conn == nil {
+		return false
+	}
+	if err := conn.Send(m); err != nil {
+		b.mu.Lock()
+		if b.conn == conn {
+			b.conn = nil // supervisor will redial
+		}
+		b.mu.Unlock()
+		_ = conn.Close()
+		return false
+	}
+	return true
+}
+
+// supervise redials dropped connections and triggers the replay of the
+// node's unacknowledged buffer after every successful reconnect.
+func (b *ReliableBridge) supervise() {
+	defer close(b.done)
+	ticker := time.NewTicker(b.retry)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-ticker.C:
+		}
+		b.mu.Lock()
+		needsDial := b.conn == nil && !b.closed
+		b.mu.Unlock()
+		if !needsDial {
+			continue
+		}
+		if err := b.connect(); err != nil {
+			continue // keep retrying
+		}
+		b.mu.Lock()
+		b.reconnects++
+		b.mu.Unlock()
+		// Replay everything still unacknowledged over the new link.
+		b.n.mailbox.Push(transport.Message{Type: transport.MsgReplay})
+	}
+}
+
+// Reconnects reports how many times the bridge re-established the link.
+func (b *ReliableBridge) Reconnects() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.reconnects
+}
+
+// Connected reports whether a live connection is installed.
+func (b *ReliableBridge) Connected() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.conn != nil
+}
+
+// Close stops the supervisor and closes the connection.
+func (b *ReliableBridge) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	conn := b.conn
+	b.conn = nil
+	b.mu.Unlock()
+	close(b.stop)
+	<-b.done
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
+
+// reliableLink adapts the bridge to the link interface. Sends during an
+// outage are dropped; the post-reconnect replay re-delivers everything
+// unacknowledged.
+type reliableLink struct {
+	b *ReliableBridge
+}
+
+var _ link = (*reliableLink)(nil)
+
+func (l *reliableLink) deliver(m transport.Message) { l.b.send(m) }
+
+func (l *reliableLink) buffered() bool { return true }

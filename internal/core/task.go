@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"streammine/internal/event"
+	"streammine/internal/stm"
+	"streammine/internal/wal"
+)
+
+// decision is one logged non-deterministic value taken while processing an
+// event. Decisions are *sticky*: a rollback re-executes the task with the
+// same decisions replayed in order (fresh draws happen only past the end
+// of the list), which makes re-execution deterministic modulo state reads
+// — the property behind the paper's "re-execution produces the same
+// outputs unless a read value actually changed".
+type decision struct {
+	kind  wal.Kind
+	value uint64
+}
+
+// taskState tracks a task through its lifecycle.
+type taskState int32
+
+const (
+	taskQueued taskState = iota + 1
+	taskExecuting
+	taskOpen // executed, transaction open, awaiting commit authorization
+	taskCommitted
+	taskCancelled
+)
+
+// task is the processing of one input event by one node: the unit of
+// speculation. Fields below mu are protected by it; seq, input and n are
+// immutable after creation.
+type task struct {
+	n     *node
+	seq   int64 // per-node arrival order; also the STM timestamp
+	input int
+
+	mu       sync.Mutex
+	state    taskState
+	ev       event.Event // current version of the input event
+	evFinal  bool
+	tx       *stm.Tx
+	attempts int
+
+	// decisions and cursor implement sticky decision replay.
+	decisions []decision
+	cursor    int
+
+	pendingLogs int  // async log appends not yet stable
+	published   bool // outputs of the current execution handed downstream
+	maxLSN      wal.LSN
+	outs        []pendingOut // outputs of the current execution
+	sent        []*outRecord // outputs already sent downstream, by position
+	tainted     bool         // last published speculative state
+}
+
+// pendingOut is one Emit call captured during execution.
+type pendingOut struct {
+	port    int
+	ts      int64
+	key     uint64
+	payload []byte
+}
+
+// procCtx implements operator.Context for one execution attempt. It is
+// confined to the executing worker goroutine.
+type procCtx struct {
+	t  *task
+	tx *stm.Tx
+
+	// decisions is the sticky decision list snapshot for this attempt;
+	// replayCursor walks it. Decisions taken past its end (or after a
+	// control-flow divergence truncates it) land in taken.
+	decisions    []decision
+	replayCursor int
+	truncateAt   int
+	taken        []decision
+	outs         []pendingOut
+}
+
+// OperatorID implements operator.Context.
+func (c *procCtx) OperatorID() uint32 { return uint32(c.t.n.spec.ID) }
+
+// InputIndex implements operator.Context.
+func (c *procCtx) InputIndex() int { return c.t.input }
+
+// Tx implements operator.Context.
+func (c *procCtx) Tx() *stm.Tx { return c.tx }
+
+// nextDecision replays a sticky decision of the right kind or takes (and
+// records) a fresh one. A kind mismatch means the re-execution's control
+// flow diverged (a read value changed); the stale tail is truncated and
+// fresh decisions are taken — the same rule applies during recovery
+// replay, keeping both paths deterministic.
+func (c *procCtx) nextDecision(kind wal.Kind, fresh func() uint64) (uint64, error) {
+	if c.truncateAt < 0 && c.replayCursor < len(c.decisions) {
+		d := c.decisions[c.replayCursor]
+		if d.kind == kind {
+			c.replayCursor++
+			return d.value, nil
+		}
+		c.truncateAt = c.replayCursor
+	}
+	v := fresh()
+	c.taken = append(c.taken, decision{kind: kind, value: v})
+	return v, nil
+}
+
+// Random implements operator.Context: a logged PRNG draw.
+func (c *procCtx) Random() (uint64, error) {
+	n := c.t.n
+	return c.nextDecision(wal.KindRandom, func() uint64 {
+		n.rngMu.Lock()
+		defer n.rngMu.Unlock()
+		return n.rng.Uint64()
+	})
+}
+
+// Now implements operator.Context: a logged clock read.
+func (c *procCtx) Now() (int64, error) {
+	v, err := c.nextDecision(wal.KindTime, func() uint64 {
+		return uint64(c.t.n.eng.opts.Clock.Now())
+	})
+	return int64(v), err
+}
+
+// Emit implements operator.Context.
+func (c *procCtx) Emit(key uint64, payload []byte) error {
+	return c.EmitTo(0, key, payload)
+}
+
+// EmitTo implements operator.Context.
+func (c *procCtx) EmitTo(port int, key uint64, payload []byte) error {
+	if port < 0 || port >= c.t.n.spec.OutputPorts {
+		return fmt.Errorf("core: node %q has no output port %d", c.t.n.spec.Name, port)
+	}
+	c.outs = append(c.outs, pendingOut{
+		port: port, ts: c.t.currentEventTS(), key: key,
+		payload: append([]byte(nil), payload...),
+	})
+	return nil
+}
+
+// EmitAt implements operator.Context.
+func (c *procCtx) EmitAt(ts int64, key uint64, payload []byte) error {
+	c.outs = append(c.outs, pendingOut{
+		port: 0, ts: ts, key: key, payload: append([]byte(nil), payload...),
+	})
+	return nil
+}
+
+// currentEventTS returns the input event's application timestamp.
+func (t *task) currentEventTS() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ev.Timestamp
+}
+
+// outputID derives a deterministic output event ID from the node, the
+// consumed input event and the output position — stable across rollbacks,
+// re-executions and recovery replay, so downstream duplicate suppression
+// works by ID (paper §2.2: replayed duplicates carry the same ids).
+func outputID(nodeID uint32, in event.ID, position int) event.ID {
+	z := uint64(in.Source)<<32 ^ uint64(in.Seq) + 0x9E3779B97F4A7C15*uint64(position+1)
+	z ^= uint64(nodeID) << 17
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return event.ID{Source: event.SourceID(nodeID), Seq: event.Seq(z ^ (z >> 31))}
+}

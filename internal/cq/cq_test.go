@@ -1,0 +1,283 @@
+package cq
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"streammine/internal/core"
+	"streammine/internal/event"
+	"streammine/internal/graph"
+	"streammine/internal/operator"
+	"streammine/internal/storage"
+)
+
+func TestParseValidQueries(t *testing.T) {
+	tests := []struct {
+		in   string
+		agg  Aggregate
+		srcs int
+	}{
+		{"SELECT AVG(VALUE) FROM s WINDOW COUNT 10", AggAvg, 1},
+		{"select avg(value) from s window count 10", AggAvg, 1},
+		{"SELECT SUM(VALUE) FROM s WINDOW TIME 1000", AggSum, 1},
+		{"SELECT COUNT(*) FROM a, b GROUP BY CLASS(16)", AggCountClass, 2},
+		{"SELECT COUNT(DISTINCT KEY) FROM s", AggCountDistinct, 1},
+		{"SELECT DISTINCT KEY FROM s", AggDistinct, 1},
+		{"SELECT VALUE FROM s WHERE KEY % 2 == 0", AggProject, 1},
+		{"SELECT KEY FROM s WHERE VALUE >= 100", AggProject, 1},
+	}
+	for _, tt := range tests {
+		q, err := Parse(tt.in)
+		if err != nil {
+			t.Errorf("%q: %v", tt.in, err)
+			continue
+		}
+		if q.Agg != tt.agg || len(q.Sources) != tt.srcs {
+			t.Errorf("%q: agg=%v srcs=%d", tt.in, q.Agg, len(q.Sources))
+		}
+		// String round-trips through the parser.
+		if _, err := Parse(q.String()); err != nil {
+			t.Errorf("canonical form %q does not re-parse: %v", q.String(), err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT MAX(VALUE) FROM s",
+		"SELECT AVG(KEY) FROM s WINDOW COUNT 5",
+		"SELECT AVG(VALUE) FROM s",               // missing window
+		"SELECT AVG(VALUE) FROM s WINDOW TIME 5", // wrong window kind
+		"SELECT SUM(VALUE) FROM s WINDOW COUNT 5",   // wrong window kind
+		"SELECT COUNT(*) FROM s",                    // missing GROUP BY
+		"SELECT COUNT(*) FROM s GROUP BY CLASS(0)",  // bad class count
+		"SELECT VALUE FROM",                         // missing source
+		"SELECT VALUE FROM s WHERE KEY % 0 == 1",    // bad modulus
+		"SELECT VALUE FROM s WHERE KEY = 1",         // stray =
+		"SELECT VALUE FROM s WINDOW COUNT 5",        // window on projection
+		"SELECT VALUE FROM s garbage",               // trailing input
+		"SELECT VALUE FROM s WHERE TIMESTAMP == 1",  // bad field
+		"SELECT AVG(VALUE) FROM s WINDOW COUNT -5",  // lexer: '-'
+		"SELECT DISTINCT VALUE FROM s",              // distinct only on KEY
+		"SELECT COUNT(DISTINCT VALUE) FROM s",       // distinct only on KEY
+		"SELECT AVG(VALUE) FROM s WINDOW WEEKS 5",   // bad window kind
+		"SELECT VALUE FROM s WHERE KEY == 1 @",      // bad character
+		"SELECT COUNT(*) FROM s GROUP BY BUCKET(4)", // bad group kind
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("%q parsed without error", in)
+		}
+	}
+}
+
+// runQuery compiles and executes a query over generated events.
+func runQuery(t *testing.T, queryText string, feed func(emit func(stream string, key, value uint64))) []event.Event {
+	t.Helper()
+	q, err := Parse(queryText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New()
+	sources := make(map[string]graph.NodeID)
+	for _, name := range q.Sources {
+		sources[name] = g.AddNode(graph.Node{Name: name})
+	}
+	att, err := Attach(g, q, sources, Options{Speculative: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := storage.NewPool([]storage.Disk{storage.NewMemDisk()})
+	defer pool.Close()
+	eng, err := core.New(g, core.Options{Pool: pool, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+
+	var mu sync.Mutex
+	var outs []event.Event
+	if err := eng.Subscribe(att.Output, 0, func(ev event.Event, final bool) {
+		if !final {
+			return
+		}
+		mu.Lock()
+		outs = append(outs, ev)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	handles := make(map[string]*core.SourceHandle, len(sources))
+	for name, id := range sources {
+		h, err := eng.Source(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[name] = h
+	}
+	feed(func(stream string, key, value uint64) {
+		h, ok := handles[stream]
+		if !ok {
+			t.Fatalf("unknown stream %q in feed", stream)
+		}
+		if _, err := h.Emit(key, operator.EncodeValue(value)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	eng.Drain()
+	// Finalize callbacks may land just after drain; settle briefly.
+	time.Sleep(2 * time.Millisecond)
+	if err := eng.Err(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]event.Event, len(outs))
+	copy(out, outs)
+	return out
+}
+
+func TestEndToEndAvgWindow(t *testing.T) {
+	outs := runQuery(t, "SELECT AVG(VALUE) FROM ticks WINDOW COUNT 4", func(emit func(string, uint64, uint64)) {
+		for i := uint64(0); i < 8; i++ {
+			emit("ticks", i, 10*(i%4)) // each window: 0,10,20,30 → avg 15
+		}
+	})
+	if len(outs) != 2 {
+		t.Fatalf("windows = %d, want 2", len(outs))
+	}
+	for _, o := range outs {
+		if got := operator.DecodeValue(o.Payload); got != 15 {
+			t.Fatalf("window avg = %d, want 15", got)
+		}
+	}
+}
+
+func TestEndToEndFilterProjection(t *testing.T) {
+	outs := runQuery(t, "SELECT VALUE FROM s WHERE KEY % 3 == 0", func(emit func(string, uint64, uint64)) {
+		for i := uint64(0); i < 12; i++ {
+			emit("s", i, i*100)
+		}
+	})
+	if len(outs) != 4 {
+		t.Fatalf("outputs = %d, want 4 (keys 0,3,6,9)", len(outs))
+	}
+	for _, o := range outs {
+		if o.Key%3 != 0 {
+			t.Fatalf("key %d leaked through the filter", o.Key)
+		}
+	}
+}
+
+func TestEndToEndUnionCountClass(t *testing.T) {
+	outs := runQuery(t, "SELECT COUNT(*) FROM a, b GROUP BY CLASS(2)", func(emit func(string, uint64, uint64)) {
+		for i := uint64(0); i < 6; i++ {
+			emit("a", i, 0)
+			emit("b", i, 0)
+		}
+	})
+	if len(outs) != 12 {
+		t.Fatalf("outputs = %d, want 12", len(outs))
+	}
+	// Max count per class must equal the events routed there (6 each).
+	max := map[uint64]uint64{}
+	for _, o := range outs {
+		class, count := operator.DecodePair(o.Payload)
+		if count > max[class] {
+			max[class] = count
+		}
+	}
+	if max[0] != 6 || max[1] != 6 {
+		t.Fatalf("class maxima = %v, want 6/6", max)
+	}
+}
+
+func TestEndToEndCountDistinct(t *testing.T) {
+	outs := runQuery(t, "SELECT COUNT(DISTINCT KEY) FROM s", func(emit func(string, uint64, uint64)) {
+		for rep := 0; rep < 3; rep++ {
+			for i := uint64(0); i < 50; i++ {
+				emit("s", i, 0)
+			}
+		}
+	})
+	last := operator.DecodeValue(outs[len(outs)-1].Payload)
+	if last < 45 || last > 55 {
+		t.Fatalf("distinct estimate = %d, want ≈50", last)
+	}
+}
+
+func TestEndToEndDistinctKey(t *testing.T) {
+	outs := runQuery(t, "SELECT DISTINCT KEY FROM s", func(emit func(string, uint64, uint64)) {
+		for rep := 0; rep < 4; rep++ {
+			for i := uint64(0); i < 5; i++ {
+				emit("s", i, i)
+			}
+		}
+	})
+	if len(outs) != 5 {
+		t.Fatalf("outputs = %d, want 5 distinct keys", len(outs))
+	}
+}
+
+func TestAttachUnknownSource(t *testing.T) {
+	q, err := Parse("SELECT VALUE FROM missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New()
+	if _, err := Attach(g, q, nil, Options{}); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+}
+
+func TestPredicateOperators(t *testing.T) {
+	mk := func(op string, lit uint64) func(event.Event) bool {
+		return predicateFn(&Predicate{Field: FieldValue, Op: op, Literal: lit})
+	}
+	e := func(v uint64) event.Event { return event.Event{Payload: operator.EncodeValue(v)} }
+	if !mk("==", 5)(e(5)) || mk("==", 5)(e(6)) {
+		t.Fatal("== broken")
+	}
+	if !mk("!=", 5)(e(6)) || mk("!=", 5)(e(5)) {
+		t.Fatal("!= broken")
+	}
+	if !mk("<", 5)(e(4)) || mk("<", 5)(e(5)) {
+		t.Fatal("< broken")
+	}
+	if !mk("<=", 5)(e(5)) || mk("<=", 5)(e(6)) {
+		t.Fatal("<= broken")
+	}
+	if !mk(">", 5)(e(6)) || mk(">", 5)(e(5)) {
+		t.Fatal("> broken")
+	}
+	if !mk(">=", 5)(e(5)) || mk(">=", 5)(e(4)) {
+		t.Fatal(">= broken")
+	}
+	if predicateFn(&Predicate{Field: FieldKey, Op: "~~", Literal: 1})(e(1)) {
+		t.Fatal("bogus operator matched")
+	}
+}
+
+func TestQueryStringForms(t *testing.T) {
+	for _, in := range []string{
+		"SELECT COUNT(*) FROM a, b GROUP BY CLASS(4)",
+		"SELECT SUM(VALUE) FROM s WINDOW TIME 500",
+		"SELECT VALUE FROM s WHERE VALUE % 7 != 3",
+	} {
+		q, err := Parse(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(q.String(), "FROM") {
+			t.Fatalf("String() = %q", q.String())
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package cq provides a small continuous-query language compiled onto the
+// StreamMine operator library — the query front-end an ESP framework is
+// expected to ship. Supported forms:
+//
+//	SELECT AVG(VALUE)          FROM s            WINDOW COUNT 10
+//	SELECT SUM(VALUE)          FROM s            WINDOW TIME 1000
+//	SELECT COUNT(*)            FROM a, b         GROUP BY CLASS(16)
+//	SELECT COUNT(DISTINCT KEY) FROM s
+//	SELECT DISTINCT KEY        FROM s
+//	SELECT VALUE               FROM s            WHERE KEY % 2 == 0
+//	SELECT VALUE               FROM s            WHERE VALUE >= 100
+//
+// Multiple FROM streams are merged by an order-logged Union; WHERE adds a
+// Filter stage; the selection picks the aggregate operator. Attach wires
+// the compiled chain into a graph between named source nodes and a fresh
+// output node.
+package cq
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokIdent tokenKind = iota + 1
+	tokNumber
+	tokSymbol // ( ) , * %
+	tokCmp    // == != < > <= >=
+	tokEOF
+)
+
+// token is one lexeme with its position (for error messages).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex splits the query into tokens. Identifiers/keywords are upper-cased.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '*' || c == '%':
+			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		case c == '=' || c == '!' || c == '<' || c == '>':
+			start := i
+			i++
+			if i < len(input) && input[i] == '=' {
+				i++
+			}
+			op := input[start:i]
+			if op == "=" || op == "!" {
+				return nil, fmt.Errorf("cq: stray %q at %d (use == or !=)", op, start)
+			}
+			toks = append(toks, token{kind: tokCmp, text: op, pos: start})
+		case c >= '0' && c <= '9':
+			start := i
+			for i < len(input) && input[i] >= '0' && input[i] <= '9' {
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < len(input) && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			// Case preserved: keywords match case-insensitively, stream
+			// names keep the user's spelling.
+			toks = append(toks, token{kind: tokIdent, text: input[start:i], pos: start})
+		default:
+			return nil, fmt.Errorf("cq: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}

@@ -1,0 +1,374 @@
+package cq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Aggregate identifies the selection's operator family.
+type Aggregate int
+
+// Selection kinds.
+const (
+	AggProject       Aggregate = iota + 1 // SELECT KEY / SELECT VALUE
+	AggAvg                                // AVG(VALUE) + WINDOW COUNT
+	AggSum                                // SUM(VALUE) + WINDOW TIME
+	AggCountClass                         // COUNT(*) GROUP BY CLASS(n)
+	AggCountDistinct                      // COUNT(DISTINCT KEY)
+	AggDistinct                           // SELECT DISTINCT KEY
+)
+
+// Field names a predicate operand.
+type Field int
+
+// Predicate operands.
+const (
+	FieldKey Field = iota + 1
+	FieldValue
+)
+
+// Predicate is an optional WHERE clause: [field [% mod]] cmp literal.
+type Predicate struct {
+	Field   Field
+	Mod     uint64 // 0 = no modulus
+	Op      string // == != < <= > >=
+	Literal uint64
+}
+
+// WindowKind discriminates windowed aggregates.
+type WindowKind int
+
+// Window kinds.
+const (
+	WindowNone WindowKind = iota
+	WindowCount
+	WindowTime
+)
+
+// Query is a parsed continuous query.
+type Query struct {
+	Agg     Aggregate
+	Sources []string
+	Where   *Predicate
+	Window  WindowKind
+	Size    int64 // window size / class count as applicable
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// keyword consumes an identifier equal (case-insensitively) to kw.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		t := p.peek()
+		return fmt.Errorf("cq: expected %s at %d, got %q", kw, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == sym {
+		p.next()
+		return nil
+	}
+	return fmt.Errorf("cq: expected %q at %d, got %q", sym, t.pos, t.text)
+}
+
+func (p *parser) number() (int64, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("cq: expected number at %d, got %q", t.pos, t.text)
+	}
+	p.next()
+	n, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("cq: bad number %q: %w", t.text, err)
+	}
+	return n, nil
+}
+
+// Parse compiles the query text into a Query.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q := &Query{}
+
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if err := p.parseSelection(q); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if err := p.parseSources(q); err != nil {
+		return nil, err
+	}
+	if p.keyword("WHERE") {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = pred
+	}
+	if err := p.parseTrailers(q); err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("cq: trailing input at %d: %q", t.pos, t.text)
+	}
+	return q, q.validate()
+}
+
+func (p *parser) parseSelection(q *Query) error {
+	switch {
+	case p.keyword("AVG"):
+		q.Agg = AggAvg
+		return p.parenField("VALUE")
+	case p.keyword("SUM"):
+		q.Agg = AggSum
+		return p.parenField("VALUE")
+	case p.keyword("COUNT"):
+		if err := p.expectSymbol("("); err != nil {
+			return err
+		}
+		if p.keyword("DISTINCT") {
+			if err := p.expectKeyword("KEY"); err != nil {
+				return err
+			}
+			q.Agg = AggCountDistinct
+		} else {
+			if err := p.expectSymbol("*"); err != nil {
+				return err
+			}
+			q.Agg = AggCountClass
+		}
+		return p.expectSymbol(")")
+	case p.keyword("DISTINCT"):
+		q.Agg = AggDistinct
+		return p.expectKeyword("KEY")
+	case p.keyword("KEY"), p.keyword("VALUE"):
+		q.Agg = AggProject
+		return nil
+	default:
+		t := p.peek()
+		return fmt.Errorf("cq: unsupported selection at %d: %q", t.pos, t.text)
+	}
+}
+
+// parenField consumes "( <field> )".
+func (p *parser) parenField(field string) error {
+	if err := p.expectSymbol("("); err != nil {
+		return err
+	}
+	if err := p.expectKeyword(field); err != nil {
+		return err
+	}
+	return p.expectSymbol(")")
+}
+
+func (p *parser) parseSources(q *Query) error {
+	for {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return fmt.Errorf("cq: expected stream name at %d, got %q", t.pos, t.text)
+		}
+		p.next()
+		q.Sources = append(q.Sources, t.text)
+		if s := p.peek(); s.kind == tokSymbol && s.text == "," {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) parsePredicate() (*Predicate, error) {
+	pred := &Predicate{}
+	switch {
+	case p.keyword("KEY"):
+		pred.Field = FieldKey
+	case p.keyword("VALUE"):
+		pred.Field = FieldValue
+	default:
+		t := p.peek()
+		return nil, fmt.Errorf("cq: WHERE expects KEY or VALUE at %d, got %q", t.pos, t.text)
+	}
+	if t := p.peek(); t.kind == tokSymbol && t.text == "%" {
+		p.next()
+		mod, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if mod <= 0 {
+			return nil, fmt.Errorf("cq: modulus must be positive, got %d", mod)
+		}
+		pred.Mod = uint64(mod)
+	}
+	t := p.peek()
+	if t.kind != tokCmp {
+		return nil, fmt.Errorf("cq: expected comparison at %d, got %q", t.pos, t.text)
+	}
+	p.next()
+	pred.Op = t.text
+	lit, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	if lit < 0 {
+		return nil, fmt.Errorf("cq: negative literal %d", lit)
+	}
+	pred.Literal = uint64(lit)
+	return pred, nil
+}
+
+func (p *parser) parseTrailers(q *Query) error {
+	for {
+		switch {
+		case p.keyword("WINDOW"):
+			switch {
+			case p.keyword("COUNT"):
+				q.Window = WindowCount
+			case p.keyword("TIME"):
+				q.Window = WindowTime
+			default:
+				t := p.peek()
+				return fmt.Errorf("cq: WINDOW expects COUNT or TIME at %d, got %q", t.pos, t.text)
+			}
+			n, err := p.number()
+			if err != nil {
+				return err
+			}
+			if n <= 0 {
+				return fmt.Errorf("cq: window size must be positive, got %d", n)
+			}
+			q.Size = n
+		case p.keyword("GROUP"):
+			if err := p.expectKeyword("BY"); err != nil {
+				return err
+			}
+			if err := p.expectKeyword("CLASS"); err != nil {
+				return err
+			}
+			if err := p.expectSymbol("("); err != nil {
+				return err
+			}
+			n, err := p.number()
+			if err != nil {
+				return err
+			}
+			if n <= 0 {
+				return fmt.Errorf("cq: class count must be positive, got %d", n)
+			}
+			q.Size = n
+			if err := p.expectSymbol(")"); err != nil {
+				return err
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// validate checks selection/clause compatibility.
+func (q *Query) validate() error {
+	if len(q.Sources) == 0 {
+		return fmt.Errorf("cq: no sources")
+	}
+	switch q.Agg {
+	case AggAvg:
+		if q.Window != WindowCount {
+			return fmt.Errorf("cq: AVG(VALUE) requires WINDOW COUNT n")
+		}
+	case AggSum:
+		if q.Window != WindowTime {
+			return fmt.Errorf("cq: SUM(VALUE) requires WINDOW TIME t")
+		}
+	case AggCountClass:
+		if q.Size <= 0 {
+			return fmt.Errorf("cq: COUNT(*) requires GROUP BY CLASS(n)")
+		}
+		if q.Window != WindowNone {
+			return fmt.Errorf("cq: COUNT(*) does not take a WINDOW clause")
+		}
+	case AggCountDistinct, AggDistinct, AggProject:
+		if q.Window != WindowNone {
+			return fmt.Errorf("cq: this selection does not take a WINDOW clause")
+		}
+	default:
+		return fmt.Errorf("cq: missing selection")
+	}
+	return nil
+}
+
+// String reconstructs a canonical form of the query (diagnostics).
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	switch q.Agg {
+	case AggAvg:
+		b.WriteString("AVG(VALUE)")
+	case AggSum:
+		b.WriteString("SUM(VALUE)")
+	case AggCountClass:
+		b.WriteString("COUNT(*)")
+	case AggCountDistinct:
+		b.WriteString("COUNT(DISTINCT KEY)")
+	case AggDistinct:
+		b.WriteString("DISTINCT KEY")
+	default:
+		b.WriteString("VALUE")
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(strings.Join(q.Sources, ", "))
+	if q.Where != nil {
+		b.WriteString(" WHERE ")
+		if q.Where.Field == FieldKey {
+			b.WriteString("KEY")
+		} else {
+			b.WriteString("VALUE")
+		}
+		if q.Where.Mod > 0 {
+			fmt.Fprintf(&b, " %% %d", q.Where.Mod)
+		}
+		fmt.Fprintf(&b, " %s %d", q.Where.Op, q.Where.Literal)
+	}
+	switch q.Window {
+	case WindowCount:
+		fmt.Fprintf(&b, " WINDOW COUNT %d", q.Size)
+	case WindowTime:
+		fmt.Fprintf(&b, " WINDOW TIME %d", q.Size)
+	}
+	if q.Agg == AggCountClass {
+		fmt.Fprintf(&b, " GROUP BY CLASS(%d)", q.Size)
+	}
+	return b.String()
+}

@@ -1,0 +1,145 @@
+// Package event defines the event model shared by every StreamMine
+// subsystem: globally unique event identifiers, application timestamps,
+// speculation metadata (speculative flag plus a version counter that
+// distinguishes successive speculative re-emissions of the same logical
+// event), and a compact binary codec used both by the TCP transport and by
+// the decision log.
+//
+// An event is *final* when the operator that produced it guarantees the
+// event will never change: after a failure, a re-emitted final event is
+// byte-identical to the original and can be silently dropped by receivers
+// (precise recovery, paper §2.2). An event is *speculative* when it may
+// still be revoked or replaced by a later version.
+package event
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+)
+
+// SourceID identifies the operator instance that created an event.
+type SourceID uint32
+
+// Seq is a per-source monotonically increasing sequence number.
+type Seq uint64
+
+// ID uniquely identifies a logical event across the whole graph. Two
+// physical events with the same ID are versions of the same logical event:
+// at most one of them will ever become final.
+type ID struct {
+	Source SourceID
+	Seq    Seq
+}
+
+// String renders the ID as "source:seq".
+func (id ID) String() string {
+	return strconv.FormatUint(uint64(id.Source), 10) + ":" +
+		strconv.FormatUint(uint64(id.Seq), 10)
+}
+
+// Less orders IDs by (Source, Seq). It exists so deterministic tie-breaking
+// is available wherever a total order over events is needed.
+func (id ID) Less(other ID) bool {
+	if id.Source != other.Source {
+		return id.Source < other.Source
+	}
+	return id.Seq < other.Seq
+}
+
+// Version counts re-emissions of a logical event. The first emission is
+// version 0; every rollback + re-execution that changes the event's content
+// increments the version. A FINALIZE control message carries the version it
+// finalizes, so a receiver can tell whether its speculative copy is already
+// correct (same version → flip to final in place) or stale (lower version →
+// wait for the replacement).
+type Version uint32
+
+// Event is a single data item flowing through the operator graph.
+//
+// Events are treated as immutable once emitted: operators must not mutate a
+// received event's payload in place but create derived events instead. The
+// engine relies on this to share one allocation across output buffers and
+// downstream queues.
+type Event struct {
+	// ID identifies the logical event.
+	ID ID
+	// Timestamp is the application timestamp in ticks (the unit is defined
+	// by the application; sources assign it). Commit order inside an
+	// operator follows timestamps (paper §5, STM extension).
+	Timestamp int64
+	// Version is the speculation version of this physical emission.
+	Version Version
+	// Speculative marks an event that may still change. Final events
+	// (Speculative == false) never change.
+	Speculative bool
+	// Key is an application routing key used by partitioning operators
+	// (Split) and by sketch operators.
+	Key uint64
+	// Payload is the opaque application content.
+	Payload []byte
+}
+
+// New returns a final event with the given identity and payload.
+func New(id ID, ts int64, payload []byte) Event {
+	return Event{ID: id, Timestamp: ts, Payload: payload}
+}
+
+// NewSpeculative returns a speculative event with version 0.
+func NewSpeculative(id ID, ts int64, payload []byte) Event {
+	return Event{ID: id, Timestamp: ts, Speculative: true, Payload: payload}
+}
+
+// Clone returns a deep copy of the event (payload included).
+func (e Event) Clone() Event {
+	c := e
+	if e.Payload != nil {
+		c.Payload = make([]byte, len(e.Payload))
+		copy(c.Payload, e.Payload)
+	}
+	return c
+}
+
+// AsFinal returns a copy of the event marked final.
+func (e Event) AsFinal() Event {
+	e.Speculative = false
+	return e
+}
+
+// NextVersion returns a copy of the event with the version incremented and
+// the speculative flag set; used when a rollback re-emits a changed output.
+func (e Event) NextVersion(payload []byte) Event {
+	e.Version++
+	e.Speculative = true
+	e.Payload = payload
+	return e
+}
+
+// SameContent reports whether two events carry identical observable content
+// (everything except the speculative flag and version). Precise recovery
+// requires that a re-emitted final duplicate satisfies SameContent with the
+// original.
+func (e Event) SameContent(other Event) bool {
+	return e.ID == other.ID &&
+		e.Timestamp == other.Timestamp &&
+		e.Key == other.Key &&
+		bytes.Equal(e.Payload, other.Payload)
+}
+
+// Before reports whether e precedes other in the canonical processing
+// order: by timestamp, with the ID as a deterministic tie-breaker.
+func (e Event) Before(other Event) bool {
+	if e.Timestamp != other.Timestamp {
+		return e.Timestamp < other.Timestamp
+	}
+	return e.ID.Less(other.ID)
+}
+
+// String renders a short human-readable description, for logs and tests.
+func (e Event) String() string {
+	spec := "final"
+	if e.Speculative {
+		spec = fmt.Sprintf("spec/v%d", e.Version)
+	}
+	return fmt.Sprintf("event{%s ts=%d %s %dB}", e.ID, e.Timestamp, spec, len(e.Payload))
+}

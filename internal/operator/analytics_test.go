@@ -1,0 +1,84 @@
+package operator
+
+import (
+	"testing"
+
+	"streammine/internal/event"
+)
+
+func TestDistinctCountGrowsWithNewKeys(t *testing.T) {
+	d := &DistinctCount{Precision: 10, Seed: 5}
+	h := newHarness(t, d, DistinctCountTraits(10).StateWords)
+	for i := uint64(0); i < 200; i++ {
+		h.mustFeed(0, ev(i, int64(i), i, 0))
+	}
+	last := DecodeValue(h.outs[len(h.outs)-1].payload)
+	if last < 180 || last > 220 {
+		t.Fatalf("distinct estimate after 200 keys = %d", last)
+	}
+	// Repeats do not move the estimate.
+	before := last
+	for i := uint64(0); i < 50; i++ {
+		h.mustFeed(0, ev(1000+i, int64(1000+i), i, 0))
+	}
+	after := DecodeValue(h.outs[len(h.outs)-1].payload)
+	if after != before {
+		t.Fatalf("repeated keys moved the estimate: %d → %d", before, after)
+	}
+}
+
+func TestDistinctCountBadPrecision(t *testing.T) {
+	d := &DistinctCount{Precision: 2}
+	if err := d.Init(testInitCtx{mem: newHarness(t, &Passthrough{}, 0).mem}); err == nil {
+		t.Fatal("precision 2 accepted")
+	}
+}
+
+func TestDedupDropsRepeats(t *testing.T) {
+	d := &Dedup{Capacity: 64}
+	h := newHarness(t, d, DedupTraits(64).StateWords)
+	keys := []uint64{1, 2, 1, 3, 2, 1, 4}
+	for i, k := range keys {
+		h.mustFeed(0, ev(uint64(i), int64(i), k, k*10))
+	}
+	if len(h.outs) != 4 {
+		t.Fatalf("emitted %d, want 4 distinct", len(h.outs))
+	}
+	want := []uint64{1, 2, 3, 4}
+	for i, o := range h.outs {
+		if o.key != want[i] {
+			t.Fatalf("out %d key = %d, want %d", i, o.key, want[i])
+		}
+	}
+}
+
+func TestDedupGenerationReset(t *testing.T) {
+	d := &Dedup{Capacity: 4}
+	h := newHarness(t, d, DedupTraits(4).StateWords)
+	// Fill the generation.
+	for k := uint64(1); k <= 4; k++ {
+		h.mustFeed(0, ev(k, int64(k), k, 0))
+	}
+	// The fifth distinct key triggers a reset, after which an old key
+	// passes again (documented bounded-memory trade-off).
+	h.mustFeed(0, ev(5, 5, 5, 0))
+	h.mustFeed(0, ev(6, 6, 1, 0))
+	if len(h.outs) != 6 {
+		t.Fatalf("emitted %d, want 6 (reset readmits old keys)", len(h.outs))
+	}
+}
+
+func TestDedupInitValidation(t *testing.T) {
+	if err := (&Dedup{}).Init(testInitCtx{mem: newHarness(t, &Passthrough{}, 0).mem}); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+}
+
+func TestDedupPayloadPreserved(t *testing.T) {
+	d := &Dedup{Capacity: 8}
+	h := newHarness(t, d, DedupTraits(8).StateWords)
+	h.mustFeed(0, event.Event{ID: event.ID{Source: 1, Seq: 1}, Key: 7, Payload: []byte("keep me")})
+	if string(h.outs[0].payload) != "keep me" {
+		t.Fatalf("payload = %q", h.outs[0].payload)
+	}
+}

@@ -1,0 +1,121 @@
+package operator
+
+import "testing"
+
+func TestShedderDropsApproximateFraction(t *testing.T) {
+	s := &Shedder{DropPerMille: 300}
+	h := newHarness(t, s, 0)
+	const total = 2000
+	for i := uint64(0); i < total; i++ {
+		h.mustFeed(0, ev(i, int64(i), i, i))
+	}
+	kept := len(h.outs)
+	// Expect ≈70% kept; allow ±6 percentage points.
+	if kept < total*64/100 || kept > total*76/100 {
+		t.Fatalf("kept %d of %d (%.1f%%), want ≈70%%", kept, total, 100*float64(kept)/total)
+	}
+}
+
+func TestShedderZeroRateKeepsAll(t *testing.T) {
+	h := newHarness(t, &Shedder{}, 0)
+	before := h.src.State()
+	for i := uint64(0); i < 50; i++ {
+		h.mustFeed(0, ev(i, int64(i), i, i))
+	}
+	if len(h.outs) != 50 {
+		t.Fatalf("kept %d of 50", len(h.outs))
+	}
+	if h.src.State() != before {
+		t.Fatal("zero-rate shedder drew random decisions")
+	}
+}
+
+func TestShedderIsReplayDeterministic(t *testing.T) {
+	run := func() []uint64 {
+		s := &Shedder{DropPerMille: 500}
+		h := newHarness(t, s, 0)
+		for i := uint64(0); i < 200; i++ {
+			h.mustFeed(0, ev(i, int64(i), i, i))
+		}
+		var kept []uint64
+		for _, o := range h.outs {
+			kept = append(kept, o.key)
+		}
+		return kept
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("two identical runs kept %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run divergence at %d: %d vs %d (drop decisions not deterministic)", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPatternDetectsSequences(t *testing.T) {
+	p := &Pattern{Stages: []uint64{1, 2, 3}, Buckets: 16}
+	h := newHarness(t, p, PatternTraits(16).StateWords)
+	seq := uint64(0)
+	feed := func(key, stage uint64) {
+		seq++
+		h.mustFeed(0, ev(seq, int64(seq), key, stage))
+	}
+	// Key 7: full match.
+	feed(7, 1)
+	feed(7, 2)
+	feed(7, 3)
+	if len(h.outs) != 1 || h.outs[0].key != 7 || DecodeValue(h.outs[0].payload) != 1 {
+		t.Fatalf("outs = %+v", h.outs)
+	}
+	// Interleaved keys progress independently.
+	feed(8, 1)
+	feed(7, 1)
+	feed(8, 2)
+	feed(7, 2)
+	feed(8, 3)
+	feed(7, 3)
+	if len(h.outs) != 3 {
+		t.Fatalf("outs = %d, want 3 matches", len(h.outs))
+	}
+	if DecodeValue(h.outs[2].payload) != 2 {
+		t.Fatalf("key 7 second match count = %d", DecodeValue(h.outs[2].payload))
+	}
+}
+
+func TestPatternOutOfSequenceResets(t *testing.T) {
+	p := &Pattern{Stages: []uint64{1, 2, 3}, Buckets: 8}
+	h := newHarness(t, p, PatternTraits(8).StateWords)
+	seq := uint64(0)
+	feed := func(stage uint64) {
+		seq++
+		h.mustFeed(0, ev(seq, int64(seq), 5, stage))
+	}
+	feed(1)
+	feed(2)
+	feed(9) // breaks the sequence
+	feed(3) // must NOT complete
+	if len(h.outs) != 0 {
+		t.Fatalf("broken sequence matched: %+v", h.outs)
+	}
+	// Restart mid-stream: a stage-1 event resets progress to 1.
+	feed(1)
+	feed(2)
+	feed(1) // restart
+	feed(2)
+	feed(3)
+	if len(h.outs) != 1 {
+		t.Fatalf("outs = %d, want 1", len(h.outs))
+	}
+}
+
+func TestPatternInitValidation(t *testing.T) {
+	mem := newHarness(t, &Passthrough{}, 0).mem
+	if err := (&Pattern{Stages: []uint64{1}, Buckets: 4}).Init(testInitCtx{mem: mem}); err == nil {
+		t.Fatal("single-stage pattern accepted")
+	}
+	if err := (&Pattern{Stages: []uint64{1, 2}}).Init(testInitCtx{mem: mem}); err == nil {
+		t.Fatal("zero buckets accepted")
+	}
+}

@@ -1,0 +1,166 @@
+package sketch
+
+import (
+	"fmt"
+	"sort"
+
+	"streammine/internal/detrand"
+)
+
+// P2Quantile estimates a single quantile online with constant memory
+// using the P² algorithm (Jain & Chlamtac, CACM 1985): five markers whose
+// heights approximate the quantile curve are adjusted with parabolic
+// interpolation as observations stream in.
+type P2Quantile struct {
+	p     float64
+	count int
+
+	// Five marker heights, positions, and desired positions.
+	q  [5]float64
+	n  [5]float64
+	np [5]float64
+	dn [5]float64
+
+	initial []float64
+}
+
+// NewP2Quantile creates an estimator for quantile p in (0, 1). It panics
+// otherwise (construction-time misuse).
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("sketch: P2 quantile %v out of (0,1)", p))
+	}
+	return &P2Quantile{p: p, initial: make([]float64, 0, 5)}
+}
+
+// Observe feeds one value.
+func (e *P2Quantile) Observe(x float64) {
+	e.count++
+	if len(e.initial) < 5 {
+		e.initial = append(e.initial, x)
+		if len(e.initial) == 5 {
+			sort.Float64s(e.initial)
+			for i := 0; i < 5; i++ {
+				e.q[i] = e.initial[i]
+				e.n[i] = float64(i + 1)
+			}
+			p := e.p
+			e.np = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+			e.dn = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+		}
+		return
+	}
+
+	// Find the cell k containing x and clamp extremes.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.n[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.np[i] += e.dn[i]
+	}
+
+	// Adjust interior markers.
+	for i := 1; i <= 3; i++ {
+		d := e.np[i] - e.n[i]
+		if (d >= 1 && e.n[i+1]-e.n[i] > 1) || (d <= -1 && e.n[i-1]-e.n[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			qNew := e.parabolic(i, sign)
+			if e.q[i-1] < qNew && qNew < e.q[i+1] {
+				e.q[i] = qNew
+			} else {
+				e.q[i] = e.linear(i, sign)
+			}
+			e.n[i] += sign
+		}
+	}
+}
+
+func (e *P2Quantile) parabolic(i int, d float64) float64 {
+	return e.q[i] + d/(e.n[i+1]-e.n[i-1])*
+		((e.n[i]-e.n[i-1]+d)*(e.q[i+1]-e.q[i])/(e.n[i+1]-e.n[i])+
+			(e.n[i+1]-e.n[i]-d)*(e.q[i]-e.q[i-1])/(e.n[i]-e.n[i-1]))
+}
+
+func (e *P2Quantile) linear(i int, d float64) float64 {
+	di := int(d)
+	return e.q[i] + d*(e.q[i+di]-e.q[i])/(e.n[i+di]-e.n[i])
+}
+
+// Count returns the number of observations.
+func (e *P2Quantile) Count() int { return e.count }
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it falls back to the exact order statistic.
+func (e *P2Quantile) Value() float64 {
+	if e.count == 0 {
+		return 0
+	}
+	if len(e.initial) < 5 {
+		s := append([]float64(nil), e.initial...)
+		sort.Float64s(s)
+		idx := int(e.p * float64(len(s)))
+		if idx >= len(s) {
+			idx = len(s) - 1
+		}
+		return s[idx]
+	}
+	return e.q[2]
+}
+
+// Reservoir keeps a uniform random sample of fixed size from a stream
+// (Vitter's Algorithm R), using the engine's deterministic PRNG so replay
+// reproduces the same sample.
+type Reservoir struct {
+	src    *detrand.Source
+	sample []uint64
+	seen   int
+}
+
+// NewReservoir creates a sampler of the given capacity. Panics if the
+// capacity is not positive.
+func NewReservoir(capacity int, src *detrand.Source) *Reservoir {
+	if capacity <= 0 {
+		panic("sketch: NewReservoir requires capacity > 0")
+	}
+	return &Reservoir{src: src, sample: make([]uint64, 0, capacity)}
+}
+
+// Observe feeds one value.
+func (r *Reservoir) Observe(v uint64) {
+	r.seen++
+	if len(r.sample) < cap(r.sample) {
+		r.sample = append(r.sample, v)
+		return
+	}
+	if j := r.src.Intn(r.seen); j < cap(r.sample) {
+		r.sample[j] = v
+	}
+}
+
+// Seen returns the number of observed values.
+func (r *Reservoir) Seen() int { return r.seen }
+
+// Sample returns a copy of the current sample.
+func (r *Reservoir) Sample() []uint64 {
+	out := make([]uint64, len(r.sample))
+	copy(out, r.sample)
+	return out
+}

@@ -1,0 +1,400 @@
+// Package state provides typed containers layered over the word-granular
+// transactional memory (internal/stm): scalar fields, arrays, hash maps
+// and ring buffers. Operators build their local state from these so that
+// every state access flows through a transaction — the Go equivalent of
+// the paper's compile-time instrumentation of C operators.
+//
+// All accessors take the current transaction; errors from the underlying
+// STM (notably stm.ErrConflict) must be propagated so the engine can abort
+// and re-execute the enclosing event.
+package state
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"streammine/internal/stm"
+)
+
+// ErrFull is returned when a fixed-capacity container cannot accept more
+// entries.
+var ErrFull = errors.New("state: container full")
+
+// Field is a single transactional 64-bit word.
+type Field struct {
+	addr stm.Addr
+}
+
+// NewField allocates a field initialized to zero.
+func NewField(m *stm.Memory) (Field, error) {
+	addr, err := m.Alloc(1)
+	if err != nil {
+		return Field{}, fmt.Errorf("alloc field: %w", err)
+	}
+	return Field{addr: addr}, nil
+}
+
+// Get reads the field.
+func (f Field) Get(tx *stm.Tx) (uint64, error) { return tx.Read(f.addr) }
+
+// Set writes the field.
+func (f Field) Set(tx *stm.Tx, v uint64) error { return tx.Write(f.addr, v) }
+
+// Add increments the field by delta and returns the new value.
+func (f Field) Add(tx *stm.Tx, delta uint64) (uint64, error) {
+	v, err := tx.Read(f.addr)
+	if err != nil {
+		return 0, err
+	}
+	v += delta
+	if err := tx.Write(f.addr, v); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// Addr exposes the underlying address (used by tests asserting conflict
+// behaviour on specific words).
+func (f Field) Addr() stm.Addr { return f.addr }
+
+// FloatField stores a float64 in a word via its IEEE-754 bits.
+type FloatField struct {
+	f Field
+}
+
+// NewFloatField allocates a float field initialized to zero.
+func NewFloatField(m *stm.Memory) (FloatField, error) {
+	f, err := NewField(m)
+	return FloatField{f: f}, err
+}
+
+// Get reads the float value.
+func (f FloatField) Get(tx *stm.Tx) (float64, error) {
+	v, err := f.f.Get(tx)
+	return math.Float64frombits(v), err
+}
+
+// Set writes the float value.
+func (f FloatField) Set(tx *stm.Tx, v float64) error {
+	return f.f.Set(tx, math.Float64bits(v))
+}
+
+// Add adds delta and returns the new value.
+func (f FloatField) Add(tx *stm.Tx, delta float64) (float64, error) {
+	v, err := f.Get(tx)
+	if err != nil {
+		return 0, err
+	}
+	v += delta
+	return v, f.Set(tx, v)
+}
+
+// Array is a fixed-length sequence of transactional words.
+type Array struct {
+	base stm.Addr
+	n    int
+}
+
+// NewArray allocates n zeroed words.
+func NewArray(m *stm.Memory, n int) (Array, error) {
+	if n <= 0 {
+		return Array{}, fmt.Errorf("array length %d: %w", n, stm.ErrBadAddr)
+	}
+	base, err := m.Alloc(n)
+	if err != nil {
+		return Array{}, fmt.Errorf("alloc array: %w", err)
+	}
+	return Array{base: base, n: n}, nil
+}
+
+// Len returns the array length.
+func (a Array) Len() int { return a.n }
+
+// Get reads element i.
+func (a Array) Get(tx *stm.Tx, i int) (uint64, error) {
+	if i < 0 || i >= a.n {
+		return 0, fmt.Errorf("array index %d of %d: %w", i, a.n, stm.ErrBadAddr)
+	}
+	return tx.Read(a.base + stm.Addr(i))
+}
+
+// Set writes element i.
+func (a Array) Set(tx *stm.Tx, i int, v uint64) error {
+	if i < 0 || i >= a.n {
+		return fmt.Errorf("array index %d of %d: %w", i, a.n, stm.ErrBadAddr)
+	}
+	return tx.Write(a.base+stm.Addr(i), v)
+}
+
+// Add increments element i by delta, returning the new value.
+func (a Array) Add(tx *stm.Tx, i int, delta uint64) (uint64, error) {
+	v, err := a.Get(tx, i)
+	if err != nil {
+		return 0, err
+	}
+	v += delta
+	return v, a.Set(tx, i, v)
+}
+
+// Map is a fixed-capacity open-addressing hash map from uint64 keys to
+// uint64 values, stored as (state, key, value) bucket triples in
+// transactional memory. Linear probing; deletions leave tombstones.
+type Map struct {
+	base    stm.Addr
+	buckets int
+}
+
+// Bucket states.
+const (
+	bucketEmpty uint64 = iota
+	bucketUsed
+	bucketTombstone
+)
+
+const bucketWords = 3
+
+// NewMap allocates a map with the given bucket count. Capacity for entries
+// is the bucket count; inserting into a full map returns ErrFull. For good
+// probe behaviour size it at ~2× the expected entry count.
+func NewMap(m *stm.Memory, buckets int) (Map, error) {
+	if buckets <= 0 {
+		return Map{}, fmt.Errorf("map buckets %d: %w", buckets, stm.ErrBadAddr)
+	}
+	base, err := m.Alloc(buckets * bucketWords)
+	if err != nil {
+		return Map{}, fmt.Errorf("alloc map: %w", err)
+	}
+	return Map{base: base, buckets: buckets}, nil
+}
+
+func (mp Map) slot(i int) stm.Addr {
+	return mp.base + stm.Addr(i*bucketWords)
+}
+
+func hashKey(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xFF51AFD7ED558CCD
+	k ^= k >> 33
+	return k
+}
+
+// Get looks up k, returning (value, found).
+func (mp Map) Get(tx *stm.Tx, k uint64) (uint64, bool, error) {
+	start := int(hashKey(k) % uint64(mp.buckets))
+	for probe := 0; probe < mp.buckets; probe++ {
+		s := mp.slot((start + probe) % mp.buckets)
+		st, err := tx.Read(s)
+		if err != nil {
+			return 0, false, err
+		}
+		switch st {
+		case bucketEmpty:
+			return 0, false, nil
+		case bucketTombstone:
+			continue
+		}
+		key, err := tx.Read(s + 1)
+		if err != nil {
+			return 0, false, err
+		}
+		if key != k {
+			continue
+		}
+		v, err := tx.Read(s + 2)
+		return v, true, err
+	}
+	return 0, false, nil
+}
+
+// Put inserts or updates k.
+func (mp Map) Put(tx *stm.Tx, k, v uint64) error {
+	start := int(hashKey(k) % uint64(mp.buckets))
+	firstFree := -1
+	for probe := 0; probe < mp.buckets; probe++ {
+		i := (start + probe) % mp.buckets
+		s := mp.slot(i)
+		st, err := tx.Read(s)
+		if err != nil {
+			return err
+		}
+		switch st {
+		case bucketEmpty:
+			if firstFree < 0 {
+				firstFree = i
+			}
+			return mp.fill(tx, firstFree, k, v)
+		case bucketTombstone:
+			if firstFree < 0 {
+				firstFree = i
+			}
+			continue
+		}
+		key, err := tx.Read(s + 1)
+		if err != nil {
+			return err
+		}
+		if key == k {
+			return tx.Write(s+2, v)
+		}
+	}
+	if firstFree >= 0 {
+		return mp.fill(tx, firstFree, k, v)
+	}
+	return ErrFull
+}
+
+func (mp Map) fill(tx *stm.Tx, i int, k, v uint64) error {
+	s := mp.slot(i)
+	if err := tx.Write(s, bucketUsed); err != nil {
+		return err
+	}
+	if err := tx.Write(s+1, k); err != nil {
+		return err
+	}
+	return tx.Write(s+2, v)
+}
+
+// Delete removes k, returning whether it was present.
+func (mp Map) Delete(tx *stm.Tx, k uint64) (bool, error) {
+	start := int(hashKey(k) % uint64(mp.buckets))
+	for probe := 0; probe < mp.buckets; probe++ {
+		s := mp.slot((start + probe) % mp.buckets)
+		st, err := tx.Read(s)
+		if err != nil {
+			return false, err
+		}
+		switch st {
+		case bucketEmpty:
+			return false, nil
+		case bucketTombstone:
+			continue
+		}
+		key, err := tx.Read(s + 1)
+		if err != nil {
+			return false, err
+		}
+		if key == k {
+			return true, tx.Write(s, bucketTombstone)
+		}
+	}
+	return false, nil
+}
+
+// Clear empties the map by resetting every bucket state word. It touches
+// the whole table inside the transaction, so use it only for bounded
+// generation resets.
+func (mp Map) Clear(tx *stm.Tx) error {
+	for i := 0; i < mp.buckets; i++ {
+		if err := tx.Write(mp.slot(i), bucketEmpty); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len counts used buckets (a full scan; intended for tests and small maps).
+func (mp Map) Len(tx *stm.Tx) (int, error) {
+	n := 0
+	for i := 0; i < mp.buckets; i++ {
+		st, err := tx.Read(mp.slot(i))
+		if err != nil {
+			return 0, err
+		}
+		if st == bucketUsed {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Ring is a fixed-capacity FIFO ring buffer of words, used by count-window
+// operators. Layout: [head, count, slots...].
+type Ring struct {
+	base stm.Addr
+	cap  int
+}
+
+// NewRing allocates a ring with the given capacity.
+func NewRing(m *stm.Memory, capacity int) (Ring, error) {
+	if capacity <= 0 {
+		return Ring{}, fmt.Errorf("ring capacity %d: %w", capacity, stm.ErrBadAddr)
+	}
+	base, err := m.Alloc(capacity + 2)
+	if err != nil {
+		return Ring{}, fmt.Errorf("alloc ring: %w", err)
+	}
+	return Ring{base: base, cap: capacity}, nil
+}
+
+// Cap returns the ring capacity.
+func (r Ring) Cap() int { return r.cap }
+
+// Len returns the number of queued elements.
+func (r Ring) Len(tx *stm.Tx) (int, error) {
+	n, err := tx.Read(r.base + 1)
+	return int(n), err
+}
+
+// Push appends v at the tail; ErrFull if at capacity.
+func (r Ring) Push(tx *stm.Tx, v uint64) error {
+	head, err := tx.Read(r.base)
+	if err != nil {
+		return err
+	}
+	count, err := tx.Read(r.base + 1)
+	if err != nil {
+		return err
+	}
+	if int(count) >= r.cap {
+		return ErrFull
+	}
+	idx := (head + count) % uint64(r.cap)
+	if err := tx.Write(r.base+2+stm.Addr(idx), v); err != nil {
+		return err
+	}
+	return tx.Write(r.base+1, count+1)
+}
+
+// Pop removes and returns the head element; ok is false when empty.
+func (r Ring) Pop(tx *stm.Tx) (v uint64, ok bool, err error) {
+	head, err := tx.Read(r.base)
+	if err != nil {
+		return 0, false, err
+	}
+	count, err := tx.Read(r.base + 1)
+	if err != nil {
+		return 0, false, err
+	}
+	if count == 0 {
+		return 0, false, nil
+	}
+	v, err = tx.Read(r.base + 2 + stm.Addr(head))
+	if err != nil {
+		return 0, false, err
+	}
+	if err := tx.Write(r.base, (head+1)%uint64(r.cap)); err != nil {
+		return 0, false, err
+	}
+	if err := tx.Write(r.base+1, count-1); err != nil {
+		return 0, false, err
+	}
+	return v, true, nil
+}
+
+// Peek returns the head element without removing it.
+func (r Ring) Peek(tx *stm.Tx) (v uint64, ok bool, err error) {
+	head, err := tx.Read(r.base)
+	if err != nil {
+		return 0, false, err
+	}
+	count, err := tx.Read(r.base + 1)
+	if err != nil {
+		return 0, false, err
+	}
+	if count == 0 {
+		return 0, false, nil
+	}
+	v, err = tx.Read(r.base + 2 + stm.Addr(head))
+	return v, err == nil, err
+}

@@ -1,0 +1,176 @@
+package stm
+
+import (
+	"errors"
+	"testing"
+
+	"streammine/internal/detrand"
+)
+
+// recordedOp is one operation a transaction performed, with the value it
+// observed (reads) or wrote.
+type recordedOp struct {
+	isWrite bool
+	addr    Addr
+	value   uint64
+}
+
+// TestSerializabilityRandomOpenChains builds random batches of
+// transactions that all stay open (pre-commit) while later ones execute —
+// maximal speculative read-from/overwrite chaining — commits them in
+// timestamp order, and then checks the history against a sequential
+// model: replaying the committed transactions in timestamp order, every
+// recorded read must match the model state at that point.
+func TestSerializabilityRandomOpenChains(t *testing.T) {
+	const (
+		rounds    = 60
+		addrSpace = 8
+		txPerRun  = 12
+		opsPerTx  = 6
+	)
+	rng := detrand.New(12345)
+	for round := 0; round < rounds; round++ {
+		mem := NewMemory(addrSpace)
+		type txRec struct {
+			tx     *Tx
+			ops    []recordedOp
+			failed bool
+		}
+		var txs []*txRec
+		// Execute all transactions, leaving each open.
+		for i := 0; i < txPerRun; i++ {
+			rec := &txRec{tx: mem.Begin(int64(i + 1))}
+			for o := 0; o < opsPerTx; o++ {
+				addr := Addr(rng.Intn(addrSpace))
+				if rng.Intn(2) == 0 {
+					v, err := rec.tx.Read(addr)
+					if err != nil {
+						rec.failed = true
+						break
+					}
+					rec.ops = append(rec.ops, recordedOp{addr: addr, value: v})
+				} else {
+					v := rng.Uint64() % 1000
+					if err := rec.tx.Write(addr, v); err != nil {
+						rec.failed = true
+						break
+					}
+					rec.ops = append(rec.ops, recordedOp{isWrite: true, addr: addr, value: v})
+				}
+			}
+			if !rec.failed {
+				if err := rec.tx.Complete(); err != nil {
+					rec.failed = true
+				}
+			}
+			if rec.failed {
+				rec.tx.Abort()
+			}
+			txs = append(txs, rec)
+		}
+		// Randomly abort a few open transactions (cascades apply).
+		for _, rec := range txs {
+			if !rec.failed && rng.Intn(6) == 0 {
+				rec.tx.Abort()
+			}
+		}
+		// Commit the rest in timestamp order; deps must already be
+		// committed (earlier ts), so ErrDepsOpen cannot occur here.
+		for _, rec := range txs {
+			if rec.failed || rec.tx.Status() == StatusAborted {
+				continue
+			}
+			if err := rec.tx.Commit(); err != nil {
+				if errors.Is(err, ErrConflict) {
+					continue // cascade got it between our check and commit
+				}
+				if errors.Is(err, ErrDepsOpen) {
+					t.Fatalf("round %d: ErrDepsOpen in ts-order commit", round)
+				}
+				t.Fatalf("round %d: commit: %v", round, err)
+			}
+		}
+		// Model replay: committed transactions in ts order.
+		model := make([]uint64, addrSpace)
+		for i, rec := range txs {
+			if rec.tx.Status() != StatusCommitted {
+				continue
+			}
+			for _, op := range rec.ops {
+				if op.isWrite {
+					model[op.addr] = op.value
+					continue
+				}
+				if model[op.addr] != op.value {
+					t.Fatalf("round %d tx %d: read of %d observed %d, serial model has %d",
+						round, i, op.addr, op.value, model[op.addr])
+				}
+			}
+		}
+		for a := 0; a < addrSpace; a++ {
+			got, err := mem.ReadCommitted(Addr(a))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != model[a] {
+				t.Fatalf("round %d: final memory[%d] = %d, model %d", round, a, got, model[a])
+			}
+		}
+	}
+}
+
+// TestCascadeConsistencyNoDanglingReads verifies that no COMMITTED
+// transaction ever read data from an ABORTED one: build a chain, abort the
+// head, and check every survivor.
+func TestCascadeConsistencyNoDanglingReads(t *testing.T) {
+	rng := detrand.New(777)
+	for round := 0; round < 40; round++ {
+		mem := NewMemory(4)
+		var all []*Tx
+		for i := 0; i < 8; i++ {
+			tx := mem.Begin(int64(i + 1))
+			ok := true
+			for o := 0; o < 3; o++ {
+				addr := Addr(rng.Intn(4))
+				if rng.Intn(2) == 0 {
+					if _, err := tx.Read(addr); err != nil {
+						ok = false
+						break
+					}
+				} else if err := tx.Write(addr, rng.Uint64()); err != nil {
+					ok = false
+					break
+				}
+			}
+			if ok && tx.Complete() == nil {
+				all = append(all, tx)
+			} else {
+				tx.Abort()
+			}
+		}
+		if len(all) == 0 {
+			continue
+		}
+		victim := all[int(rng.Intn(len(all)))]
+		victim.Abort()
+		for _, tx := range all {
+			if tx == victim {
+				continue
+			}
+			err := tx.Commit()
+			switch {
+			case err == nil, errors.Is(err, ErrConflict):
+				// Committed (independent) or cascaded (dependent): both fine.
+			case errors.Is(err, ErrDepsOpen):
+				// A dep earlier in `all` also cascaded; skip this tx.
+				tx.Abort()
+			default:
+				t.Fatalf("round %d: commit: %v", round, err)
+			}
+		}
+		// The victim's buffered writes must not be visible.
+		if victim.Status() != StatusAborted {
+			t.Fatal("victim not aborted")
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package stm implements the modified word-based software transactional
+// memory at the heart of the paper (§3, §5): a lock-array STM in the style
+// of Felber/Fetzer/Riegel (PPoPP'08) extended with *speculation support*:
+//
+//   - a transaction that has finished executing but is not yet authorized
+//     to commit (its logging is not stable, or it consumed speculative
+//     input events) stays OPEN in a pre-commit state, keeping its entries
+//     in the lock array;
+//   - later transactions may read or overwrite the buffered values of an
+//     open transaction, becoming *dependent* on it: they can only commit
+//     after it, and if it aborts they abort too (cascading abort);
+//   - commits inside one Memory are issued by the engine in event-
+//     timestamp order, and a transaction can be paused, revalidated and
+//     committed by a different thread than the one that executed it.
+//
+// The paper instruments C code at compile time (TANGER) so that raw loads
+// and stores are intercepted. Here the transactional heap is explicit: a
+// Memory is a flat array of 64-bit words, and operators access it only
+// through Tx.Read / Tx.Write. The lock-array semantics — buffered writes,
+// per-entry versioned locks, read-set validation, false conflicts on hash
+// collisions — are the same (see DESIGN.md §2 for the substitution note).
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Addr is the index of a word in a Memory.
+type Addr uint32
+
+// Common STM errors. ErrConflict doubles as the "you have been killed"
+// signal: the transaction must be aborted and re-executed.
+var (
+	// ErrConflict reports that the transaction lost a conflict (or was
+	// killed by a cascading abort) and must abort and re-execute.
+	ErrConflict = errors.New("stm: conflict")
+	// ErrDepsOpen reports that Commit was called while a dependency is
+	// still open; the caller must retry once the dependency commits.
+	ErrDepsOpen = errors.New("stm: dependencies still open")
+	// ErrInvalidState reports an operation incompatible with the
+	// transaction's current status (e.g. Write after Complete).
+	ErrInvalidState = errors.New("stm: invalid transaction state")
+	// ErrOutOfMemory reports that Alloc exhausted the Memory's capacity.
+	ErrOutOfMemory = errors.New("stm: out of transactional memory")
+	// ErrBadAddr reports an access outside the allocated range.
+	ErrBadAddr = errors.New("stm: address out of range")
+)
+
+// Status is the lifecycle state of a transaction.
+type Status int32
+
+// Transaction lifecycle. Active transactions are executing; Killed ones
+// are doomed but their goroutine has not yet noticed; Completed ones are
+// the paper's "open" pre-commit state.
+const (
+	StatusActive Status = iota + 1
+	StatusKilled
+	StatusCompleted
+	StatusCommitted
+	StatusAborted
+)
+
+// String names the status for diagnostics.
+func (s Status) String() string {
+	switch s {
+	case StatusActive:
+		return "active"
+	case StatusKilled:
+		return "killed"
+	case StatusCompleted:
+		return "completed"
+	case StatusCommitted:
+		return "committed"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("status(%d)", int32(s))
+	}
+}
+
+// ConflictPolicy selects which of two actively conflicting transactions is
+// aborted.
+type ConflictPolicy int
+
+// Conflict policies. The paper aborts the transaction of the event that
+// arrived last (AbortNewest, the default); AbortOldest is the ablation.
+const (
+	AbortNewest ConflictPolicy = iota + 1
+	AbortOldest
+)
+
+// lockState is one immutable snapshot of a lock-array entry. Entries are
+// replaced wholesale via CAS, so readers always observe a consistent
+// (version, owners) pair.
+type lockState struct {
+	// version is the commit clock value of the last committed write to any
+	// address covered by this entry.
+	version uint64
+	// owners are the transactions currently registered as writers, in
+	// acquisition order. Invariant: at most the last owner is Active; all
+	// earlier owners are Completed (open). A transaction commits only when
+	// it is the head of every chain it is in.
+	owners []*Tx
+}
+
+var emptyLock = &lockState{}
+
+// Stats are cumulative Memory counters.
+type Stats struct {
+	Commits   uint64
+	Aborts    uint64
+	Conflicts uint64
+	Kills     uint64
+}
+
+// Memory is a transactional heap: a fixed-capacity array of 64-bit words
+// plus the lock array that mediates transactional access. One Memory holds
+// the state of one operator.
+type Memory struct {
+	data  []atomic.Uint64
+	locks []atomic.Pointer[lockState]
+	mask  uint32
+
+	clock     atomic.Uint64
+	allocNext atomic.Uint64
+	txSeq     atomic.Uint64
+
+	policy ConflictPolicy
+
+	// commitGate excludes commits (read side) from checkpoints (write
+	// side) so Snapshot sees a transaction-consistent state.
+	commitGate sync.RWMutex
+
+	commits   atomic.Uint64
+	aborts    atomic.Uint64
+	conflicts atomic.Uint64
+	kills     atomic.Uint64
+}
+
+// Option configures a Memory.
+type Option func(*Memory)
+
+// WithConflictPolicy overrides the default AbortNewest policy.
+func WithConflictPolicy(p ConflictPolicy) Option {
+	return func(m *Memory) { m.policy = p }
+}
+
+// NewMemory creates a heap with room for capacity words. It panics if
+// capacity is not positive (construction-time misuse).
+func NewMemory(capacity int, opts ...Option) *Memory {
+	if capacity <= 0 {
+		panic("stm: NewMemory requires positive capacity")
+	}
+	nLocks := 1
+	for nLocks < capacity && nLocks < 1<<16 {
+		nLocks <<= 1
+	}
+	m := &Memory{
+		data:   make([]atomic.Uint64, capacity),
+		locks:  make([]atomic.Pointer[lockState], nLocks),
+		mask:   uint32(nLocks - 1),
+		policy: AbortNewest,
+	}
+	for i := range m.locks {
+		m.locks[i].Store(emptyLock)
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m
+}
+
+// Alloc reserves n consecutive words and returns the address of the first.
+func (m *Memory) Alloc(n int) (Addr, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: alloc %d words", ErrBadAddr, n)
+	}
+	for {
+		cur := m.allocNext.Load()
+		if cur+uint64(n) > uint64(len(m.data)) {
+			return 0, fmt.Errorf("%w: %d of %d words used, need %d more",
+				ErrOutOfMemory, cur, len(m.data), n)
+		}
+		if m.allocNext.CompareAndSwap(cur, cur+uint64(n)) {
+			return Addr(cur), nil
+		}
+	}
+}
+
+// Capacity returns the total number of words.
+func (m *Memory) Capacity() int { return len(m.data) }
+
+// Allocated returns the number of words handed out by Alloc.
+func (m *Memory) Allocated() int { return int(m.allocNext.Load()) }
+
+// Stats returns a snapshot of the cumulative counters.
+func (m *Memory) Stats() Stats {
+	return Stats{
+		Commits:   m.commits.Load(),
+		Aborts:    m.aborts.Load(),
+		Conflicts: m.conflicts.Load(),
+		Kills:     m.kills.Load(),
+	}
+}
+
+// Clock returns the current commit clock.
+func (m *Memory) Clock() uint64 { return m.clock.Load() }
+
+// entryFor maps an address to its lock-array slot. Nearby addresses map to
+// distinct entries; far apart addresses may collide (false conflicts, as in
+// any lock-array STM).
+func (m *Memory) entryFor(addr Addr) *atomic.Pointer[lockState] {
+	return &m.locks[uint32(addr)&m.mask]
+}
+
+// ReadCommitted returns the committed value of addr, outside any
+// transaction. It reflects only committed state, never buffered writes.
+func (m *Memory) ReadCommitted(addr Addr) (uint64, error) {
+	if int(addr) >= len(m.data) {
+		return 0, fmt.Errorf("%w: %d", ErrBadAddr, addr)
+	}
+	return m.data[addr].Load(), nil
+}
+
+// WriteDirect stores a value bypassing concurrency control. It is intended
+// for single-threaded initialization and checkpoint restore only.
+func (m *Memory) WriteDirect(addr Addr, v uint64) error {
+	if int(addr) >= len(m.data) {
+		return fmt.Errorf("%w: %d", ErrBadAddr, addr)
+	}
+	m.data[addr].Store(v)
+	return nil
+}
+
+// Snapshot copies the committed words [0, Allocated()) while holding the
+// commit gate, yielding a transaction-consistent checkpoint image.
+func (m *Memory) Snapshot() []uint64 {
+	m.commitGate.Lock()
+	defer m.commitGate.Unlock()
+	n := int(m.allocNext.Load())
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = m.data[i].Load()
+	}
+	return out
+}
+
+// Restore overwrites the committed state with a checkpoint image and
+// resets the allocation cursor past it. It must only be called while no
+// transactions are running (recovery is single-threaded).
+func (m *Memory) Restore(image []uint64) error {
+	if len(image) > len(m.data) {
+		return fmt.Errorf("%w: image %d words, capacity %d", ErrOutOfMemory, len(image), len(m.data))
+	}
+	for i, v := range image {
+		m.data[i].Store(v)
+	}
+	if uint64(len(image)) > m.allocNext.Load() {
+		m.allocNext.Store(uint64(len(image)))
+	}
+	return nil
+}
+
+// Begin starts a transaction for an event with the given application
+// timestamp. Timestamps drive conflict resolution (AbortNewest) and define
+// the commit order the engine must follow.
+func (m *Memory) Begin(ts int64) *Tx {
+	tx := &Tx{
+		mem:      m,
+		id:       m.txSeq.Add(1),
+		ts:       ts,
+		snapshot: m.clock.Load(),
+		reads:    make(map[Addr]readEntry),
+		writes:   make(map[Addr]uint64),
+		entries:  make(map[uint32]bool),
+		deps:     make(map[*Tx]struct{}),
+	}
+	tx.status.Store(int32(StatusActive))
+	return tx
+}

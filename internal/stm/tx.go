@@ -1,0 +1,640 @@
+package stm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// readEntry records how a transaction obtained the value of an address:
+// either from committed memory (version = the lock entry's version at read
+// time, from == nil) or speculatively from the write buffer of an open
+// transaction (from != nil).
+type readEntry struct {
+	version uint64
+	from    *Tx
+}
+
+// Tx is a transaction. A Tx is created by Memory.Begin, executed by one
+// goroutine (Read/Write/Complete), and may then be revalidated, committed
+// or aborted by a different goroutine (the engine's commit scheduler) —
+// the paper's "paused ... and later revalidated and committed by another
+// thread" extension (§5).
+//
+// Contract: any method returning ErrConflict dooms the transaction; the
+// caller must call Abort and re-execute the work in a fresh transaction.
+type Tx struct {
+	mem      *Memory
+	id       uint64
+	ts       int64
+	snapshot uint64
+	status   atomic.Int32
+
+	// mu guards writes, entries, deps, dependents and onAbort. reads is
+	// only touched by the executing goroutine while Active (validation
+	// happens after the Completed transition, which synchronizes).
+	mu         sync.Mutex
+	reads      map[Addr]readEntry
+	writes     map[Addr]uint64
+	entries    map[uint32]bool
+	deps       map[*Tx]struct{}
+	dependents []*Tx
+	onAbort    func(*Tx)
+
+	commitVersion uint64
+	abortOnce     sync.Once
+}
+
+// statusCommitting is internal: between Completed and Committed while
+// writes are being applied. It is not exposed as a Status constant because
+// callers never observe it across an API boundary for long.
+const statusCommitting = int32(99)
+
+// ID returns the transaction's unique id (per Memory, monotonically
+// increasing — later Begin means larger ID).
+func (tx *Tx) ID() uint64 { return tx.id }
+
+// Timestamp returns the event timestamp the transaction was begun with.
+func (tx *Tx) Timestamp() int64 { return tx.ts }
+
+// Status returns the transaction's current lifecycle state.
+func (tx *Tx) Status() Status {
+	s := tx.status.Load()
+	if s == statusCommitting {
+		return StatusCompleted
+	}
+	return Status(s)
+}
+
+// OnAbort registers a callback invoked exactly once if the transaction
+// aborts (directly or by cascade). The callback runs on whichever goroutine
+// triggers the abort and must not block.
+func (tx *Tx) OnAbort(fn func(*Tx)) {
+	tx.mu.Lock()
+	tx.onAbort = fn
+	tx.mu.Unlock()
+}
+
+// newerThan reports whether tx is "newer" (arrived later) than other:
+// larger timestamp, ties broken by id.
+func (tx *Tx) newerThan(other *Tx) bool {
+	if tx.ts != other.ts {
+		return tx.ts > other.ts
+	}
+	return tx.id > other.id
+}
+
+// checkRunnable returns ErrConflict if the transaction has been killed or
+// aborted, ErrInvalidState if it is not executing.
+func (tx *Tx) checkRunnable() error {
+	switch Status(tx.status.Load()) {
+	case StatusActive:
+		return nil
+	case StatusKilled, StatusAborted:
+		return ErrConflict
+	default:
+		return fmt.Errorf("%w: %s", ErrInvalidState, tx.Status())
+	}
+}
+
+// buffered reports whether the transaction has a buffered write for addr,
+// and its value.
+func (tx *Tx) buffered(addr Addr) (uint64, bool) {
+	tx.mu.Lock()
+	v, ok := tx.writes[addr]
+	tx.mu.Unlock()
+	return v, ok
+}
+
+// addDependent registers d as depending on tx. It returns false if tx has
+// already aborted (the dependency is void and d must not rely on it).
+func (tx *Tx) addDependent(d *Tx) bool {
+	tx.mu.Lock()
+	tx.dependents = append(tx.dependents, d)
+	tx.mu.Unlock()
+	return Status(tx.status.Load()) != StatusAborted
+}
+
+// dependOn records that tx must commit after o and abort if o aborts.
+// It returns ErrConflict if o has already aborted.
+func (tx *Tx) dependOn(o *Tx) error {
+	if o == tx {
+		return nil
+	}
+	tx.mu.Lock()
+	if _, dup := tx.deps[o]; dup {
+		tx.mu.Unlock()
+		return nil
+	}
+	tx.deps[o] = struct{}{}
+	tx.mu.Unlock()
+	if !o.addDependent(tx) {
+		return ErrConflict
+	}
+	return nil
+}
+
+// resolve handles a conflict with another transaction that is actively
+// writing. Under AbortNewest the transaction of the later event is killed
+// (the paper's policy: abort the transaction of the event that arrived
+// last). It returns ErrConflict if tx itself is the victim; nil if the
+// other transaction was targeted (the caller retries its operation).
+func (tx *Tx) resolve(other *Tx) error {
+	tx.mem.conflicts.Add(1)
+	victimIsSelf := tx.newerThan(other)
+	if tx.mem.policy == AbortOldest {
+		victimIsSelf = !victimIsSelf
+	}
+	if victimIsSelf {
+		return ErrConflict
+	}
+	other.kill()
+	return nil
+}
+
+// kill dooms an Active transaction. Its goroutine observes the doom at its
+// next STM call and aborts. Killing a transaction that is no longer Active
+// is a no-op (the race is resolved by the caller re-reading the chain).
+func (tx *Tx) kill() {
+	if tx.status.CompareAndSwap(int32(StatusActive), int32(StatusKilled)) {
+		tx.mem.kills.Add(1)
+	}
+}
+
+// Read returns the value of addr as seen by the transaction: its own
+// buffered write if any, else the buffered value of the most recent open
+// transaction registered as a writer of addr (a *speculative read*, which
+// adds a dependency), else committed memory.
+func (tx *Tx) Read(addr Addr) (uint64, error) {
+	if err := tx.checkRunnable(); err != nil {
+		return 0, err
+	}
+	if int(addr) >= len(tx.mem.data) {
+		return 0, fmt.Errorf("%w: %d", ErrBadAddr, addr)
+	}
+	if v, ok := tx.buffered(addr); ok {
+		return v, nil
+	}
+	entry := tx.mem.entryFor(addr)
+	for {
+		if err := tx.checkRunnable(); err != nil {
+			return 0, err
+		}
+		ls := entry.Load()
+		v, done, retry, err := tx.readFromChain(ls, addr)
+		if err != nil {
+			return 0, err
+		}
+		if done {
+			return v, nil
+		}
+		if retry {
+			runtime.Gosched()
+			continue
+		}
+		// No owner buffers addr: read committed memory under the entry's
+		// version, re-checking the entry so the (value, version) pair is
+		// consistent.
+		val := tx.mem.data[addr].Load()
+		if entry.Load() != ls {
+			continue
+		}
+		if ls.version > tx.snapshot && !tx.extendSnapshot() {
+			tx.mem.conflicts.Add(1)
+			return 0, ErrConflict
+		}
+		tx.mu.Lock()
+		if _, seen := tx.reads[addr]; !seen {
+			tx.reads[addr] = readEntry{version: ls.version}
+		}
+		tx.mu.Unlock()
+		return val, nil
+	}
+}
+
+// readFromChain scans the owner chain (newest first) for a buffered value
+// of addr. Returns done=true with the value on a successful speculative
+// read, retry=true if the chain is stale and must be re-read, err on
+// conflict loss.
+func (tx *Tx) readFromChain(ls *lockState, addr Addr) (v uint64, done, retry bool, err error) {
+	for i := len(ls.owners) - 1; i >= 0; i-- {
+		o := ls.owners[i]
+		if o == tx {
+			continue // we own the entry but do not buffer addr
+		}
+		if o.newerThan(tx) {
+			// o writes "in our future" (it must commit after us, e.g. we
+			// are a re-execution of an earlier event). Its buffer is
+			// invisible to us; read beneath it.
+			continue
+		}
+		st := Status(o.status.Load())
+		if st == StatusAborted || o.status.Load() == statusCommitting {
+			return 0, false, true, nil // chain about to change
+		}
+		bv, has := o.buffered(addr)
+		if !has {
+			continue
+		}
+		switch st {
+		case StatusActive, StatusKilled:
+			if rerr := tx.resolve(o); rerr != nil {
+				return 0, false, false, rerr
+			}
+			return 0, false, true, nil
+		case StatusCompleted:
+			// Speculative read-from: register the dependency before using
+			// the value so a concurrent abort of o cascades to us.
+			if derr := tx.dependOn(o); derr != nil {
+				return 0, false, true, nil
+			}
+			tx.mu.Lock()
+			tx.reads[addr] = readEntry{from: o}
+			tx.mu.Unlock()
+			return bv, true, false, nil
+		case StatusCommitted:
+			return 0, false, true, nil // committed but not yet unchained
+		}
+	}
+	return 0, false, false, nil
+}
+
+// Write buffers a new value for addr, registering the transaction as a
+// writer in the lock array. Overwriting the buffered value of an open
+// transaction is allowed and creates a dependency (paper §3).
+func (tx *Tx) Write(addr Addr, v uint64) error {
+	if err := tx.checkRunnable(); err != nil {
+		return err
+	}
+	if int(addr) >= len(tx.mem.data) {
+		return fmt.Errorf("%w: %d", ErrBadAddr, addr)
+	}
+	slot := uint32(addr) & tx.mem.mask
+	tx.mu.Lock()
+	owned := tx.entries[slot]
+	tx.mu.Unlock()
+	if owned {
+		tx.bufferWrite(addr, v)
+		return nil
+	}
+	entry := &tx.mem.locks[slot]
+	for {
+		if err := tx.checkRunnable(); err != nil {
+			return err
+		}
+		ls := entry.Load()
+		retry := false
+		var newDeps []*Tx
+		for _, o := range ls.owners {
+			if o == tx {
+				// Raced with ourselves? entries said not owned; impossible
+				// since only this goroutine registers. Defensive:
+				retry = true
+				break
+			}
+			switch Status(o.status.Load()) {
+			case StatusActive, StatusKilled:
+				if err := tx.resolve(o); err != nil {
+					return err
+				}
+				retry = true
+			case StatusAborted, StatusCommitted:
+				retry = true // chain about to be cleaned
+			case StatusCompleted:
+				// Overwriting the buffer of an older open transaction
+				// orders our commit after it (WAW dependency). A *newer*
+				// open owner commits after us regardless; no dependency.
+				if !o.newerThan(tx) {
+					newDeps = append(newDeps, o)
+				}
+			}
+			if retry {
+				break
+			}
+		}
+		if retry {
+			runtime.Gosched()
+			continue
+		}
+		owners := make([]*Tx, len(ls.owners)+1)
+		copy(owners, ls.owners)
+		owners[len(ls.owners)] = tx
+		if !entry.CompareAndSwap(ls, &lockState{version: ls.version, owners: owners}) {
+			continue
+		}
+		tx.mu.Lock()
+		tx.entries[slot] = true
+		tx.mu.Unlock()
+		for _, o := range newDeps {
+			if err := tx.dependOn(o); err != nil {
+				return err // a predecessor aborted under us; cascade applies
+			}
+		}
+		tx.bufferWrite(addr, v)
+		return nil
+	}
+}
+
+func (tx *Tx) bufferWrite(addr Addr, v uint64) {
+	tx.mu.Lock()
+	tx.writes[addr] = v
+	tx.mu.Unlock()
+}
+
+// extendSnapshot revalidates all committed-memory reads and, if they are
+// still current, advances the transaction's snapshot to the present clock
+// (LSA-style snapshot extension, preserving opacity).
+func (tx *Tx) extendSnapshot() bool {
+	now := tx.mem.clock.Load()
+	if !tx.validateReads() {
+		return false
+	}
+	tx.snapshot = now
+	return true
+}
+
+// validateReads checks every read entry:
+//
+//   - committed-memory reads: the lock entry's version is unchanged, and
+//     no open transaction that must commit before us (smaller timestamp)
+//     has buffered a write to the address;
+//   - speculative reads: the source transaction has not aborted, and if it
+//     has committed, no later commit has overwritten the entry.
+func (tx *Tx) validateReads() bool {
+	// reads is only mutated by the executing goroutine while Active;
+	// validation happens on that goroutine or, after the Completed
+	// transition (which synchronizes), on the commit scheduler. Holding
+	// tx.mu here would deadlock against o.buffered taking o.mu while o
+	// validates reads against us.
+	for addr, re := range tx.reads {
+		entry := tx.mem.entryFor(addr)
+		ls := entry.Load()
+		if re.from != nil {
+			switch Status(re.from.status.Load()) {
+			case StatusAborted:
+				return false
+			case StatusCommitted:
+				if ls.version != re.from.commitVersion {
+					return false
+				}
+			}
+			continue
+		}
+		if ls.version != re.version {
+			return false
+		}
+		for _, o := range ls.owners {
+			if o == tx {
+				continue
+			}
+			if _, has := o.buffered(addr); !has {
+				continue
+			}
+			// A writer that must commit before us makes our read stale.
+			if !o.newerThan(tx) && Status(o.status.Load()) != StatusAborted {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Complete finishes the execution phase: it validates the read set and
+// moves the transaction to the open (pre-commit) state, keeping its lock
+// array entries — the paper's speculative wait state. On ErrConflict the
+// caller must Abort and re-execute.
+func (tx *Tx) Complete() error {
+	if !tx.status.CompareAndSwap(int32(StatusActive), int32(StatusCompleted)) {
+		switch Status(tx.status.Load()) {
+		case StatusKilled, StatusAborted:
+			return ErrConflict
+		default:
+			return fmt.Errorf("%w: Complete from %s", ErrInvalidState, tx.Status())
+		}
+	}
+	if !tx.validateReads() {
+		return ErrConflict
+	}
+	return nil
+}
+
+// DepsOpen returns the number of dependencies that have not yet committed.
+// The engine polls this (together with its own log-stability and input-
+// finality conditions) to decide when a transaction may commit.
+func (tx *Tx) DepsOpen() int {
+	tx.mu.Lock()
+	deps := make([]*Tx, 0, len(tx.deps))
+	for d := range tx.deps {
+		deps = append(deps, d)
+	}
+	tx.mu.Unlock()
+	open := 0
+	for _, d := range deps {
+		if Status(d.status.Load()) != StatusCommitted {
+			open++
+		}
+	}
+	return open
+}
+
+// Commit applies the buffered writes and releases the lock entries. The
+// transaction must be Completed, all its dependencies must have committed,
+// and the read set must still be valid. Commits within one Memory must be
+// issued one at a time in event-timestamp order (the engine's commit
+// scheduler guarantees this).
+//
+// Returns ErrDepsOpen if a dependency is still open (retry later) and
+// ErrConflict if the transaction aborted, a dependency aborted, or
+// validation failed (the caller must Abort and re-execute).
+func (tx *Tx) Commit() error {
+	// Check dependencies before claiming the committing state.
+	tx.mu.Lock()
+	deps := make([]*Tx, 0, len(tx.deps))
+	for d := range tx.deps {
+		deps = append(deps, d)
+	}
+	tx.mu.Unlock()
+	for _, d := range deps {
+		switch Status(d.status.Load()) {
+		case StatusCommitted:
+		case StatusAborted:
+			tx.doAbort()
+			return ErrConflict
+		default:
+			return ErrDepsOpen
+		}
+	}
+	if !tx.status.CompareAndSwap(int32(StatusCompleted), statusCommitting) {
+		switch Status(tx.status.Load()) {
+		case StatusAborted, StatusKilled:
+			return ErrConflict
+		case StatusCommitted:
+			return fmt.Errorf("%w: already committed", ErrInvalidState)
+		default:
+			return fmt.Errorf("%w: Commit from %s", ErrInvalidState, tx.Status())
+		}
+	}
+	if !tx.validateReads() {
+		tx.status.Store(int32(StatusCompleted)) // restore for doAbort bookkeeping
+		tx.doAbort()
+		return ErrConflict
+	}
+
+	tx.mem.commitGate.RLock()
+	version := tx.mem.clock.Add(1)
+	tx.commitVersion = version
+	tx.mu.Lock()
+	for addr, v := range tx.writes {
+		tx.mem.data[addr].Store(v)
+	}
+	slots := make([]uint32, 0, len(tx.entries))
+	for slot := range tx.entries {
+		slots = append(slots, slot)
+	}
+	tx.mu.Unlock()
+	for _, slot := range slots {
+		tx.unchain(slot, version)
+	}
+	tx.mem.commitGate.RUnlock()
+
+	tx.status.Store(int32(StatusCommitted))
+	tx.mem.commits.Add(1)
+	return nil
+}
+
+// unchain removes tx from a lock-array slot, setting the slot's version if
+// the removal is a commit (version != 0).
+func (tx *Tx) unchain(slot uint32, version uint64) {
+	entry := &tx.mem.locks[slot]
+	for {
+		ls := entry.Load()
+		idx := -1
+		for i, o := range ls.owners {
+			if o == tx {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return
+		}
+		owners := make([]*Tx, 0, len(ls.owners)-1)
+		owners = append(owners, ls.owners[:idx]...)
+		owners = append(owners, ls.owners[idx+1:]...)
+		newVersion := ls.version
+		if version != 0 {
+			newVersion = version
+		}
+		if entry.CompareAndSwap(ls, &lockState{version: newVersion, owners: owners}) {
+			return
+		}
+	}
+}
+
+// Abort aborts the transaction, releasing its lock entries and cascading
+// to every dependent transaction. It is idempotent and may be called from
+// any goroutine once the executing goroutine has stopped issuing
+// operations (the engine's contract after an ErrConflict).
+func (tx *Tx) Abort() {
+	tx.doAbort()
+}
+
+func (tx *Tx) doAbort() {
+	for {
+		st := tx.status.Load()
+		switch st {
+		case int32(StatusCommitted):
+			return
+		case int32(StatusAborted):
+			return
+		case statusCommitting:
+			// A committing transaction cannot legitimately be cascade-
+			// aborted (all its deps committed); wait out the transition.
+			runtime.Gosched()
+			continue
+		}
+		if tx.status.CompareAndSwap(st, int32(StatusAborted)) {
+			tx.finishAbort()
+			return
+		}
+	}
+}
+
+// finishAbort runs the post-status abort work exactly once.
+func (tx *Tx) finishAbort() {
+	tx.abortOnce.Do(func() {
+		tx.mem.aborts.Add(1)
+		tx.mu.Lock()
+		slots := make([]uint32, 0, len(tx.entries))
+		for slot := range tx.entries {
+			slots = append(slots, slot)
+		}
+		dependents := tx.dependents
+		tx.dependents = nil
+		onAbort := tx.onAbort
+		tx.mu.Unlock()
+		for _, slot := range slots {
+			tx.unchain(slot, 0)
+		}
+		for _, d := range dependents {
+			d.cascadeAbort()
+		}
+		if onAbort != nil {
+			onAbort(tx)
+		}
+	})
+}
+
+// cascadeAbort is invoked on a dependent when one of its dependencies
+// aborts. Active dependents are killed (their goroutine aborts at its next
+// operation); open dependents abort immediately.
+func (tx *Tx) cascadeAbort() {
+	for {
+		st := tx.status.Load()
+		switch st {
+		case int32(StatusActive):
+			if tx.status.CompareAndSwap(st, int32(StatusKilled)) {
+				tx.mem.kills.Add(1)
+				return
+			}
+		case int32(StatusKilled), int32(StatusAborted), int32(StatusCommitted):
+			return
+		case int32(StatusCompleted):
+			if tx.status.CompareAndSwap(st, int32(StatusAborted)) {
+				tx.finishAbort()
+				return
+			}
+		case statusCommitting:
+			runtime.Gosched()
+		}
+	}
+}
+
+// WritesSnapshot returns a copy of the buffered write set. The engine uses
+// it after a rollback + re-execution to decide whether downstream effects
+// actually changed (paper §3.1: dependents are only re-executed when the
+// re-execution produced different values).
+func (tx *Tx) WritesSnapshot() map[Addr]uint64 {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	out := make(map[Addr]uint64, len(tx.writes))
+	for a, v := range tx.writes {
+		out[a] = v
+	}
+	return out
+}
+
+// ReadSetSize and WriteSetSize expose set sizes for metrics and tests.
+func (tx *Tx) ReadSetSize() int {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	return len(tx.reads)
+}
+
+// WriteSetSize returns the number of distinct addresses buffered.
+func (tx *Tx) WriteSetSize() int {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	return len(tx.writes)
+}

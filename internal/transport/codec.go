@@ -1,0 +1,106 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"streammine/internal/event"
+)
+
+// Wire format: each frame is
+//
+//	length uint32   (bytes after this field)
+//	type   uint8
+//	body   (event encoding for MsgEvent; fixed control tuple otherwise)
+const (
+	controlBody  = 4 + 8 + 4 // source, seq, version
+	maxFrameSize = 4 + 1 + event.MaxPayload + 64
+)
+
+// ErrFrameTooLarge reports a frame length prefix exceeding the sanity cap.
+var ErrFrameTooLarge = errors.New("transport: frame too large")
+
+// EncodeMessage appends the wire form of m to dst.
+func EncodeMessage(dst []byte, m Message) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, byte(m.Type)) // length patched below
+	switch m.Type {
+	case MsgEvent:
+		dst = m.Event.Encode(dst)
+	default:
+		var b [controlBody]byte
+		binary.LittleEndian.PutUint32(b[0:], uint32(m.ID.Source))
+		binary.LittleEndian.PutUint64(b[4:], uint64(m.ID.Seq))
+		binary.LittleEndian.PutUint32(b[12:], uint32(m.Version))
+		dst = append(dst, b[:]...)
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
+}
+
+// DecodeMessage parses one frame from src, returning the message and bytes
+// consumed. Event payloads are copied (frames outlive read buffers).
+func DecodeMessage(src []byte) (Message, int, error) {
+	if len(src) < 5 {
+		return Message{}, 0, event.ErrShortBuffer
+	}
+	length := binary.LittleEndian.Uint32(src)
+	if length > maxFrameSize {
+		return Message{}, 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, length)
+	}
+	if len(src) < 4+int(length) {
+		return Message{}, 0, event.ErrShortBuffer
+	}
+	m := Message{Type: MsgType(src[4])}
+	body := src[5 : 4+length]
+	switch m.Type {
+	case MsgEvent:
+		e, _, err := event.Decode(body)
+		if err != nil {
+			return Message{}, 0, fmt.Errorf("decode event frame: %w", err)
+		}
+		m.Event = e.Clone() // detach from the read buffer
+	case MsgFinalize, MsgRevoke, MsgAck, MsgReplay, MsgHeartbeat:
+		if len(body) < controlBody {
+			return Message{}, 0, event.ErrShortBuffer
+		}
+		m.ID = event.ID{
+			Source: event.SourceID(binary.LittleEndian.Uint32(body[0:])),
+			Seq:    event.Seq(binary.LittleEndian.Uint64(body[4:])),
+		}
+		m.Version = event.Version(binary.LittleEndian.Uint32(body[12:]))
+	default:
+		return Message{}, 0, fmt.Errorf("transport: unknown message type %d", src[4])
+	}
+	return m, 4 + int(length), nil
+}
+
+// WriteMessage writes one frame to w.
+func WriteMessage(w io.Writer, m Message) error {
+	buf := EncodeMessage(nil, m)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("write frame: %w", err)
+	}
+	return nil
+}
+
+// ReadMessage reads one complete frame from r.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[:])
+	if length > maxFrameSize {
+		return Message{}, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, length)
+	}
+	body := make([]byte, 4+length)
+	copy(body, hdr[:])
+	if _, err := io.ReadFull(r, body[4:]); err != nil {
+		return Message{}, err
+	}
+	m, _, err := DecodeMessage(body)
+	return m, err
+}

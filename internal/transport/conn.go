@@ -1,0 +1,250 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Conn is a unidirectional-ish message link: Send pushes messages to the
+// peer; received messages are delivered to the handler registered at
+// construction. Implementations are safe for concurrent Send.
+type Conn interface {
+	// Send transmits one message.
+	Send(m Message) error
+	// Close tears the link down; the peer's handler stops receiving.
+	Close() error
+}
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("transport: closed")
+
+// Handler consumes received messages. Handlers run on the connection's
+// receive goroutine and must not block indefinitely.
+type Handler func(Message)
+
+// pipeConn is one end of an in-process pipe.
+type pipeConn struct {
+	peer *pipeConn
+
+	mu      sync.Mutex
+	handler Handler
+	closed  bool
+	wg      sync.WaitGroup
+	queue   chan Message
+	stop    chan struct{}
+}
+
+var _ Conn = (*pipeConn)(nil)
+
+// Pipe creates a connected in-process pair: messages sent on a flow to
+// b's handler and vice versa. Handlers may be nil (messages dropped).
+// Each side runs one delivery goroutine, stopped by Close of either end.
+func Pipe(aHandler, bHandler Handler) (Conn, Conn) {
+	a := &pipeConn{handler: aHandler, queue: make(chan Message, 1024), stop: make(chan struct{})}
+	b := &pipeConn{handler: bHandler, queue: make(chan Message, 1024), stop: make(chan struct{})}
+	a.peer, b.peer = b, a
+	a.wg.Add(1)
+	go a.deliver()
+	b.wg.Add(1)
+	go b.deliver()
+	return a, b
+}
+
+// deliver pumps this side's inbound queue into its handler.
+func (c *pipeConn) deliver() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case m := <-c.queue:
+			c.mu.Lock()
+			h := c.handler
+			c.mu.Unlock()
+			if h != nil {
+				h(m)
+			}
+		}
+	}
+}
+
+// Send enqueues m for the peer's handler.
+func (c *pipeConn) Send(m Message) error {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	select {
+	case c.peer.queue <- m:
+		return nil
+	case <-c.peer.stop:
+		return ErrClosed
+	}
+}
+
+// Close stops this end; pending undelivered messages are dropped.
+func (c *pipeConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.stop)
+	c.wg.Wait()
+	return nil
+}
+
+// tcpConn adapts a net.Conn to the Conn interface.
+type tcpConn struct {
+	nc net.Conn
+
+	sendMu sync.Mutex
+	closed sync.Once
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+var _ Conn = (*tcpConn)(nil)
+
+// Send writes one frame.
+func (c *tcpConn) Send(m Message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	if err := WriteMessage(c.nc, m); err != nil {
+		return fmt.Errorf("tcp send: %w", err)
+	}
+	return nil
+}
+
+// Close shuts the socket down and waits for the read loop.
+func (c *tcpConn) Close() error {
+	var err error
+	c.closed.Do(func() {
+		close(c.done)
+		err = c.nc.Close()
+		c.wg.Wait()
+	})
+	return err
+}
+
+// readLoop decodes frames into the handler until the socket closes.
+func (c *tcpConn) readLoop(h Handler) {
+	defer c.wg.Done()
+	for {
+		m, err := ReadMessage(c.nc)
+		if err != nil {
+			return
+		}
+		if h != nil {
+			h(m)
+		}
+	}
+}
+
+// Dial connects to a listening node and returns the connection; inbound
+// messages go to h.
+func Dial(addr string, h Handler) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	c := &tcpConn{nc: nc, done: make(chan struct{})}
+	c.wg.Add(1)
+	go c.readLoop(h)
+	return c, nil
+}
+
+// ConnHandler consumes received messages along with the connection they
+// arrived on, so replies (ACKs, replay requests) can flow back over the
+// same link.
+type ConnHandler func(c Conn, m Message)
+
+// Server accepts TCP connections for a node.
+type Server struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  []Conn
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Listen starts accepting connections on addr (use "127.0.0.1:0" for an
+// ephemeral port). Each accepted connection's inbound messages go to h.
+func Listen(addr string, h Handler) (*Server, error) {
+	var ch ConnHandler
+	if h != nil {
+		ch = func(_ Conn, m Message) { h(m) }
+	}
+	return ListenConn(addr, ch)
+}
+
+// ListenConn is Listen with a connection-aware handler.
+func ListenConn(addr string, h ConnHandler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop(h)
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop(h ConnHandler) {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c := &tcpConn{nc: nc, done: make(chan struct{})}
+		var inner Handler
+		if h != nil {
+			inner = func(m Message) { h(c, m) }
+		}
+		c.wg.Add(1)
+		go c.readLoop(inner)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = c.Close()
+			return
+		}
+		s.conns = append(s.conns, c)
+		s.mu.Unlock()
+	}
+}
+
+// Close stops accepting and closes all accepted connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := s.conns
+	s.conns = nil
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,64 @@
+// Package transport carries events and speculation-control messages
+// between nodes: in-process pipes for single-machine deployments (the
+// paper's experimental setup) and TCP with a framed binary codec for
+// distributed ones.
+//
+// Besides data events, the speculation protocol needs three control
+// messages (paper §2.2, §3):
+//
+//	FINALIZE — an upstream speculative event became final (log stable);
+//	REVOKE   — a speculative event was revoked (its content will be
+//	           replaced by a higher version or never re-sent);
+//	ACK      — a downstream node confirms an event will never be
+//	           requested again, so the upstream output buffer can prune;
+//	REPLAY   — a recovering node asks its upstream to re-send everything
+//	           after a given event.
+package transport
+
+import (
+	"fmt"
+
+	"streammine/internal/event"
+)
+
+// Message is one unit on the wire: a data event or a control message.
+type Message struct {
+	Type    MsgType
+	Event   event.Event   // payload for MsgEvent
+	ID      event.ID      // subject of control messages
+	Version event.Version // version finalized / revoked
+	Input   int           // receiving input index (set by the receiver side)
+}
+
+// MsgType discriminates message kinds on the wire.
+type MsgType uint8
+
+// Message kinds.
+const (
+	MsgEvent MsgType = iota + 1
+	MsgFinalize
+	MsgRevoke
+	MsgAck
+	MsgReplay
+	MsgHeartbeat
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgEvent:
+		return "EVENT"
+	case MsgFinalize:
+		return "FINALIZE"
+	case MsgRevoke:
+		return "REVOKE"
+	case MsgAck:
+		return "ACK"
+	case MsgReplay:
+		return "REPLAY"
+	case MsgHeartbeat:
+		return "HEARTBEAT"
+	default:
+		return fmt.Sprintf("msg(%d)", uint8(t))
+	}
+}

@@ -1,0 +1,107 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWallMonotonic(t *testing.T) {
+	w := NewWall()
+	a := w.Now()
+	time.Sleep(time.Millisecond)
+	b := w.Now()
+	if b <= a {
+		t.Fatalf("wall clock not monotonic: %d then %d", a, b)
+	}
+}
+
+func TestManual(t *testing.T) {
+	m := NewManual(100)
+	if m.Now() != 100 {
+		t.Fatalf("Now = %d, want 100", m.Now())
+	}
+	if got := m.Advance(5); got != 105 {
+		t.Fatalf("Advance returned %d, want 105", got)
+	}
+	m.Set(42)
+	if m.Now() != 42 {
+		t.Fatalf("after Set, Now = %d, want 42", m.Now())
+	}
+}
+
+func TestTickerStrictlyIncreasing(t *testing.T) {
+	m := NewManual(0)
+	tick := NewTicker(m)
+	prev := int64(-1)
+	for i := 0; i < 100; i++ {
+		got := tick.Next()
+		if got <= prev {
+			t.Fatalf("tick %d: %d <= previous %d", i, got, prev)
+		}
+		prev = got
+	}
+	// Clock jumps forward: ticker follows.
+	m.Set(1000)
+	if got := tick.Next(); got < 1000 {
+		t.Fatalf("after clock jump, Next = %d, want >= 1000", got)
+	}
+}
+
+func TestTickerConcurrentUnique(t *testing.T) {
+	tick := NewTicker(NewManual(0))
+	const workers, perWorker = 8, 500
+	results := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]int64, perWorker)
+			for i := range out {
+				out[i] = tick.Next()
+			}
+			results[w] = out
+		}()
+	}
+	wg.Wait()
+	seen := make(map[int64]bool, workers*perWorker)
+	for _, out := range results {
+		for _, v := range out {
+			if seen[v] {
+				t.Fatalf("duplicate tick %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestWatermark(t *testing.T) {
+	w := NewWatermark(3)
+	if w.Current() != -1 {
+		t.Fatalf("initial watermark = %d, want -1", w.Current())
+	}
+	w.Observe(0, 10)
+	w.Observe(1, 20)
+	if got := w.Current(); got != -1 {
+		t.Fatalf("watermark with one silent input = %d, want -1", got)
+	}
+	if got := w.Observe(2, 5); got != 5 {
+		t.Fatalf("watermark = %d, want 5", got)
+	}
+	// Stale observation must not regress the frontier.
+	if got := w.Observe(2, 3); got != 5 {
+		t.Fatalf("stale observation moved watermark to %d", got)
+	}
+	if got := w.Observe(2, 30); got != 10 {
+		t.Fatalf("watermark = %d, want 10", got)
+	}
+}
+
+func TestWatermarkSingleInput(t *testing.T) {
+	w := NewWatermark(1)
+	if got := w.Observe(0, 7); got != 7 {
+		t.Fatalf("watermark = %d, want 7", got)
+	}
+}
