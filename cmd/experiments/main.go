@@ -16,7 +16,10 @@ import (
 	"fmt"
 	"os"
 
+	"streammine/internal/debugserver"
 	"streammine/internal/experiments"
+	"streammine/internal/metrics"
+	"streammine/internal/transport"
 )
 
 func main() {
@@ -30,7 +33,21 @@ func run() error {
 	quick := flag.Bool("quick", false, "scaled-down parameters (finishes in seconds)")
 	fig := flag.String("fig", "", "run a single experiment by id")
 	list := flag.Bool("list", false, "list experiments and exit")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address while experiments run")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		reg := metrics.NewRegistry()
+		transport.RegisterMetrics(reg)
+		experiments.SetMetricsRegistry(reg)
+		srv := debugserver.New(reg, nil)
+		bound, err := srv.Start(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("debug server on http://%s (/metrics /healthz /debug/pprof)\n", bound)
+	}
 
 	cfg := experiments.Config{Quick: *quick}
 	runners := experiments.Runners()

@@ -6,6 +6,8 @@
 // Usage:
 //
 //	streammine -topology pipeline.json
+//	streammine -topology pipeline.json -debug-addr :8090   # + /metrics, pprof
+//	streammine -topology pipeline.json -trace run.jsonl    # + lifecycle spans
 //	streammine -example > pipeline.json   # print a starter topology
 package main
 
@@ -17,10 +19,12 @@ import (
 	"time"
 
 	"streammine/internal/core"
+	"streammine/internal/debugserver"
 	"streammine/internal/event"
 	"streammine/internal/metrics"
 	"streammine/internal/operator"
 	"streammine/internal/storage"
+	"streammine/internal/transport"
 	"streammine/internal/vclock"
 )
 
@@ -48,20 +52,95 @@ func main() {
 	}
 }
 
+// observability bundles the opt-in instrumentation configured by the
+// -debug-addr and -trace flags: a metrics registry served over HTTP and
+// a JSONL event-lifecycle tracer (docs/OBSERVABILITY.md).
+type observability struct {
+	registry  *metrics.Registry
+	tracer    *metrics.Tracer
+	addr      string
+	server    *debugserver.Server
+	traceFile *os.File
+}
+
+func newObservability(debugAddr, tracePath string) (*observability, error) {
+	o := &observability{addr: debugAddr}
+	if debugAddr != "" {
+		o.registry = metrics.NewRegistry()
+		transport.RegisterMetrics(o.registry)
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, fmt.Errorf("create trace file: %w", err)
+		}
+		o.traceFile = f
+		o.tracer = metrics.NewTracer(f)
+	}
+	return o, nil
+}
+
+// serve starts the debug HTTP server; call it once the engine exists so
+// /healthz can report its first error.
+func (o *observability) serve(health func() error) error {
+	if o.addr == "" {
+		return nil
+	}
+	o.server = debugserver.New(o.registry, health)
+	bound, err := o.server.Start(o.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("debug server on http://%s (/metrics /healthz /debug/pprof)\n", bound)
+	return nil
+}
+
+func (o *observability) close() {
+	if o.server != nil {
+		_ = o.server.Close()
+	}
+	if o.tracer != nil {
+		_ = o.tracer.Flush()
+	}
+	if o.traceFile != nil {
+		fmt.Printf("trace: %d spans written to %s\n", o.tracer.Count(), o.traceFile.Name())
+		_ = o.traceFile.Close()
+	}
+}
+
+// sinkLatency returns the end-to-end latency histogram for a sink: a
+// registered sink_latency{sink=...} series when metrics are on, or a
+// detached histogram otherwise.
+func (o *observability) sinkLatency(name string) *metrics.Histogram {
+	if o.registry == nil {
+		return metrics.NewHistogram()
+	}
+	return o.registry.HistogramWith("sink_latency",
+		"End-to-end latency of finalized sink outputs (source timestamp to externalization).",
+		metrics.Labels{"sink": name})
+}
+
 func run() error {
 	topoPath := flag.String("topology", "", "path to a JSON topology file")
 	example := flag.Bool("example", false, "print an example topology and exit")
 	query := flag.String("query", "", "run a continuous query against synthetic sources")
 	rate := flag.Int("rate", 1000, "with -query: events/second per source")
 	count := flag.Int("count", 5000, "with -query: events per source")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8090)")
+	tracePath := flag.String("trace", "", "write per-event lifecycle spans (JSONL) to this file")
 	flag.Parse()
 
 	if *example {
 		fmt.Println(exampleTopology)
 		return nil
 	}
+	obs, err := newObservability(*debugAddr, *tracePath)
+	if err != nil {
+		return err
+	}
+	defer obs.close()
 	if *query != "" {
-		return runQuery(*query, *rate, *count)
+		return runQuery(*query, *rate, *count, obs)
 	}
 	if *topoPath == "" {
 		return fmt.Errorf("usage: streammine -topology pipeline.json | -query \"SELECT ...\" (or -example)")
@@ -92,8 +171,14 @@ func run() error {
 	defer pool.Close()
 
 	wall := vclock.NewWall()
-	eng, err := core.New(built.graph, core.Options{Pool: pool, Seed: cfg.Seed, Clock: wall})
+	eng, err := core.New(built.graph, core.Options{
+		Pool: pool, Seed: cfg.Seed, Clock: wall,
+		Metrics: obs.registry, Tracer: obs.tracer,
+	})
 	if err != nil {
+		return err
+	}
+	if err := obs.serve(eng.Err); err != nil {
 		return err
 	}
 	if err := eng.Start(); err != nil {
@@ -113,7 +198,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		st := &sinkStats{name: node.Name, hist: metrics.NewHistogram(), thr: metrics.NewThroughput()}
+		st := &sinkStats{name: node.Name, hist: obs.sinkLatency(node.Name), thr: metrics.NewThroughput()}
 		sinks = append(sinks, st)
 		if err := eng.Subscribe(id, 0, func(ev event.Event, final bool) {
 			if !final {
@@ -127,6 +212,9 @@ func run() error {
 				st.hist.Record(lat)
 			}
 			st.thr.Inc()
+			if tr := obs.tracer; tr != nil {
+				tr.Record(st.name, ev.ID.String(), metrics.PhaseExternalize, "")
+			}
 		}); err != nil {
 			return err
 		}

@@ -10,6 +10,7 @@ import (
 	"streammine/internal/detrand"
 	"streammine/internal/event"
 	"streammine/internal/graph"
+	"streammine/internal/metrics"
 	"streammine/internal/operator"
 	"streammine/internal/storage"
 )
@@ -17,7 +18,7 @@ import (
 // runQuery compiles a continuous query, drives each FROM stream with a
 // synthetic paced source (random keys over a small space, sequential
 // values), and prints the query's finalized outputs as they arrive.
-func runQuery(text string, rate, count int) error {
+func runQuery(text string, rate, count int, obs *observability) error {
 	q, err := cq.Parse(text)
 	if err != nil {
 		return err
@@ -36,8 +37,14 @@ func runQuery(text string, rate, count int) error {
 
 	pool := storage.NewPool([]storage.Disk{storage.NewMemDisk()})
 	defer pool.Close()
-	eng, err := core.New(g, core.Options{Pool: pool, Seed: 1})
+	eng, err := core.New(g, core.Options{
+		Pool: pool, Seed: 1,
+		Metrics: obs.registry, Tracer: obs.tracer,
+	})
 	if err != nil {
+		return err
+	}
+	if err := obs.serve(eng.Err); err != nil {
 		return err
 	}
 	if err := eng.Start(); err != nil {
@@ -57,6 +64,9 @@ func runQuery(text string, rate, count int) error {
 		lastPayload = operator.DecodeValue(ev.Payload)
 		n := results
 		mu.Unlock()
+		if tr := obs.tracer; tr != nil {
+			tr.Record("query-sink", ev.ID.String(), metrics.PhaseExternalize, "")
+		}
 		if n <= 10 || n%1000 == 0 {
 			fmt.Printf("result %6d: key=%d value=%d ts=%d\n", n, ev.Key, operator.DecodeValue(ev.Payload), ev.Timestamp)
 		}

@@ -32,6 +32,7 @@ import (
 	"streammine/internal/detrand"
 	"streammine/internal/event"
 	"streammine/internal/graph"
+	"streammine/internal/metrics"
 	"streammine/internal/storage"
 	"streammine/internal/vclock"
 	"streammine/internal/wal"
@@ -55,10 +56,10 @@ type Options struct {
 	// data dependencies (DESIGN.md §6.1).
 	TaintAll bool
 	// StrictFinality closes the fine-grained finality hole (DESIGN.md
-	// §6.1): an output is only sent final while ANY open task of the node
-	// is tainted if strictness is off. The paper's rule (default) may in
-	// rare interleavings replace an already-final output; with strict
-	// finality such outputs are marked speculative instead.
+	// §9.1): the paper's rule (default) may in rare interleavings replace
+	// an already-final output. With strictness on, an output is marked
+	// speculative while any open task of the node is tainted or any older
+	// task is still uncommitted, which makes final outputs immutable.
 	StrictFinality bool
 	// CheckpointStore receives operator snapshots; defaults to an
 	// in-memory store.
@@ -74,6 +75,17 @@ type Options struct {
 	// conflicting older transaction is still open. Zero retries
 	// immediately (maximum promptness).
 	ConflictBackoff time.Duration
+	// Metrics, when set, receives the engine's observability series
+	// (docs/OBSERVABILITY.md lists them all). Instrumentation is
+	// allocation-free on the hot path: existing atomic counters are read
+	// at scrape time, and the few new measurements are atomic updates on
+	// handles resolved once here. Nil disables instrumentation entirely.
+	Metrics *metrics.Registry
+	// Tracer, when set, records every event's lifecycle (ingress,
+	// execution, speculative/final outputs, finalize/revoke, commit,
+	// abort) as JSONL spans for offline latency breakdown. Tracing is
+	// opt-in and does allocate; leave nil on benchmark runs.
+	Tracer *metrics.Tracer
 }
 
 // Engine hosts one process's share of the operator graph.
@@ -84,6 +96,11 @@ type Engine struct {
 	tick  *vclock.Ticker
 
 	nodes []*node
+
+	// met and tracer are the observability hooks; both nil when disabled
+	// so hot paths pay a single pointer check.
+	met    *engineMetrics
+	tracer *metrics.Tracer
 
 	mu      sync.Mutex
 	started bool
@@ -140,6 +157,13 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 		up, down := eng.nodes[e.From], eng.nodes[e.To]
 		up.addLink(e.FromPort, &localLink{target: down, input: e.ToInput})
 		down.setUpstream(e.ToInput, localUpstream{n: up})
+	}
+	eng.tracer = opts.Tracer
+	if opts.Metrics != nil {
+		eng.met = registerEngineMetrics(eng, opts.Metrics)
+		for _, n := range eng.nodes {
+			n.log.SetMetrics(eng.met.walLog)
+		}
 	}
 	return eng, nil
 }

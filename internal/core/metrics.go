@@ -1,0 +1,182 @@
+package core
+
+import (
+	"streammine/internal/metrics"
+	"streammine/internal/stm"
+	"streammine/internal/wal"
+)
+
+// engineMetrics holds the instrumentation handles the engine's hot paths
+// update directly. The struct is resolved once at Engine construction
+// (when Options.Metrics is set); a nil *engineMetrics disables all of it
+// behind a single pointer check, so the uninstrumented hot path pays
+// nothing.
+//
+// Counters that already exist as per-node atomics (dispatched, executed,
+// committed, STM stats, ...) are NOT duplicated here: they are exported
+// as func-backed series read at scrape time (see registerEngineMetrics),
+// which keeps the hot path byte-identical to the unmetered build.
+type engineMetrics struct {
+	// aborts by cause (core_aborts_total{cause=...}).
+	abortsConflict *metrics.Counter // STM validation / conflict kill
+	abortsRevoke   *metrics.Counter // upstream revoked the input event
+	abortsReplace  *metrics.Counter // input replaced with different content
+	abortsError    *metrics.Counter // operator or logging error
+
+	// cascadeAborts counts aborts that propagated: the cancelled or
+	// rolled-back task had already sent outputs downstream, so its
+	// revocations extend the cascade by another hop.
+	cascadeAborts *metrics.Counter
+	// revokes counts output records revoked downstream.
+	revokes *metrics.Counter
+
+	// replays counts REPLAY requests served from the output buffer;
+	// replayed counts the buffered events re-sent for them.
+	replays  *metrics.Counter
+	replayed *metrics.Counter
+
+	// finalizeLat observes admission→commit per event: the time an input
+	// stays speculative before its effects are final.
+	finalizeLat *metrics.Histogram
+
+	// walLog is shared by every node's decision log.
+	walLog *wal.LogMetrics
+}
+
+// registerEngineMetrics creates the engine's metric series on reg and
+// returns the hot-path handles. Func-backed series capture e and read
+// the live counters at scrape time; re-registering (a second engine in
+// the same process, e.g. consecutive experiment runs) rebinds them to
+// the newest engine while plain counters keep accumulating.
+func registerEngineMetrics(e *Engine, reg *metrics.Registry) *engineMetrics {
+	const abortsHelp = "Task aborts by cause (conflict, revoke, replacement, error)."
+	m := &engineMetrics{
+		abortsConflict: reg.CounterWith("core_aborts_total", abortsHelp, metrics.Labels{"cause": "conflict"}),
+		abortsRevoke:   reg.CounterWith("core_aborts_total", abortsHelp, metrics.Labels{"cause": "revoke"}),
+		abortsReplace:  reg.CounterWith("core_aborts_total", abortsHelp, metrics.Labels{"cause": "replacement"}),
+		abortsError:    reg.CounterWith("core_aborts_total", abortsHelp, metrics.Labels{"cause": "error"}),
+		cascadeAborts: reg.Counter("core_cascade_aborts_total",
+			"Aborts whose task had live downstream outputs (the rollback cascade grew by one hop)."),
+		revokes: reg.Counter("core_revokes_total",
+			"Output records revoked downstream (rollback cascades and vanished outputs)."),
+		replays: reg.Counter("core_replay_requests_total",
+			"REPLAY requests served from output buffers (recovery)."),
+		replayed: reg.Counter("core_replayed_events_total",
+			"Buffered output events re-sent for replay requests."),
+		finalizeLat: reg.Histogram("core_finalize_latency",
+			"Per-event latency from admission at a node to its commit (speculation window)."),
+		walLog: &wal.LogMetrics{
+			AppendLatency: reg.Histogram("wal_append_latency",
+				"Decision-log batch latency from submission to stable notification."),
+			Appends: reg.Counter("wal_appends_total", "Decision-log batches submitted."),
+			Records: reg.Counter("wal_records_total", "Decision records submitted."),
+			Errors:  reg.Counter("wal_append_errors_total", "Decision-log batches that failed to become stable."),
+		},
+	}
+
+	stat := func(f func(NodeStats) uint64) func() uint64 {
+		return func() uint64 { return f(e.TotalStats()) }
+	}
+	reg.CounterFunc("core_events_dispatched_total",
+		"Input events admitted by dispatchers.", nil,
+		stat(func(s NodeStats) uint64 { return s.Dispatched }))
+	reg.CounterFunc("core_executions_total",
+		"Task executions completed (first runs and re-executions).", nil,
+		stat(func(s NodeStats) uint64 { return s.Executed }))
+	reg.CounterFunc("core_commits_total",
+		"Tasks committed in arrival order.", nil,
+		stat(func(s NodeStats) uint64 { return s.Committed }))
+	reg.CounterFunc("core_reexecutions_total",
+		"Task re-executions after rollback or conflict.", nil,
+		stat(func(s NodeStats) uint64 { return s.Reexecuted }))
+	const outputsHelp = "Outputs first sent downstream, by speculation state."
+	reg.CounterFunc("core_outputs_total", outputsHelp,
+		metrics.Labels{"kind": "speculative"},
+		stat(func(s NodeStats) uint64 { return s.SpecSent }))
+	reg.CounterFunc("core_outputs_total", outputsHelp,
+		metrics.Labels{"kind": "final"},
+		stat(func(s NodeStats) uint64 { return s.FinalSent }))
+	reg.CounterFunc("core_final_violations_total",
+		"Replacements of already-final outputs (DESIGN.md §9.1 hole; must stay 0).", nil,
+		stat(func(s NodeStats) uint64 { return s.FinalViolations }))
+
+	// STM counters, summed across node memories. A crashed node's memory
+	// is rebuilt from scratch, so these can step backwards across a
+	// recovery — acceptable for debugging counters, documented in
+	// docs/OBSERVABILITY.md.
+	stmStat := func(f func(n *node) uint64) func() uint64 {
+		return func() uint64 {
+			var total uint64
+			for _, n := range e.nodes {
+				total += f(n)
+			}
+			return total
+		}
+	}
+	reg.CounterFunc("stm_commits_total",
+		"Transactions committed by the STM.", nil,
+		stmStat(func(n *node) uint64 { return n.memStats().Commits }))
+	reg.CounterFunc("stm_validation_failures_total",
+		"Read-set validations that failed (conflicts observed).", nil,
+		stmStat(func(n *node) uint64 { return n.memStats().Conflicts }))
+	reg.CounterFunc("stm_retries_total",
+		"Transactions aborted and handed back for another attempt.", nil,
+		stmStat(func(n *node) uint64 { return n.memStats().Aborts }))
+	reg.CounterFunc("stm_kills_total",
+		"Transactions killed by cascading aborts of their dependencies.", nil,
+		stmStat(func(n *node) uint64 { return n.memStats().Kills }))
+
+	// Instantaneous engine state.
+	reg.GaugeFunc("core_open_tasks",
+		"Tasks admitted but not yet committed or cancelled.", nil,
+		func() float64 {
+			total := 0
+			for _, n := range e.nodes {
+				total += n.openCount()
+			}
+			return float64(total)
+		})
+	reg.GaugeFunc("core_output_buffer_events",
+		"Output events retained for replay, awaiting downstream ACKs.", nil,
+		func() float64 {
+			total := 0
+			for _, n := range e.nodes {
+				total += n.outBufLen()
+			}
+			return float64(total)
+		})
+	reg.GaugeFunc("core_open_tainted",
+		"Open tasks whose outputs are currently speculative.", nil,
+		func() float64 {
+			var total int64
+			for _, n := range e.nodes {
+				total += n.openTainted.Load()
+			}
+			return float64(total)
+		})
+	reg.GaugeFunc("wal_stable_lag",
+		"Decision records appended but not yet stable, summed over node logs.", nil,
+		func() float64 {
+			var total uint64
+			for _, n := range e.nodes {
+				total += n.log.UnstableLag()
+			}
+			return float64(total)
+		})
+	return m
+}
+
+// memStats reads the node's STM counters under the node lock (the
+// memory object is swapped during crash recovery).
+func (n *node) memStats() stm.Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.mem.Stats()
+}
+
+// outBufLen reports the number of retained output records.
+func (n *node) outBufLen() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.outBuf)
+}

@@ -12,6 +12,7 @@ import (
 	"streammine/internal/detrand"
 	"streammine/internal/event"
 	"streammine/internal/graph"
+	"streammine/internal/metrics"
 	"streammine/internal/stm"
 	"streammine/internal/transport"
 	"streammine/internal/wal"
@@ -65,10 +66,11 @@ type node struct {
 	nextCommit atomic.Int64
 
 	// replay, when non-nil, holds the recovery-mode admission plan;
-	// recoverCover records, per input, the last event position the
-	// restored snapshot already covers (both guarded by mu).
-	replay       *replayPlan
-	recoverCover map[int]event.ID
+	// recoverDrop holds the IDs of logged events the restored snapshot
+	// already covers, whose redeliveries must be dropped (both guarded
+	// by mu).
+	replay      *replayPlan
+	recoverDrop map[event.ID]bool
 
 	links    [][]link
 	upstream map[int]upstreamSender
@@ -221,8 +223,10 @@ func (n *node) err() error {
 	return n.firstErr
 }
 
-// stats snapshots the node counters.
+// stats snapshots the node counters. The STM stats go through memStats
+// (node lock) because crash recovery swaps the memory object.
 func (n *node) stats() NodeStats {
+	memStats := n.memStats()
 	return NodeStats{
 		Dispatched:      n.cDispatched.Load(),
 		Executed:        n.cExecuted.Load(),
@@ -230,8 +234,8 @@ func (n *node) stats() NodeStats {
 		Reexecuted:      n.cReexec.Load(),
 		SpecSent:        n.cSpecSent.Load(),
 		FinalSent:       n.cFinalSent.Load(),
-		Aborts:          n.mem.Stats().Aborts,
-		Conflicts:       n.mem.Stats().Conflicts,
+		Aborts:          memStats.Aborts,
+		Conflicts:       memStats.Conflicts,
 		FinalViolations: n.finalViolations.Load(),
 	}
 }
@@ -321,8 +325,7 @@ func (n *node) admitEvent(pe plannedEvent) {
 		n.ackUpstream(m.Input, id)
 		return
 	}
-	if cover, ok := n.recoverCover[m.Input]; ok &&
-		id.Source == cover.Source && id.Seq <= cover.Seq {
+	if n.recoverDrop[id] {
 		// Redelivery of an event the restored snapshot already covers
 		// (its covering mark never became stable): drop and re-ACK.
 		n.mu.Unlock()
@@ -344,11 +347,18 @@ func (n *node) admitEvent(pe plannedEvent) {
 		decisions: pe.decisions,
 		maxLSN:    pe.maxLSN,
 	}
+	if n.eng.met != nil {
+		t.admitted = time.Now()
+	}
 	n.nextSeq++
 	n.tasks[id] = t
 	n.bySeq[t.seq] = t
 	n.mu.Unlock()
 	n.cDispatched.Add(1)
+	if tr := n.eng.tracer; tr != nil {
+		tr.Record(n.spec.Name, id.String(), metrics.PhaseIngress,
+			fmt.Sprintf("input=%d spec=%t", m.Input, m.Event.Speculative))
+	}
 
 	// The interleaving order across inputs is a non-deterministic decision
 	// for stateful operators: log it before execution can externalize
@@ -397,9 +407,19 @@ func (n *node) applyReplacement(t *task, ev event.Event) {
 	t.evFinal = !ev.Speculative
 	tx := t.tx
 	state := t.state
+	hadSent := len(t.sent) > 0
 	t.mu.Unlock()
 	if state == taskExecuting || state == taskOpen {
 		if tx != nil {
+			if m := n.eng.met; m != nil {
+				m.abortsReplace.Inc()
+				if hadSent {
+					m.cascadeAborts.Inc()
+				}
+			}
+			if tr := n.eng.tracer; tr != nil {
+				tr.Record(n.spec.Name, ev.ID.String(), metrics.PhaseAbort, "cause=replacement")
+			}
 			tx.Abort() // OnAbort enqueues the re-execution
 		}
 	}
@@ -432,10 +452,12 @@ func (n *node) handleRevoke(m transport.Message) {
 	if t == nil {
 		return
 	}
-	n.cancelTask(t)
+	n.cancelTask(t, "revoke")
 }
 
-func (n *node) cancelTask(t *task) {
+// cancelTask aborts and retires a task; cause ("revoke" or "error") feeds
+// the core_aborts_total metric and the abort trace span.
+func (n *node) cancelTask(t *task, cause string) {
 	t.mu.Lock()
 	if t.state == taskCommitted || t.state == taskCancelled {
 		t.mu.Unlock()
@@ -445,11 +467,26 @@ func (n *node) cancelTask(t *task) {
 	tx := t.tx
 	sent := t.sent
 	t.sent = nil
+	inputID := t.ev.ID
 	if t.tainted {
 		t.tainted = false
 		n.openTainted.Add(-1)
 	}
 	t.mu.Unlock()
+	if m := n.eng.met; m != nil {
+		switch cause {
+		case "revoke":
+			m.abortsRevoke.Inc()
+		default:
+			m.abortsError.Inc()
+		}
+		if len(sent) > 0 {
+			m.cascadeAborts.Inc()
+		}
+	}
+	if tr := n.eng.tracer; tr != nil {
+		tr.Record(n.spec.Name, inputID.String(), metrics.PhaseAbort, "cause="+cause)
+	}
 	if tx != nil {
 		tx.Abort()
 	}
@@ -463,6 +500,12 @@ func (n *node) revokeRecord(rec *outRecord) {
 	n.mu.Lock()
 	delete(n.outBuf, rec.id)
 	n.mu.Unlock()
+	if m := n.eng.met; m != nil {
+		m.revokes.Inc()
+	}
+	if tr := n.eng.tracer; tr != nil {
+		tr.Record(n.spec.Name, rec.id.String(), metrics.PhaseRevoke, "")
+	}
 	n.deliverToPort(rec.port, transport.Message{
 		Type: transport.MsgRevoke, ID: rec.id, Version: rec.version,
 	})
@@ -489,6 +532,10 @@ func (n *node) handleReplay() {
 		recs = append(recs, r)
 	}
 	n.mu.Unlock()
+	if m := n.eng.met; m != nil {
+		m.replays.Inc()
+		m.replayed.Add(uint64(len(recs)))
+	}
 	// Oldest first so downstream admission order approximates the original.
 	for i := 1; i < len(recs); i++ {
 		for j := i; j > 0 && recs[j].seq < recs[j-1].seq; j-- {
@@ -545,6 +592,9 @@ func (n *node) handleInject(c cmdInject) {
 	}
 	n.mu.Unlock()
 	n.cFinalSent.Add(1)
+	if tr := n.eng.tracer; tr != nil {
+		tr.Record(n.spec.Name, c.ev.ID.String(), metrics.PhaseIngress, "source")
+	}
 	n.deliverToPort(0, transport.Message{Type: transport.MsgEvent, Event: c.ev})
 }
 
@@ -671,13 +721,19 @@ func (n *node) runTask(t *task) {
 				t.state = taskQueued
 			}
 			t.mu.Unlock()
+			if m := n.eng.met; m != nil {
+				m.abortsConflict.Inc()
+			}
+			if tr := n.eng.tracer; tr != nil {
+				tr.Record(n.spec.Name, ev.ID.String(), metrics.PhaseAbort, "cause=conflict")
+			}
 			tx.Abort()
 			n.mailbox.Push(cmdReexec{t: t, tx: tx})
 			return
 		}
 		n.fail(fmt.Errorf("node %q event %s: %w", n.spec.Name, ev.ID, err))
 		tx.Abort()
-		n.cancelTask(t)
+		n.cancelTask(t, "error")
 		return
 	}
 
@@ -708,6 +764,10 @@ func (n *node) runTask(t *task) {
 		n.appendRecords(t, recs)
 	}
 	n.cExecuted.Add(1)
+	if tr := n.eng.tracer; tr != nil {
+		tr.Record(n.spec.Name, ev.ID.String(), metrics.PhaseExec,
+			fmt.Sprintf("outs=%d", len(ctx.outs)))
+	}
 	if n.spec.Speculative {
 		n.publishOutputs(t)
 	}
@@ -724,7 +784,12 @@ func (n *node) computeTainted(t *task) bool {
 	if n.eng.opts.TaintAll {
 		return n.committedBelow(t.seq)
 	}
-	if n.eng.opts.StrictFinality && n.openTainted.Load() > 0 {
+	if n.eng.opts.StrictFinality &&
+		(n.openTainted.Load() > 0 || n.committedBelow(t.seq)) {
+		// Any open tainted task, or ANY older uncommitted task: an older
+		// task that has not even executed yet can still write state this
+		// task already read, failing its validation at commit time after
+		// its output went out final (the §6.1 hole, widest form).
 		return true
 	}
 	return t.tx.DepsOpen() > 0
@@ -754,6 +819,7 @@ func (n *node) publishOutputs(t *task) {
 		return
 	}
 	spec := n.computeTainted(t)
+	inputID := t.ev.ID
 	if spec && !t.tainted {
 		t.tainted = true
 		n.openTainted.Add(1)
@@ -810,6 +876,13 @@ func (n *node) publishOutputs(t *task) {
 		} else {
 			n.cFinalSent.Add(1)
 		}
+		if tr := n.eng.tracer; tr != nil {
+			phase := metrics.PhaseFinalOut
+			if s.spec {
+				phase = metrics.PhaseSpecOut
+			}
+			tr.Record(n.spec.Name, s.rec.id.String(), phase, "from="+inputID.String())
+		}
 		n.deliverToPort(s.rec.port, transport.Message{
 			Type: transport.MsgEvent, Event: s.rec.toEvent(s.spec),
 		})
@@ -864,6 +937,7 @@ func (n *node) committer() {
 		state := t.state
 		ready := state == taskOpen && t.published && t.evFinal && t.pendingLogs == 0
 		tx := t.tx
+		evID := t.ev.ID
 		t.mu.Unlock()
 		switch {
 		case state == taskCancelled:
@@ -885,6 +959,12 @@ func (n *node) committer() {
 			// Validation failed or a cascade aborted the transaction; a
 			// re-execution is (being) scheduled. Make sure one is queued
 			// and wait for it.
+			if m := n.eng.met; m != nil {
+				m.abortsConflict.Inc()
+			}
+			if tr := n.eng.tracer; tr != nil {
+				tr.Record(n.spec.Name, evID.String(), metrics.PhaseAbort, "cause=conflict")
+			}
 			n.mailbox.Push(cmdReexec{t: t, tx: tx})
 			n.waitCommitSignal(gen)
 		default:
@@ -954,12 +1034,18 @@ func (n *node) finishCommit(t *task) {
 	t.mu.Unlock()
 
 	for _, rec := range finalizes {
+		if tr := n.eng.tracer; tr != nil {
+			tr.Record(n.spec.Name, rec.id.String(), metrics.PhaseFinalize, "")
+		}
 		n.deliverToPort(rec.port, transport.Message{
 			Type: transport.MsgFinalize, ID: rec.id, Version: rec.version,
 		})
 	}
 	for _, rec := range lateFinals {
 		n.cFinalSent.Add(1)
+		if tr := n.eng.tracer; tr != nil {
+			tr.Record(n.spec.Name, rec.id.String(), metrics.PhaseFinalOut, "from="+inputID.String())
+		}
 		n.deliverToPort(rec.port, transport.Message{
 			Type: transport.MsgEvent, Event: rec.toEvent(false),
 		})
@@ -994,6 +1080,12 @@ func (n *node) finishCommit(t *task) {
 
 	n.nextCommit.Add(1)
 	n.cCommitted.Add(1)
+	if m := n.eng.met; m != nil && !t.admitted.IsZero() {
+		m.finalizeLat.Record(time.Since(t.admitted))
+	}
+	if tr := n.eng.tracer; tr != nil {
+		tr.Record(n.spec.Name, inputID.String(), metrics.PhaseCommit, "")
+	}
 }
 
 // takeCheckpoint snapshots the operator state, persists it, marks the log
@@ -1037,11 +1129,14 @@ func (n *node) takeCheckpoint() {
 			n.fail(fmt.Errorf("mark checkpoint: %w", err))
 			return
 		}
-		n.log.Truncate(covered)
 		n.mirrorStable(mark)
+		// ACKs before Truncate: a covered event is redeliverable until its
+		// ACK lands, and recovery identifies covered redeliveries by their
+		// input records — those must outlive the redelivery window.
 		for _, a := range acks {
 			n.ackUpstream(a.input, a.id)
 		}
+		n.log.Truncate(covered)
 	})
 	if err != nil {
 		n.fail(fmt.Errorf("mark checkpoint: %w", err))

@@ -72,7 +72,7 @@ func (n *node) crash() {
 	n.committed = make(map[event.ID]bool)
 	n.outBuf = make(map[event.ID]*outRecord)
 	n.lastCommitted = make(map[int]event.ID)
-	n.recoverCover = nil
+	n.recoverDrop = nil
 	n.replay = nil
 	n.sinceCkpt = nil
 	n.nextSeq = 1
@@ -97,38 +97,75 @@ type replayPlan struct {
 
 // buildReplayPlan digests the node's stable decision records, read from
 // the configured log scanner (real storage) or the in-memory mirror.
-// snapCover is the restored snapshot's covered LSN: records at or below it
-// are already reflected in the restored state even if their covering mark
-// never reached stable storage (the snapshot is saved before the mark).
-func (n *node) buildReplayPlan(snapCover wal.LSN) (*replayPlan, error) {
+//
+// lastByInput holds the restored snapshot's per-input last-committed
+// event IDs. Because commits are issued strictly in admission order, the
+// snapshot reflects exactly the admission-order *prefix* of logged
+// inputs ending at the latest of those IDs: that prefix is returned as
+// the covered set (redeliveries of its events must be dropped — their
+// effects are already in the restored state, and output IDs are hashes,
+// so no sequence-number watermark can identify them). Everything after
+// the prefix forms the replay order. Decision records are attached by
+// event identity, not by LSN position: an event uncommitted at
+// checkpoint time can have decision LSNs below the snapshot's covered
+// LSN, and replaying it with fresh decisions would break determinism.
+func (n *node) buildReplayPlan(lastByInput map[int]event.ID) (*replayPlan, map[event.ID]bool, error) {
 	var stable []wal.Record
 	if scan := n.eng.opts.LogScanner; scan != nil {
 		recs, err := scan()
 		if err != nil {
-			return nil, fmt.Errorf("scan decision log: %w", err)
+			return nil, nil, fmt.Errorf("scan decision log: %w", err)
 		}
 		stable = recs
 	} else {
 		stable = n.stableRecords()
 	}
-	recs := wal.Replay(stable, n.opID)
+	// Filter to this operator's decision records WITHOUT wal.Replay's
+	// checkpoint-mark cut: the cut hides the snapshot-covered prefix, and
+	// that prefix is exactly what identifies covered redeliveries (a crash
+	// can race the post-mark ACKs, leaving upstream free to re-send
+	// covered events).
+	var recs []wal.Record
+	for _, r := range stable {
+		if r.Operator == n.opID && r.Kind != wal.KindCheckpointMark {
+			recs = append(recs, r)
+		}
+	}
+
+	// Admission order of every logged input (records are in LSN order).
+	pos := make(map[event.ID]int)
+	var order []event.ID
+	for _, r := range recs {
+		if r.Kind != wal.KindInput {
+			continue
+		}
+		if _, ok := pos[r.Event]; !ok {
+			pos[r.Event] = len(order)
+			order = append(order, r.Event)
+		}
+	}
+	last := -1
+	for _, id := range lastByInput {
+		if p, ok := pos[id]; ok && p > last {
+			last = p
+		}
+	}
+	covered := make(map[event.ID]bool, last+1)
+	for i := 0; i <= last; i++ {
+		covered[order[i]] = true
+	}
+
 	plan := &replayPlan{
+		order:    order[last+1:],
 		decs:     make(map[event.ID][]decision),
 		lsns:     make(map[event.ID]wal.LSN),
 		buffered: make(map[event.ID]transport.Message),
 	}
-	seen := make(map[event.ID]bool)
 	for _, r := range recs {
-		if r.LSN <= snapCover {
+		if covered[r.Event] {
 			continue
 		}
-		switch r.Kind {
-		case wal.KindInput:
-			if !seen[r.Event] {
-				seen[r.Event] = true
-				plan.order = append(plan.order, r.Event)
-			}
-		case wal.KindRandom, wal.KindTime:
+		if r.Kind == wal.KindRandom || r.Kind == wal.KindTime {
 			plan.decs[r.Event] = append(plan.decs[r.Event], decision{kind: r.Kind, value: r.Value})
 		}
 		if r.LSN > plan.lsns[r.Event] {
@@ -136,9 +173,9 @@ func (n *node) buildReplayPlan(snapCover wal.LSN) (*replayPlan, error) {
 		}
 	}
 	if len(plan.order) == 0 && len(plan.decs) == 0 {
-		return nil, nil // nothing logged: plain restart
+		plan = nil // nothing to replay: plain restart
 	}
-	return plan, nil
+	return plan, covered, nil
 }
 
 // recover rebuilds the node and rejoins the graph.
@@ -155,7 +192,7 @@ func (n *node) recover() error {
 			return fmt.Errorf("re-init: %w", err)
 		}
 	}
-	snapCover := wal.LSN(0)
+	lastByInput := make(map[int]event.ID)
 	snap, err := n.eng.store.Latest(n.opID)
 	switch {
 	case err == nil:
@@ -165,19 +202,12 @@ func (n *node) recover() error {
 		n.rngMu.Lock()
 		n.rng.Restore(snap.RandState)
 		n.rngMu.Unlock()
-		snapCover = wal.LSN(snap.CoveredLSN)
 		n.mu.Lock()
 		n.ckptEpoch = snap.Epoch
-		n.coveredLSN = snapCover
-		// Redeliveries of events the snapshot already covers must be
-		// dropped (and re-ACKed): the covering mark may never have become
-		// stable, in which case upstream was never told to prune them.
-		// Per-input sequence positions identify them (paper §2.2: replay
-		// "starting at the last logged messages from each source").
-		n.recoverCover = make(map[int]event.ID, len(snap.InputPositions))
+		n.coveredLSN = wal.LSN(snap.CoveredLSN)
 		for i, id := range snap.InputPositions {
 			n.lastCommitted[i] = id
-			n.recoverCover[i] = id
+			lastByInput[i] = id
 		}
 		n.mu.Unlock()
 	case isNotFound(err):
@@ -186,12 +216,17 @@ func (n *node) recover() error {
 		return fmt.Errorf("load checkpoint: %w", err)
 	}
 
-	plan, err := n.buildReplayPlan(snapCover)
+	// Redeliveries of events the snapshot already covers must be dropped
+	// (and re-ACKed): the covering mark may never have become stable, in
+	// which case upstream was never told to prune them (paper §2.2: replay
+	// "starting at the last logged messages from each source").
+	plan, covered, err := n.buildReplayPlan(lastByInput)
 	if err != nil {
 		return err
 	}
 	n.mu.Lock()
 	n.replay = plan
+	n.recoverDrop = covered
 	n.mu.Unlock()
 
 	n.stopFlag.Store(false)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"streammine/internal/event"
 	"streammine/internal/stm"
@@ -38,6 +39,9 @@ type task struct {
 	n     *node
 	seq   int64 // per-node arrival order; also the STM timestamp
 	input int
+	// admitted stamps admission when metrics are enabled (zero
+	// otherwise); finishCommit derives the finalize latency from it.
+	admitted time.Time
 
 	mu       sync.Mutex
 	state    taskState

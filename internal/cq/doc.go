@@ -1,0 +1,31 @@
+// Package cq provides a small continuous-query language compiled onto
+// the StreamMine operator library — the query front-end an ESP framework
+// is expected to ship. Supported forms:
+//
+//	SELECT AVG(VALUE)          FROM s            WINDOW COUNT 10
+//	SELECT SUM(VALUE)          FROM s            WINDOW TIME 1000
+//	SELECT COUNT(*)            FROM a, b         GROUP BY CLASS(16)
+//	SELECT COUNT(DISTINCT KEY) FROM s
+//	SELECT DISTINCT KEY        FROM s
+//	SELECT VALUE               FROM s            WHERE KEY % 2 == 0
+//	SELECT VALUE               FROM s            WHERE VALUE >= 100
+//
+// Multiple FROM streams are merged by an order-logged Union; WHERE adds
+// a Filter stage; the selection picks the aggregate operator. Because
+// the compiled stages are ordinary operators, a query runs speculatively
+// and recovers precisely like any hand-built pipeline.
+//
+// Entry points:
+//
+//   - Parse compiles the query text into a Query (lexer + recursive-
+//     descent parser; errors carry the offending token position).
+//   - Attach wires the compiled chain into a graph.Graph between named
+//     source nodes and a fresh output node, returning the Attached
+//     handle with the output NodeID to subscribe to. Options controls
+//     speculation, workers and checkpointing of the generated nodes.
+//   - The Query structure (Aggregate, Field, Predicate, WindowKind) is
+//     exported so tools can inspect or build plans programmatically.
+//
+// The `streammine -query` flag is the command-line wrapper around
+// Parse + Attach against synthetic paced sources.
+package cq

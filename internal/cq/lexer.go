@@ -1,19 +1,3 @@
-// Package cq provides a small continuous-query language compiled onto the
-// StreamMine operator library — the query front-end an ESP framework is
-// expected to ship. Supported forms:
-//
-//	SELECT AVG(VALUE)          FROM s            WINDOW COUNT 10
-//	SELECT SUM(VALUE)          FROM s            WINDOW TIME 1000
-//	SELECT COUNT(*)            FROM a, b         GROUP BY CLASS(16)
-//	SELECT COUNT(DISTINCT KEY) FROM s
-//	SELECT DISTINCT KEY        FROM s
-//	SELECT VALUE               FROM s            WHERE KEY % 2 == 0
-//	SELECT VALUE               FROM s            WHERE VALUE >= 100
-//
-// Multiple FROM streams are merged by an order-logged Union; WHERE adds a
-// Filter stage; the selection picks the aggregate operator. Attach wires
-// the compiled chain into a graph between named source nodes and a fresh
-// output node.
 package cq
 
 import (

@@ -1,0 +1,81 @@
+// Package debugserver exposes the engine's observability surface over
+// HTTP: Prometheus text metrics (/metrics), a liveness probe (/healthz)
+// and the standard net/http/pprof profiling handlers (/debug/pprof/).
+// It is opt-in — binaries start it only when -debug-addr is given — and
+// runs entirely off the hot path: scraping reads atomics, it never locks
+// engine structures for longer than a counter read.
+//
+// docs/OBSERVABILITY.md documents every series served here.
+package debugserver
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"streammine/internal/metrics"
+)
+
+// Server serves /metrics, /healthz and /debug/pprof/* on one listener.
+type Server struct {
+	reg    *metrics.Registry
+	health func() error
+	srv    *http.Server
+	ln     net.Listener
+}
+
+// New builds a server over reg. health may be nil; when set it is polled
+// by /healthz and a non-nil error turns the probe into a 503 with the
+// error text in the body.
+func New(reg *metrics.Registry, health func() error) *Server {
+	s := &Server{reg: reg, health: health}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return s
+}
+
+// Start binds addr ("host:port"; ":0" picks a free port) and serves in
+// the background. It returns the bound address, which differs from addr
+// when the port was 0.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("debugserver: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error {
+	if s.ln == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.health != nil {
+		if err := s.health(); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

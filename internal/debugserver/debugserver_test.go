@@ -1,0 +1,82 @@
+package debugserver
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"streammine/internal/metrics"
+)
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("demo_total", "A demo counter.").Add(3)
+
+	var mu sync.Mutex
+	var healthErr error
+	s := New(reg, func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		return healthErr
+	})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer s.Close()
+	base := "http://" + addr
+
+	code, body, hdr := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	if !strings.Contains(body, "demo_total 3") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	if code, body, _ = get(t, base+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q, want 200 ok", code, body)
+	}
+	mu.Lock()
+	healthErr = errors.New("node down")
+	mu.Unlock()
+	if code, body, _ = get(t, base+"/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "node down") {
+		t.Errorf("unhealthy /healthz = %d %q, want 503 with cause", code, body)
+	}
+
+	if code, _, _ = get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", code)
+	}
+}
+
+func TestServerNilHealth(t *testing.T) {
+	s := New(metrics.NewRegistry(), nil)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer s.Close()
+	if code, _, _ := get(t, "http://"+addr+"/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz with nil health = %d, want 200", code)
+	}
+}

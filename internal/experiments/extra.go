@@ -58,7 +58,7 @@ func RunExternalization(cfg Config) (*Table, ExternalizationResult, error) {
 	shared := storage.NewPool([]storage.Disk{storage.NewMemDisk()})
 	defer shared.Close()
 
-	eng, err := core.New(g, core.Options{Pool: shared, NodePools: pools, Seed: 31})
+	eng, err := core.New(g, withMetrics(core.Options{Pool: shared, NodePools: pools, Seed: 31}))
 	if err != nil {
 		return nil, ExternalizationResult{}, err
 	}
@@ -142,7 +142,7 @@ func RunRecovery(cfg Config) (*Table, RecoveryResult, error) {
 
 	pool := storage.NewPool([]storage.Disk{storage.NewMemDisk()})
 	defer pool.Close()
-	eng, err := core.New(g, core.Options{Pool: pool, Seed: 77})
+	eng, err := core.New(g, withMetrics(core.Options{Pool: pool, Seed: 77}))
 	if err != nil {
 		return nil, RecoveryResult{}, err
 	}
@@ -313,7 +313,7 @@ func RunTaintAblation(cfg Config) (*Table, []AblationResult, error) {
 		})
 		g.Connect(src, 0, op, 0)
 		pool := storage.NewPool([]storage.Disk{storage.NewSimDisk(diskLat, 0)})
-		eng, err := core.New(g, core.Options{Pool: pool, Seed: 3, TaintAll: taintAll})
+		eng, err := core.New(g, withMetrics(core.Options{Pool: pool, Seed: 3, TaintAll: taintAll}))
 		if err != nil {
 			pool.Close()
 			return nil, nil, err

@@ -116,7 +116,7 @@ func runFig4Mode(workers int, cost, total, normalPeriod, burstStart, burstEnd, b
 
 	pool := storage.NewPool([]storage.Disk{storage.NewMemDisk()})
 	defer pool.Close()
-	eng, err := core.New(g, core.Options{Pool: pool, Seed: 99})
+	eng, err := core.New(g, withMetrics(core.Options{Pool: pool, Seed: 99}))
 	if err != nil {
 		return Fig4Result{}, err
 	}

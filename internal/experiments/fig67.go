@@ -129,7 +129,7 @@ func runFig67Point(mode Fig67Mode, bothLog bool, rate int, window, cost, diskLat
 
 	pool := storage.NewPoolDelayed([]storage.Disk{storage.NewSimDisk(diskLat, 0)}, diskLat/10)
 	defer pool.Close()
-	eng, err := core.New(g, core.Options{Pool: pool, Seed: 5})
+	eng, err := core.New(g, withMetrics(core.Options{Pool: pool, Seed: 5}))
 	if err != nil {
 		return Fig67Point{}, err
 	}

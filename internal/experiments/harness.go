@@ -11,14 +11,34 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"streammine/internal/core"
 	"streammine/internal/event"
 	"streammine/internal/graph"
+	"streammine/internal/metrics"
 	"streammine/internal/operator"
 	"streammine/internal/storage"
 )
+
+// metricsReg, when set via SetMetricsRegistry, is handed to every engine
+// the experiments construct, so a -debug-addr run exposes live engine
+// metrics while the figures execute. Experiments build engines
+// sequentially: func-backed series rebind to the newest engine and plain
+// counters accumulate across runs (registry semantics, see
+// internal/metrics).
+var metricsReg atomic.Pointer[metrics.Registry]
+
+// SetMetricsRegistry routes all subsequently built experiment engines'
+// metrics to reg (nil disables).
+func SetMetricsRegistry(reg *metrics.Registry) { metricsReg.Store(reg) }
+
+// withMetrics applies the package metrics registry to engine options.
+func withMetrics(opts core.Options) core.Options {
+	opts.Metrics = metricsReg.Load()
+	return opts
+}
 
 // Config scales an experiment run.
 type Config struct {
@@ -170,7 +190,7 @@ func measureChain(spec chainSpec, events int) (time.Duration, error) {
 		}
 	}()
 
-	eng, err := core.New(g, core.Options{Pool: shared, NodePools: pools, Seed: 42})
+	eng, err := core.New(g, withMetrics(core.Options{Pool: shared, NodePools: pools, Seed: 42}))
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,19 @@
+// Package graph models the acyclic operator graph of an ESP application
+// (paper §2.1): named nodes hosting operators, directed edges connecting
+// an upstream output port to a downstream input index, cycle detection
+// and topological ordering. The graph is pure topology — it holds no
+// runtime state; internal/core instantiates the execution machinery from
+// it at Engine construction.
+//
+// Entry points:
+//
+//   - New creates an empty Graph; AddNode registers a Node spec (name,
+//     operator, traits, speculation and checkpoint settings) and returns
+//     its NodeID; Connect adds an edge from an output port to a
+//     downstream input index.
+//   - Validate rejects cycles (ErrCycle), dangling inputs and duplicate
+//     connections; core.New calls it before building an engine.
+//   - TopoOrder yields nodes upstream-first — the order used for engine
+//     drains; Node, Nodes, Edges and InputsOf are the lookups the
+//     runtime and tools build on.
+package graph

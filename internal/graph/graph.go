@@ -1,7 +1,3 @@
-// Package graph models the acyclic operator graph of an ESP application
-// (paper §2.1): named nodes hosting operators, directed edges connecting
-// an upstream output port to a downstream input index, cycle detection and
-// topological ordering.
 package graph
 
 import (

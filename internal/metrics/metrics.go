@@ -64,6 +64,9 @@ func (h *Histogram) Record(d time.Duration) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// Sum returns the total recorded latency.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
 // Mean returns the average latency (0 when empty).
 func (h *Histogram) Mean() time.Duration {
 	n := h.count.Load()
@@ -90,7 +93,10 @@ func (h *Histogram) Min() time.Duration {
 }
 
 // Percentile returns an upper bound of the p-quantile (p in [0,1]),
-// accurate to one power-of-two bucket.
+// accurate to one power-of-two bucket. The bound never exceeds the true
+// recorded maximum: when the rank lands in the top occupied bucket the
+// observed max is returned instead of the bucket's upper bound, so p99
+// and p100 are exact for unimodal tails.
 func (h *Histogram) Percentile(p float64) time.Duration {
 	total := h.count.Load()
 	if total == 0 {
@@ -110,7 +116,14 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	for i := 0; i < histBuckets; i++ {
 		cum += h.buckets[i].Load()
 		if cum >= rank {
-			return time.Duration(uint64(1) << uint(i+1)) // bucket upper bound
+			bound := uint64(1) << uint(i+1) // bucket upper bound
+			// The global max lives in the highest occupied bucket; if
+			// this bucket's bound exceeds it, the rank landed there and
+			// the max is the tight answer.
+			if max := h.maxNS.Load(); max < bound {
+				return time.Duration(max)
+			}
+			return time.Duration(bound)
 		}
 	}
 	return time.Duration(h.maxNS.Load())

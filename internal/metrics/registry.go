@@ -1,0 +1,351 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Gauge is a concurrent instantaneous value (e.g. queue depth, buffer
+// retention). The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the current value by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc increments by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec decrements by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Labels attach dimensions to a metric series. Every distinct
+// (name, labels) pair is an independent series; labels are rendered
+// sorted by key in the exposition output.
+type Labels map[string]string
+
+// seriesKind discriminates what a registered series holds.
+type seriesKind int
+
+const (
+	kindCounter seriesKind = iota + 1
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+// exposition type name for the # TYPE line.
+func (k seriesKind) typeName() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "summary"
+	}
+}
+
+// series is one registered metric stream: a name, a rendered label set
+// and exactly one value source.
+type series struct {
+	name      string
+	labels    string // `key="val",...` sorted by key; "" when unlabeled
+	kind      seriesKind
+	counter   *Counter
+	gauge     *Gauge
+	hist      *Histogram
+	counterFn func() uint64
+	gaugeFn   func() float64
+}
+
+// Registry is a concurrent collection of named metric series with a
+// Prometheus-style text exposition. Registration is cheap but not
+// hot-path; callers resolve handles (Counter/Gauge/Histogram pointers)
+// once and then update them with plain atomic operations.
+//
+// Registering the same (name, labels) pair again returns the existing
+// handle for counters, gauges and histograms (so independent subsystems
+// can share a series), and *rebinds* func-backed series (so a freshly
+// built engine can take over the series of a stopped one). Registering
+// the same pair with a different metric kind panics: that is a
+// programming error, not a runtime condition.
+type Registry struct {
+	mu    sync.Mutex
+	byKey map[string]*series
+	order []*series
+	help  map[string]string // per name, first registration wins
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byKey: make(map[string]*series),
+		help:  make(map[string]string),
+	}
+}
+
+// renderLabels renders a label set in canonical (sorted) form.
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	return b.String()
+}
+
+// register adds or resolves a series under the registry lock.
+func (r *Registry) register(name, help string, labels Labels, kind seriesKind) *series {
+	key := name + "{" + renderLabels(labels) + "}"
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.byKey[key]; ok {
+		if s.kind.typeName() != kind.typeName() {
+			panic(fmt.Sprintf("metrics: %s re-registered as %s (was %s)",
+				key, kind.typeName(), s.kind.typeName()))
+		}
+		s.kind = kind // funcs rebind below; handle kinds keep their slot
+		return s
+	}
+	s := &series{name: name, labels: renderLabels(labels), kind: kind}
+	r.byKey[key] = s
+	r.order = append(r.order, s)
+	if _, ok := r.help[name]; !ok && help != "" {
+		r.help[name] = help
+	}
+	return s
+}
+
+// Counter registers (or resolves) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterWith(name, help, nil)
+}
+
+// CounterWith registers (or resolves) a counter series with labels.
+func (r *Registry) CounterWith(name, help string, labels Labels) *Counter {
+	s := r.register(name, help, labels, kindCounter)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.counter == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge registers (or resolves) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeWith(name, help, nil)
+}
+
+// GaugeWith registers (or resolves) a gauge series with labels.
+func (r *Registry) GaugeWith(name, help string, labels Labels) *Gauge {
+	s := r.register(name, help, labels, kindGauge)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// Histogram registers (or resolves) an unlabeled latency histogram,
+// exposed in the text format as a summary (quantiles + sum + count, in
+// seconds).
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.HistogramWith(name, help, nil)
+}
+
+// HistogramWith registers (or resolves) a histogram series with labels.
+func (r *Registry) HistogramWith(name, help string, labels Labels) *Histogram {
+	s := r.register(name, help, labels, kindHistogram)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.hist == nil {
+		s.hist = NewHistogram()
+	}
+	return s.hist
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time (for counters that already live elsewhere as atomics —
+// zero hot-path cost). Re-registering rebinds the series to fn.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() uint64) {
+	s := r.register(name, help, labels, kindCounterFunc)
+	r.mu.Lock()
+	s.counterFn = fn
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers a gauge read from fn at exposition time.
+// Re-registering rebinds the series to fn.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	s := r.register(name, help, labels, kindGaugeFunc)
+	r.mu.Lock()
+	s.gaugeFn = fn
+	r.mu.Unlock()
+}
+
+// Point is one series in a Snapshot. For histogram series Value is the
+// observation count and Quantiles/Sum carry the latency summary.
+type Point struct {
+	Name   string
+	Labels string // canonical `key="val",...` form, "" when unlabeled
+	Type   string // "counter", "gauge" or "summary"
+	Value  float64
+	// Quantiles maps q in (0,1] to the recorded latency; nil for
+	// counters and gauges.
+	Quantiles map[float64]time.Duration
+	Sum       time.Duration
+}
+
+// snapshotLocked copies the series slice under the lock; value reads
+// happen outside it so func-backed series may take their own locks.
+func (r *Registry) seriesSnapshot() []*series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*series, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Snapshot reads every series and returns them sorted by name then
+// label set.
+func (r *Registry) Snapshot() []Point {
+	sers := r.seriesSnapshot()
+	out := make([]Point, 0, len(sers))
+	for _, s := range sers {
+		p := Point{Name: s.name, Labels: s.labels, Type: s.kind.typeName()}
+		switch s.kind {
+		case kindCounter:
+			p.Value = float64(s.counter.Value())
+		case kindCounterFunc:
+			p.Value = float64(s.counterFn())
+		case kindGauge:
+			p.Value = float64(s.gauge.Value())
+		case kindGaugeFunc:
+			p.Value = s.gaugeFn()
+		case kindHistogram:
+			p.Value = float64(s.hist.Count())
+			p.Sum = s.hist.Sum()
+			p.Quantiles = map[float64]time.Duration{
+				0.5:  s.hist.Percentile(0.5),
+				0.9:  s.hist.Percentile(0.9),
+				0.99: s.hist.Percentile(0.99),
+				1:    s.hist.Max(),
+			}
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	return out
+}
+
+// Value returns the current value of a counter or gauge series (the
+// observation count for histograms), and whether the series exists.
+func (r *Registry) Value(name string, labels Labels) (float64, bool) {
+	want := renderLabels(labels)
+	for _, p := range r.Snapshot() {
+		if p.Name == name && p.Labels == want {
+			return p.Value, true
+		}
+	}
+	return 0, false
+}
+
+// secs renders a nanosecond quantity as seconds in minimal float form.
+func secs(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+}
+
+// formatValue renders a counter/gauge sample value.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4). Counters and gauges emit one sample per
+// series; histograms emit a summary: quantile samples (0.5, 0.9, 0.99
+// and 1 = the recorded maximum) plus _sum and _count, all latencies in
+// seconds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	points := r.Snapshot()
+	r.mu.Lock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	lastName := ""
+	for _, p := range points {
+		if p.Name != lastName {
+			if h := help[p.Name]; h != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", p.Name, h)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", p.Name, p.Type)
+			lastName = p.Name
+		}
+		switch p.Type {
+		case "summary":
+			for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+				fmt.Fprintf(&b, "%s{%squantile=\"%s\"} %s\n",
+					p.Name, joinLabels(p.Labels),
+					strconv.FormatFloat(q, 'g', -1, 64), secs(p.Quantiles[q]))
+			}
+			fmt.Fprintf(&b, "%s_sum%s %s\n", p.Name, wrapLabels(p.Labels), secs(p.Sum))
+			fmt.Fprintf(&b, "%s_count%s %s\n", p.Name, wrapLabels(p.Labels), formatValue(p.Value))
+		default:
+			fmt.Fprintf(&b, "%s%s %s\n", p.Name, wrapLabels(p.Labels), formatValue(p.Value))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// wrapLabels renders a canonical label string as `{...}` or "".
+func wrapLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// joinLabels renders a canonical label string as a prefix for an
+// additional label (`a="b",` or "").
+func joinLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}

@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryHandlesAreShared(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help")
+	b := r.Counter("x_total", "ignored second help")
+	if a != b {
+		t.Fatal("same name resolved to different counter handles")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatalf("shared counter = %d, want 1", b.Value())
+	}
+	l1 := r.CounterWith("y_total", "", Labels{"cause": "conflict"})
+	l2 := r.CounterWith("y_total", "", Labels{"cause": "revoke"})
+	if l1 == l2 {
+		t.Fatal("distinct label sets resolved to the same handle")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestRegistryFuncRebinds(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("lag", "", nil, func() float64 { return 1 })
+	r.GaugeFunc("lag", "", nil, func() float64 { return 2 })
+	v, ok := r.Value("lag", nil)
+	if !ok || v != 2 {
+		t.Fatalf("rebound gauge func = %v (ok=%v), want 2", v, ok)
+	}
+}
+
+// TestRegistryConcurrent hammers registration, updates and scrapes from
+// many goroutines; run under -race it is the registry's thread-safety
+// proof.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var writers sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		writers.Add(1)
+		go func(i int) {
+			defer writers.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("shared_total", "").Inc()
+				r.CounterWith("labeled_total", "", Labels{"worker": string(rune('a' + i))}).Inc()
+				r.Gauge("depth", "").Set(int64(j))
+				r.Histogram("lat", "").Record(time.Duration(j+1) * time.Microsecond)
+				r.GaugeFunc("fn", "", nil, func() float64 { return float64(j) })
+			}
+		}(i)
+	}
+	stop := make(chan struct{})
+	scraperDone := make(chan struct{})
+	go func() {
+		defer close(scraperDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var sb strings.Builder
+				if err := r.WritePrometheus(&sb); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+				r.Snapshot()
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-scraperDone
+
+	if v, _ := r.Value("shared_total", nil); v != 8*500 {
+		t.Fatalf("shared_total = %v, want %d", v, 8*500)
+	}
+	if v, _ := r.Value("lat", nil); v != 8*500 {
+		t.Fatalf("lat count = %v, want %d", v, 8*500)
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.CounterWith("demo_aborts_total", "Aborts by cause.", Labels{"cause": "conflict"}).Add(2)
+	r.CounterWith("demo_aborts_total", "Aborts by cause.", Labels{"cause": "revoke"}).Add(1)
+	r.Gauge("demo_depth", "Open tasks.").Set(7)
+	r.Counter("demo_events_total", "Events seen.").Add(3)
+	r.GaugeFunc("demo_lag", "Unstable records.", nil, func() float64 { return 2.5 })
+	r.Histogram("demo_latency", "End-to-end latency.").Record(time.Millisecond)
+
+	want := strings.Join([]string{
+		`# HELP demo_aborts_total Aborts by cause.`,
+		`# TYPE demo_aborts_total counter`,
+		`demo_aborts_total{cause="conflict"} 2`,
+		`demo_aborts_total{cause="revoke"} 1`,
+		`# HELP demo_depth Open tasks.`,
+		`# TYPE demo_depth gauge`,
+		`demo_depth 7`,
+		`# HELP demo_events_total Events seen.`,
+		`# TYPE demo_events_total counter`,
+		`demo_events_total 3`,
+		`# HELP demo_lag Unstable records.`,
+		`# TYPE demo_lag gauge`,
+		`demo_lag 2.5`,
+		`# HELP demo_latency End-to-end latency.`,
+		`# TYPE demo_latency summary`,
+		`demo_latency{quantile="0.5"} 0.001`,
+		`demo_latency{quantile="0.9"} 0.001`,
+		`demo_latency{quantile="0.99"} 0.001`,
+		`demo_latency{quantile="1"} 0.001`,
+		`demo_latency_sum 0.001`,
+		`demo_latency_count 1`,
+	}, "\n") + "\n"
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+// TestPercentileNeverExceedsMax is the regression test for the top-bucket
+// clamp: p99/p100 must return the true recorded maximum, not the
+// power-of-two bucket upper bound above it.
+func TestPercentileNeverExceedsMax(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Record(1 * time.Microsecond)
+	}
+	h.Record(1500 * time.Microsecond) // lands in the [1.048576ms, 2.097152ms) bucket
+
+	if got := h.Percentile(1); got != h.Max() {
+		t.Fatalf("p100 = %v, want exact max %v", got, h.Max())
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99, 0.999, 1} {
+		if got := h.Percentile(p); got > h.Max() {
+			t.Fatalf("p%g = %v exceeds recorded max %v", p*100, got, h.Max())
+		}
+	}
+
+	// A single observation reports itself exactly at every quantile.
+	one := NewHistogram()
+	one.Record(777 * time.Nanosecond)
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := one.Percentile(p); got != 777*time.Nanosecond {
+			t.Fatalf("single-value p%g = %v, want 777ns", p*100, got)
+		}
+	}
+}

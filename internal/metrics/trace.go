@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Lifecycle phases recorded by the Tracer. One event flowing through the
+// engine produces (at minimum) ingress → exec → spec_out/final_out →
+// commit, with finalize/revoke/abort phases appearing when speculation
+// resolves or fails. externalize is recorded by the process boundary
+// (sink subscriber) when an output leaves the system.
+const (
+	PhaseIngress     = "ingress"     // event admitted by a node's dispatcher
+	PhaseExec        = "exec"        // one (speculative) execution finished
+	PhaseSpecOut     = "spec_out"    // output sent downstream speculative
+	PhaseFinalOut    = "final_out"   // output sent downstream final
+	PhaseFinalize    = "finalize"    // FINALIZE issued for a prior spec output
+	PhaseRevoke      = "revoke"      // output revoked (rollback cascade)
+	PhaseCommit      = "commit"      // task committed in arrival order
+	PhaseAbort       = "abort"       // task cancelled / rolled back
+	PhaseExternalize = "externalize" // output left the system at a sink
+)
+
+// Span is one JSONL record written by the Tracer: a point event in an
+// event's lifecycle. Offline tooling groups spans by Event and subtracts
+// timestamps for a per-phase latency breakdown (see docs/OBSERVABILITY.md).
+type Span struct {
+	// TS is nanoseconds since the tracer was created.
+	TS int64 `json:"ts_ns"`
+	// Node is the graph node name where the phase happened ("" at
+	// process boundaries such as externalization).
+	Node string `json:"node,omitempty"`
+	// Event identifies the subject event ("source:seq").
+	Event string `json:"event"`
+	// Phase is one of the Phase* constants.
+	Phase string `json:"phase"`
+	// Info carries phase-specific detail (input index, abort cause,
+	// output event id, ...).
+	Info string `json:"info,omitempty"`
+}
+
+// Tracer records event-lifecycle spans as JSON lines. It is opt-in and
+// deliberately not allocation-free: enabling it trades throughput for a
+// complete per-event latency breakdown. A nil *Tracer is inert, so call
+// sites guard with a plain nil check.
+type Tracer struct {
+	start time.Time
+	count atomic.Uint64
+
+	mu  sync.Mutex
+	buf *bufio.Writer
+}
+
+// NewTracer starts a tracer writing JSONL spans to w. The caller owns w
+// and must call Flush before closing it.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{start: time.Now(), buf: bufio.NewWriter(w)}
+}
+
+// Record writes one span stamped with the elapsed time since the tracer
+// was created. Safe for concurrent use; nil receivers are no-ops.
+func (t *Tracer) Record(node, event, phase, info string) {
+	if t == nil {
+		return
+	}
+	s := Span{
+		TS:    time.Since(t.start).Nanoseconds(),
+		Node:  node,
+		Event: event,
+		Phase: phase,
+		Info:  info,
+	}
+	line, err := json.Marshal(s)
+	if err != nil {
+		return // a Span of plain strings cannot fail to marshal
+	}
+	t.mu.Lock()
+	t.buf.Write(line)
+	t.buf.WriteByte('\n')
+	t.mu.Unlock()
+	t.count.Add(1)
+}
+
+// Count returns the number of spans recorded.
+func (t *Tracer) Count() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.count.Load()
+}
+
+// Flush drains buffered spans to the underlying writer.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.buf.Flush()
+}
+
+// ReadSpans parses a JSONL trace produced by a Tracer, for offline
+// analysis and tests.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	var out []Span
+	dec := json.NewDecoder(r)
+	for {
+		var s Span
+		if err := dec.Decode(&s); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, s)
+	}
+}

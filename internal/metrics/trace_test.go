@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Record("proc", "1:7", PhaseIngress, "input=0")
+	tr.Record("proc", "1:7", PhaseExec, "")
+	tr.Record("proc", "1:7", PhaseCommit, "")
+	tr.Record("", "2:9", PhaseExternalize, "")
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", tr.Count())
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 4 {
+		t.Fatalf("trace has %d lines, want 4", n)
+	}
+	spans, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 4 {
+		t.Fatalf("parsed %d spans, want 4", len(spans))
+	}
+	if spans[0].Phase != PhaseIngress || spans[0].Node != "proc" || spans[0].Event != "1:7" {
+		t.Fatalf("span 0 = %+v", spans[0])
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].TS < spans[i-1].TS {
+			t.Fatalf("timestamps not monotone: %d then %d", spans[i-1].TS, spans[i].TS)
+		}
+	}
+	if spans[3].Phase != PhaseExternalize || spans[3].Node != "" {
+		t.Fatalf("span 3 = %+v", spans[3])
+	}
+}
+
+func TestTracerNilIsInert(t *testing.T) {
+	var tr *Tracer
+	tr.Record("n", "1:1", PhaseExec, "") // must not panic
+	if tr.Count() != 0 {
+		t.Fatal("nil tracer reported spans")
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				tr.Record("n", "1:1", PhaseExec, "")
+			}
+		}()
+	}
+	wg.Wait()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatalf("concurrent writes interleaved badly: %v", err)
+	}
+	if len(spans) != 800 {
+		t.Fatalf("parsed %d spans, want 800", len(spans))
+	}
+}

@@ -80,6 +80,7 @@ func (c *pipeConn) Send(m Message) error {
 	}
 	select {
 	case c.peer.queue <- m:
+		countSend(m.Type)
 		return nil
 	case <-c.peer.stop:
 		return ErrClosed
@@ -124,6 +125,7 @@ func (c *tcpConn) Send(m Message) error {
 	if err := WriteMessage(c.nc, m); err != nil {
 		return fmt.Errorf("tcp send: %w", err)
 	}
+	countSend(m.Type)
 	return nil
 }
 

@@ -124,6 +124,7 @@ func (d *Detector) Check() []string {
 	}
 	cb := d.onDown
 	d.mu.Unlock()
+	countHeartbeatMisses(len(newlyDown))
 	if cb != nil {
 		for _, p := range newlyDown {
 			cb(p)

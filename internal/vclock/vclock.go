@@ -1,12 +1,3 @@
-// Package vclock provides the logical clocks used across the engine: a
-// monotonic tick source for application timestamps, a watermark tracker
-// that computes the low-water mark across multiple input streams, and a
-// controllable clock for deterministic tests.
-//
-// Physical-time reads taken during event processing are non-deterministic
-// decisions: when an operator asks for the time through its context the
-// value is logged (paper §2.2). The Clock interface lets tests and the
-// recovery path substitute replayed values.
 package vclock
 
 import (

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"streammine/internal/metrics"
 )
 
 // SegmentStore is a file-backed stable-storage point for the decision log:
@@ -222,4 +224,18 @@ func (s *SegmentStore) Prune(upTo LSN) (int, error) {
 func (s *SegmentStore) Segments() (int, error) {
 	idxs, err := s.segmentIndexes()
 	return len(idxs), err
+}
+
+// RegisterMetrics exposes the store's on-disk segment count as the
+// wal_segments gauge on reg (refreshed at scrape time).
+func (s *SegmentStore) RegisterMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("wal_segments",
+		"Decision-log segment files currently on disk.", nil,
+		func() float64 {
+			n, err := s.Segments()
+			if err != nil {
+				return -1
+			}
+			return float64(n)
+		})
 }

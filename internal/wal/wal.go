@@ -24,8 +24,10 @@ import (
 	"hash/crc32"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"streammine/internal/event"
+	"streammine/internal/metrics"
 	"streammine/internal/storage"
 )
 
@@ -175,6 +177,22 @@ func Scan(data []byte) ([]Record, error) {
 	return out, nil
 }
 
+// LogMetrics is the optional instrumentation hook for a Log. All fields
+// may be shared by several logs (per-engine aggregation); nil fields are
+// skipped. The append latency is measured from submission to the stable
+// notification, i.e. it includes queueing in the storage pool — the
+// quantity the paper's speculation hides (§2.4).
+type LogMetrics struct {
+	// AppendLatency observes submit→stable per batch.
+	AppendLatency *metrics.Histogram
+	// Appends counts submitted batches.
+	Appends *metrics.Counter
+	// Records counts submitted records.
+	Records *metrics.Counter
+	// Errors counts batches whose stable notification reported failure.
+	Errors *metrics.Counter
+}
+
 // Log is the asynchronous decision log for one node. It is safe for
 // concurrent use by all operators hosted on the node.
 type Log struct {
@@ -183,6 +201,8 @@ type Log struct {
 	nextLSN   atomic.Uint64
 	stableLSN atomic.Uint64
 	truncated atomic.Uint64
+
+	met atomic.Pointer[LogMetrics]
 
 	mu     sync.Mutex
 	closed bool
@@ -220,11 +240,30 @@ func (l *Log) Append(recs []Record, done func(error)) (LSN, error) {
 		last = recs[i].LSN
 		buf = encode(buf, recs[i])
 	}
+	met := l.met.Load()
+	var submitted time.Time
+	if met != nil {
+		submitted = time.Now()
+		if met.Appends != nil {
+			met.Appends.Inc()
+		}
+		if met.Records != nil {
+			met.Records.Add(uint64(len(recs)))
+		}
+	}
 	err := l.pool.Submit(storage.Request{
 		Payload: buf,
 		Done: func(err error) {
 			if err == nil {
 				advance(&l.stableLSN, uint64(last))
+			}
+			if met != nil {
+				if err != nil && met.Errors != nil {
+					met.Errors.Inc()
+				}
+				if met.AppendLatency != nil {
+					met.AppendLatency.Record(time.Since(submitted))
+				}
 			}
 			if done != nil {
 				done(err)
@@ -261,9 +300,25 @@ func advance(a *atomic.Uint64, v uint64) {
 	}
 }
 
+// SetMetrics attaches (or replaces) the log's instrumentation. Safe to
+// call concurrently with appends; in-flight batches keep the hook they
+// were submitted under.
+func (l *Log) SetMetrics(m *LogMetrics) { l.met.Store(m) }
+
 // StableLSN returns the highest LSN known stable. Records with LSN <=
 // StableLSN will survive a crash.
 func (l *Log) StableLSN() LSN { return LSN(l.stableLSN.Load()) }
+
+// UnstableLag returns the number of appended records not yet known
+// stable — the stable-LSN lag a scrape-time gauge exposes.
+func (l *Log) UnstableLag() uint64 {
+	next := l.nextLSN.Load() // last assigned LSN
+	stable := l.stableLSN.Load()
+	if next <= stable {
+		return 0
+	}
+	return next - stable
+}
 
 // NextLSN returns the LSN that the next appended record will receive.
 func (l *Log) NextLSN() LSN { return LSN(l.nextLSN.Load() + 1) }
