@@ -1,0 +1,103 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"streammine/internal/cluster"
+	"streammine/internal/event"
+)
+
+// runCoordinator serves the cluster control plane: it waits for workers,
+// deploys the topology across them per its placement section, supervises
+// heartbeats, and reassigns partitions when a worker dies.
+func runCoordinator(topoPath, addr string, workers int, hbTimeout time.Duration, obs *observability) error {
+	if topoPath == "" {
+		return fmt.Errorf("usage: streammine -coordinator ADDR -topology pipeline.json")
+	}
+	data, err := os.ReadFile(topoPath)
+	if err != nil {
+		return fmt.Errorf("read topology: %w", err)
+	}
+	c, err := cluster.NewCoordinator(data, cluster.CoordinatorOptions{
+		Addr:             addr,
+		Workers:          workers,
+		HeartbeatTimeout: hbTimeout,
+		Metrics:          obs.registry,
+		Logf:             logfFor("coordinator"),
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := obs.serve(c.Err); err != nil {
+		return err
+	}
+	fmt.Printf("coordinator on %s, waiting for workers\n", c.Addr())
+	select {
+	case <-c.Done():
+	case <-interrupted():
+		fmt.Println("interrupted; stopping workers")
+	}
+	return c.Err()
+}
+
+// runWorker joins a coordinator and hosts whatever partitions it assigns.
+// Finalized sink events are printed one per line ("SINK <name> <id>") so
+// callers can collect the externalized output of a distributed run.
+func runWorker(name, join, dataAddr, stateDir string, hbTimeout time.Duration, obs *observability) error {
+	if join == "" {
+		return fmt.Errorf("usage: streammine -worker -join ADDR [-name N] [-state-dir DIR]")
+	}
+	if name == "" {
+		name = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	w, err := cluster.StartWorker(cluster.WorkerOptions{
+		Name:             name,
+		CoordAddr:        join,
+		DataAddr:         dataAddr,
+		StateDir:         stateDir,
+		HeartbeatTimeout: hbTimeout,
+		Metrics:          obs.registry,
+		OnSinkEvent:      printSinkEvent,
+		Logf:             logfFor(name),
+	})
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	if err := obs.serve(w.Err); err != nil {
+		return err
+	}
+	if obs.server != nil {
+		// /healthz answers "degraded: coordinator" / "degraded: bridge ..."
+		// while a peer this worker depends on is unreachable.
+		obs.server.SetDegraded(w.Degraded)
+	}
+	fmt.Printf("worker %q joined %s (data %s)\n", name, join, w.DataAddr())
+	select {
+	case <-w.Done():
+	case <-interrupted():
+		fmt.Println("interrupted; shutting down")
+	}
+	return w.Err()
+}
+
+func printSinkEvent(sink string, ev event.Event) {
+	fmt.Printf("SINK %s %s\n", sink, ev.ID)
+}
+
+func logfFor(role string) func(string, ...any) {
+	return func(format string, args ...any) {
+		fmt.Printf("[%s] "+format+"\n", append([]any{role}, args...)...)
+	}
+}
+
+func interrupted() <-chan os.Signal {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	return ch
+}

@@ -1,0 +1,224 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// e2eTopo pins the source to one partition and the checkpointing stateful
+// stage plus sink to the other, so killing the sink-side worker forces a
+// checkpoint + decision-log + upstream-replay recovery on the survivor.
+const e2eTopo = `{
+  "speculative": true,
+  "seed": 7,
+  "nodes": [
+    {"name": "src",      "type": "source", "rate": 1500, "count": 1000},
+    {"name": "classify", "type": "classifier", "classes": 4, "inputs": ["src"], "checkpointEvery": 32},
+    {"name": "out",      "type": "sink", "inputs": ["classify"]}
+  ],
+  "placement": {
+    "workers": 2,
+    "assign": {"src": 0, "classify": 1, "out": 1}
+  }
+}`
+
+// procSinks collects "SINK <name> <id>" lines across worker processes.
+type procSinks struct {
+	mu   sync.Mutex
+	seen map[string]bool
+	per  map[string]int
+}
+
+func newProcSinks() *procSinks {
+	return &procSinks{seen: make(map[string]bool), per: make(map[string]int)}
+}
+
+func (p *procSinks) record(worker, id string) {
+	p.mu.Lock()
+	p.seen[id] = true
+	p.per[worker]++
+	p.mu.Unlock()
+}
+
+func (p *procSinks) busiest(min int) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for w, n := range p.per {
+		if n >= min {
+			return w
+		}
+	}
+	return ""
+}
+
+func (p *procSinks) count(worker string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.per[worker]
+}
+
+func (p *procSinks) ids() map[string]bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]bool, len(p.seen))
+	for id := range p.seen {
+		out[id] = true
+	}
+	return out
+}
+
+// buildBinary compiles the streammine command once per test run.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "streammine")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// scanLines feeds each stdout line of a child process to fn.
+func scanLines(t *testing.T, cmd *exec.Cmd, fn func(line string)) {
+	t.Helper()
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			fn(sc.Text())
+		}
+	}()
+}
+
+// runClusterProcesses spawns one coordinator and two worker processes over
+// a shared state directory. With chaos set it SIGKILLs whichever worker
+// externalizes sink output once the run is under way. Returns the distinct
+// sink identity set externalized across all workers.
+func runClusterProcesses(t *testing.T, bin string, chaos bool) map[string]bool {
+	t.Helper()
+	dir := t.TempDir()
+	topoPath := filepath.Join(dir, "topo.json")
+	if err := os.WriteFile(topoPath, []byte(e2eTopo), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	coord := exec.Command(bin, "-coordinator", "127.0.0.1:0", "-topology", topoPath, "-hb-timeout", "500ms")
+	addrCh := make(chan string, 1)
+	scanLines(t, coord, func(line string) {
+		if rest, ok := strings.CutPrefix(line, "coordinator on "); ok {
+			if i := strings.IndexByte(rest, ','); i >= 0 {
+				select {
+				case addrCh <- rest[:i]:
+				default:
+				}
+			}
+		}
+	})
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = coord.Process.Kill() }()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator never reported its address")
+	}
+
+	sinks := newProcSinks()
+	stateDir := filepath.Join(dir, "state")
+	workers := make(map[string]*exec.Cmd, 2)
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("w%d", i+1)
+		wk := exec.Command(bin, "-worker", "-join", addr,
+			"-name", name, "-state-dir", stateDir, "-hb-timeout", "500ms")
+		scanLines(t, wk, func(line string) {
+			fields := strings.Fields(line)
+			if len(fields) == 3 && fields[0] == "SINK" {
+				sinks.record(name, fields[2])
+			}
+		})
+		if err := wk.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = wk.Process.Kill() }()
+		workers[name] = wk
+	}
+
+	if chaos {
+		deadline := time.Now().Add(20 * time.Second)
+		var victim string
+		for victim == "" {
+			if time.Now().After(deadline) {
+				t.Fatal("no worker produced sink output to kill")
+			}
+			victim = sinks.busiest(30)
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Logf("SIGKILL %s after %d sink events", victim, sinks.count(victim))
+		if err := workers[victim].Process.Kill(); err != nil {
+			t.Fatalf("kill %s: %v", victim, err)
+		}
+	}
+
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- coord.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("coordinator exited: %v", err)
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatal("cluster run did not complete")
+	}
+	// Give the surviving workers a moment to flush their last SINK lines.
+	for name, wk := range workers {
+		done := make(chan struct{})
+		go func() { _ = wk.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Logf("worker %s still running after coordinator exit; killing", name)
+			_ = wk.Process.Kill()
+			<-done
+		}
+	}
+	return sinks.ids()
+}
+
+// TestClusterProcessesFailover is the full multi-process chaos drill: a
+// coordinator and two workers as real OS processes, SIGKILL of the worker
+// holding the stateful sink partition, and identity-set equality between
+// the recovered run and a failure-free run (the paper's precise-recovery
+// criterion: no event lost, duplicates suppressed).
+func TestClusterProcessesFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e: builds a binary and runs multi-second failure detection")
+	}
+	bin := buildBinary(t)
+	baseline := runClusterProcesses(t, bin, false)
+	if len(baseline) != 1000 {
+		t.Fatalf("baseline externalized %d distinct events, want 1000", len(baseline))
+	}
+	chaos := runClusterProcesses(t, bin, true)
+	if len(chaos) != len(baseline) {
+		t.Fatalf("chaos run externalized %d distinct events, baseline %d", len(chaos), len(baseline))
+	}
+	for id := range baseline {
+		if !chaos[id] {
+			t.Fatalf("event %s missing from chaos run", id)
+		}
+	}
+}

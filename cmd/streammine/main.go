@@ -9,6 +9,13 @@
 //	streammine -topology pipeline.json -debug-addr :8090   # + /metrics, pprof
 //	streammine -topology pipeline.json -trace run.jsonl    # + lifecycle spans
 //	streammine -example > pipeline.json   # print a starter topology
+//
+// Cluster mode splits the same topology across worker processes
+// (docs/CLUSTER.md):
+//
+//	streammine -coordinator :7000 -topology pipeline.json
+//	streammine -worker -join :7000 -name w1 -state-dir /tmp/sm-state
+//	streammine -worker -join :7000 -name w2 -state-dir /tmp/sm-state
 package main
 
 import (
@@ -24,26 +31,10 @@ import (
 	"streammine/internal/metrics"
 	"streammine/internal/operator"
 	"streammine/internal/storage"
+	"streammine/internal/topology"
 	"streammine/internal/transport"
 	"streammine/internal/vclock"
 )
-
-// eventAlias keeps config.go free of a direct event import cycle concern.
-type eventAlias = event.Event
-
-const exampleTopology = `{
-  "speculative": true,
-  "diskLatencyMillis": 10,
-  "disks": 1,
-  "seed": 42,
-  "nodes": [
-    {"name": "pub1", "type": "source", "rate": 500, "count": 2000},
-    {"name": "pub2", "type": "source", "rate": 500, "count": 2000},
-    {"name": "merge", "type": "union", "inputs": ["pub1", "pub2"]},
-    {"name": "proc", "type": "classifier", "classes": 16, "checkpointEvery": 100, "inputs": ["merge"]},
-    {"name": "out", "type": "sink", "inputs": ["proc"]}
-  ]
-}`
 
 func main() {
 	if err := run(); err != nil {
@@ -128,10 +119,18 @@ func run() error {
 	count := flag.Int("count", 5000, "with -query: events per source")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8090)")
 	tracePath := flag.String("trace", "", "write per-event lifecycle spans (JSONL) to this file")
+	coordAddr := flag.String("coordinator", "", "run as cluster coordinator listening on this address")
+	workers := flag.Int("workers", 0, "with -coordinator: workers to wait for (default: topology placement)")
+	worker := flag.Bool("worker", false, "run as cluster worker")
+	join := flag.String("join", "", "with -worker: coordinator address to join")
+	name := flag.String("name", "", "with -worker: worker name (default worker-<pid>)")
+	dataAddr := flag.String("data-addr", "127.0.0.1:0", "with -worker: listen address for peer bridge traffic")
+	stateDir := flag.String("state-dir", "streammine-state", "with -worker: root of durable partition state (shared across workers)")
+	hbTimeout := flag.Duration("hb-timeout", time.Second, "cluster heartbeat timeout before a peer is declared dead")
 	flag.Parse()
 
 	if *example {
-		fmt.Println(exampleTopology)
+		fmt.Println(topology.Example)
 		return nil
 	}
 	obs, err := newObservability(*debugAddr, *tracePath)
@@ -139,13 +138,19 @@ func run() error {
 		return err
 	}
 	defer obs.close()
+	if *coordAddr != "" {
+		return runCoordinator(*topoPath, *coordAddr, *workers, *hbTimeout, obs)
+	}
+	if *worker {
+		return runWorker(*name, *join, *dataAddr, *stateDir, *hbTimeout, obs)
+	}
 	if *query != "" {
 		return runQuery(*query, *rate, *count, obs)
 	}
 	if *topoPath == "" {
 		return fmt.Errorf("usage: streammine -topology pipeline.json | -query \"SELECT ...\" (or -example)")
 	}
-	cfg, err := LoadTopology(*topoPath)
+	cfg, err := topology.Load(*topoPath)
 	if err != nil {
 		return err
 	}
@@ -171,7 +176,7 @@ func run() error {
 	defer pool.Close()
 
 	wall := vclock.NewWall()
-	eng, err := core.New(built.graph, core.Options{
+	eng, err := core.New(built.Graph, core.Options{
 		Pool: pool, Seed: cfg.Seed, Clock: wall,
 		Metrics: obs.registry, Tracer: obs.tracer,
 	})
@@ -193,8 +198,8 @@ func run() error {
 		thr  *metrics.Throughput
 	}
 	var sinks []*sinkStats
-	for _, id := range built.sinks {
-		node, err := built.graph.Node(id)
+	for _, id := range built.Sinks {
+		node, err := built.Graph.Node(id)
 		if err != nil {
 			return err
 		}
@@ -222,20 +227,20 @@ func run() error {
 
 	// Publishers: deficit-paced to each source's rate.
 	var wg sync.WaitGroup
-	for _, src := range built.sources {
-		handle, err := eng.Source(src.id)
+	for _, src := range built.Sources {
+		handle, err := eng.Source(src.ID)
 		if err != nil {
 			return err
 		}
 		wg.Add(1)
-		go func(src sourceSpec) {
+		go func(src topology.SourceSpec) {
 			defer wg.Done()
 			start := time.Now()
 			emitted := 0
-			for emitted < src.count {
-				due := int(time.Since(start).Seconds()*float64(src.rate)) + 1
-				if due > src.count {
-					due = src.count
+			for emitted < src.Count {
+				due := int(time.Since(start).Seconds()*float64(src.Rate)) + 1
+				if due > src.Count {
+					due = src.Count
 				}
 				for emitted < due {
 					payload := operator.EncodeValue(uint64(emitted))
@@ -247,7 +252,7 @@ func run() error {
 				time.Sleep(time.Millisecond)
 			}
 		}(src)
-		fmt.Printf("source %-10s publishing %d events at %d ev/s\n", src.name, src.count, src.rate)
+		fmt.Printf("source %-10s publishing %d events at %d ev/s\n", src.Name, src.Count, src.Rate)
 	}
 	wg.Wait()
 	eng.Drain()

@@ -1,12 +1,18 @@
-// Distributed runs the pipeline across two engines connected by real TCP
-// — the paper's deployment model, where operators are separate processes
-// on one machine or across a LAN.
+// Distributed runs one topology split across two workers under a
+// coordinator — the paper's deployment model (operators as separate
+// processes connected by TCP) driven by the cluster runtime instead of
+// hand-wired bridges.
 //
-// Engine A (the "ingest process") hosts a publisher and a logging
-// normalizer on a slow simulated disk; engine B (the "analytics process")
-// hosts a stateful classifier. Speculative events cross the wire before
-// A's log is stable, FINALIZE messages follow when it commits, and B's
-// ACKs flow back to prune A's replay buffer.
+// The placement section pins the ingest half (sources + union) to
+// partition 0 and the analytics half (classifier + sink) to partition 1;
+// the coordinator deploys each partition to its own worker and the
+// union→classifier edge crosses workers over a reliable TCP bridge.
+// Speculative events still cross the wire before the upstream decision
+// log is stable; FINALIZE and ACK traffic flows back over the same link.
+//
+// Everything runs in-process here (three goroutine "processes"); the
+// streammine binary's -coordinator/-worker flags run the identical code
+// as real OS processes — see docs/CLUSTER.md.
 //
 //	go run ./examples/distributed
 package main
@@ -17,19 +23,25 @@ import (
 	"sync"
 	"time"
 
-	"streammine/internal/core"
+	"streammine/internal/cluster"
 	"streammine/internal/event"
-	"streammine/internal/graph"
-	"streammine/internal/operator"
-	"streammine/internal/storage"
-	"streammine/internal/transport"
-	"streammine/internal/vclock"
 )
 
-const (
-	events  = 200
-	diskLat = 8 * time.Millisecond
-)
+const topo = `{
+  "speculative": true,
+  "seed": 7,
+  "nodes": [
+    {"name": "orders",   "type": "source", "rate": 2000, "count": 400},
+    {"name": "clicks",   "type": "source", "rate": 2000, "count": 400},
+    {"name": "ingest",   "type": "union",  "inputs": ["orders", "clicks"]},
+    {"name": "classify", "type": "classifier", "classes": 4, "inputs": ["ingest"], "checkpointEvery": 64},
+    {"name": "out",      "type": "sink",   "inputs": ["classify"]}
+  ],
+  "placement": {
+    "workers": 2,
+    "assign": {"orders": 0, "clicks": 0, "ingest": 0, "classify": 1, "out": 1}
+  }
+}`
 
 func main() {
 	if err := run(); err != nil {
@@ -39,121 +51,66 @@ func main() {
 }
 
 func run() error {
-	wall := vclock.NewWall()
-
-	// --- Engine A: publisher → normalizer (logs one decision/event). ---
-	gA := graph.New()
-	pub := gA.AddNode(graph.Node{Name: "publisher"})
-	norm := gA.AddNode(graph.Node{
-		Name:        "normalizer",
-		Op:          &operator.Passthrough{LogDecision: true},
-		Speculative: true,
-	})
-	gA.Connect(pub, 0, norm, 0)
-	poolA := storage.NewPool([]storage.Disk{storage.NewSimDisk(diskLat, 0)})
-	defer poolA.Close()
-	engA, err := core.New(gA, core.Options{Pool: poolA, Seed: 1, Clock: wall})
+	stateDir, err := os.MkdirTemp("", "streammine-distributed-*")
 	if err != nil {
 		return err
 	}
-	if err := engA.Start(); err != nil {
-		return err
-	}
-	defer engA.Stop()
+	defer os.RemoveAll(stateDir)
 
-	// --- Engine B: classifier → stdout sink. ---
-	gB := graph.New()
-	cls := gB.AddNode(graph.Node{
-		Name:        "classifier",
-		Op:          &operator.Classifier{Classes: 4},
-		Traits:      operator.ClassifierTraits(4),
-		Speculative: true,
+	coord, err := cluster.NewCoordinator([]byte(topo), cluster.CoordinatorOptions{
+		Addr: "127.0.0.1:0",
+		Logf: logf("coordinator"),
 	})
-	poolB := storage.NewPool([]storage.Disk{storage.NewMemDisk()})
-	defer poolB.Close()
-	engB, err := core.New(gB, core.Options{Pool: poolB, Seed: 2, Clock: wall})
 	if err != nil {
 		return err
 	}
-	if err := engB.Start(); err != nil {
-		return err
-	}
-	defer engB.Stop()
+	defer coord.Close()
+	fmt.Printf("coordinator on %s\n", coord.Addr())
 
 	var mu sync.Mutex
-	var specSeen, finalSeen int
-	var specLat, finalLat time.Duration
-	if err := engB.Subscribe(cls, 0, func(ev event.Event, final bool) {
-		lat := time.Duration(wall.Now() - ev.Timestamp)
-		mu.Lock()
-		if final {
-			finalSeen++
-			finalLat += lat
-		} else {
-			specSeen++
-			specLat += lat
-		}
-		mu.Unlock()
-	}); err != nil {
-		return err
-	}
-
-	// --- Bridge the engines over loopback TCP. ---
-	h, err := engB.BridgeIn(cls, 0)
-	if err != nil {
-		return err
-	}
-	srv, err := transport.ListenConn("127.0.0.1:0", h)
-	if err != nil {
-		return err
-	}
-	defer srv.Close()
-	conn, err := engA.BridgeOut(norm, 0, srv.Addr())
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	fmt.Printf("engine A → engine B bridged over %s\n", srv.Addr())
-
-	// --- Drive. ---
-	src, err := engA.Source(pub)
-	if err != nil {
-		return err
-	}
-	for i := 0; i < events; i++ {
-		if _, err := src.Emit(uint64(i), operator.EncodeValue(uint64(i))); err != nil {
+	seen := make(map[event.ID]bool)
+	var workers []*cluster.Worker
+	for _, name := range []string{"ingest-worker", "analytics-worker"} {
+		w, err := cluster.StartWorker(cluster.WorkerOptions{
+			Name:      name,
+			CoordAddr: coord.Addr(),
+			StateDir:  stateDir,
+			Logf:      logf(name),
+			OnSinkEvent: func(sink string, ev event.Event) {
+				mu.Lock()
+				seen[ev.ID] = true
+				mu.Unlock()
+			},
+		})
+		if err != nil {
 			return err
 		}
-		time.Sleep(time.Millisecond)
-	}
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		mu.Lock()
-		done := finalSeen >= events
-		mu.Unlock()
-		if done {
-			break
-		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("timed out: %d of %d finals", finalSeen, events)
-		}
-		time.Sleep(time.Millisecond)
-	}
-	if err := engA.Err(); err != nil {
-		return fmt.Errorf("engine A: %w", err)
-	}
-	if err := engB.Err(); err != nil {
-		return fmt.Errorf("engine B: %w", err)
+		defer w.Close()
+		workers = append(workers, w)
 	}
 
-	mu.Lock()
-	defer mu.Unlock()
-	fmt.Printf("classified %d events across the bridge\n", finalSeen)
-	if specSeen > 0 {
-		fmt.Printf("speculative copies arrived after %v on average (before A's %v log write)\n",
-			(specLat / time.Duration(specSeen)).Round(time.Microsecond), diskLat)
+	select {
+	case <-coord.Done():
+	case <-time.After(60 * time.Second):
+		return fmt.Errorf("timed out waiting for the run to complete")
 	}
-	fmt.Printf("finalized results after   %v on average\n",
-		(finalLat / time.Duration(finalSeen)).Round(time.Microsecond))
+	if err := coord.Err(); err != nil {
+		return err
+	}
+	for _, w := range workers {
+		if err := w.Err(); err != nil {
+			return err
+		}
+	}
+	mu.Lock()
+	n := len(seen)
+	mu.Unlock()
+	fmt.Printf("distributed run complete: %d distinct events reached the sink across the bridge\n", n)
 	return nil
+}
+
+func logf(role string) func(string, ...any) {
+	return func(format string, args ...any) {
+		fmt.Printf("[%s] "+format+"\n", append([]any{role}, args...)...)
+	}
 }

@@ -38,6 +38,28 @@ type Snapshot struct {
 	// InputPositions records, per input index, the last event consumed
 	// before the snapshot; replay starts after these.
 	InputPositions map[int]event.ID
+	// Outputs are the committed-but-unacknowledged output-buffer records at
+	// snapshot time, in emission order. Without them a crash would lose
+	// outputs whose inputs the snapshot covers: the inputs are pruned
+	// upstream and replay starts after the covering point, so nothing could
+	// regenerate them.
+	Outputs []Output
+}
+
+// Output is one retained output-buffer record carried in a snapshot.
+type Output struct {
+	// ID is the output event's identity.
+	ID event.ID
+	// Port is the output port the event was emitted on.
+	Port int
+	// Timestamp is the event's logical timestamp.
+	Timestamp int64
+	// Key is the event's partition key.
+	Key uint64
+	// Version is the event's final version number.
+	Version uint32
+	// Payload is the event payload.
+	Payload []byte
 }
 
 // ErrCorrupt reports a snapshot that fails structural or checksum
@@ -50,6 +72,9 @@ var ErrNotFound = errors.New("checkpoint: not found")
 // Encode serializes the snapshot with a trailing CRC.
 func Encode(s *Snapshot) []byte {
 	size := 4 + 8 + 8 + 8 + 8 + 4 + len(s.Memory)*8 + 4 + len(s.InputPositions)*16 + 4
+	for _, o := range s.Outputs {
+		size += 44 + len(o.Payload)
+	}
 	buf := make([]byte, 0, size)
 	var w [8]byte
 	put32 := func(v uint32) {
@@ -81,6 +106,17 @@ func Encode(s *Snapshot) []byte {
 		put32(uint32(i))
 		put32(uint32(id.Source))
 		put64(uint64(id.Seq))
+	}
+	put32(uint32(len(s.Outputs)))
+	for _, o := range s.Outputs {
+		put32(uint32(o.ID.Source))
+		put64(uint64(o.ID.Seq))
+		put32(uint32(o.Port))
+		put64(uint64(o.Timestamp))
+		put64(o.Key)
+		put32(o.Version)
+		put32(uint32(len(o.Payload)))
+		buf = append(buf, o.Payload...)
 	}
 	put32(crc32.ChecksumIEEE(buf))
 	return buf
@@ -143,6 +179,30 @@ func Decode(data []byte) (*Snapshot, error) {
 		src := get32()
 		seq := get64()
 		s.InputPositions[idx] = event.ID{Source: event.SourceID(src), Seq: event.Seq(seq)}
+	}
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	outLen := int(get32())
+	for i := 0; i < outLen; i++ {
+		if err := need(40); err != nil {
+			return nil, err
+		}
+		var o Output
+		o.ID = event.ID{Source: event.SourceID(get32()), Seq: event.Seq(get64())}
+		o.Port = int(get32())
+		o.Timestamp = int64(get64())
+		o.Key = get64()
+		o.Version = get32()
+		plen := int(get32())
+		if err := need(plen); err != nil {
+			return nil, err
+		}
+		if plen > 0 {
+			o.Payload = append([]byte(nil), body[off:off+plen]...)
+			off += plen
+		}
+		s.Outputs = append(s.Outputs, o)
 	}
 	if off != len(body) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(body)-off)

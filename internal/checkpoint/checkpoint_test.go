@@ -20,6 +20,10 @@ func sample() *Snapshot {
 			0: {Source: 1, Seq: 100},
 			1: {Source: 2, Seq: 200},
 		},
+		Outputs: []Output{
+			{ID: event.ID{Source: 3, Seq: 50}, Port: 1, Timestamp: 1200, Key: 9, Version: 2, Payload: []byte("abc")},
+			{ID: event.ID{Source: 3, Seq: 51}, Port: 0, Timestamp: 1201, Key: 10, Version: 1},
+		},
 	}
 }
 
@@ -44,6 +48,16 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if len(got.InputPositions) != 2 || got.InputPositions[0] != s.InputPositions[0] ||
 		got.InputPositions[1] != s.InputPositions[1] {
 		t.Fatalf("positions = %+v", got.InputPositions)
+	}
+	if len(got.Outputs) != len(s.Outputs) {
+		t.Fatalf("outputs length %d, want %d", len(got.Outputs), len(s.Outputs))
+	}
+	for i, o := range s.Outputs {
+		g := got.Outputs[i]
+		if g.ID != o.ID || g.Port != o.Port || g.Timestamp != o.Timestamp ||
+			g.Key != o.Key || g.Version != o.Version || string(g.Payload) != string(o.Payload) {
+			t.Fatalf("outputs[%d] = %+v, want %+v", i, g, o)
+		}
 	}
 }
 

@@ -1,0 +1,84 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FileStore is a Store backed by a directory: each operator's latest
+// snapshot lives in op-<id>.ckpt, replaced atomically (temp file + fsync
+// + rename) so a crash mid-save leaves the previous snapshot intact.
+// Cluster workers point one at the partition's state directory so a
+// reassigned partition can restore on another process.
+type FileStore struct {
+	mu  sync.Mutex
+	dir string
+}
+
+var _ Store = (*FileStore)(nil)
+
+// NewFileStore opens (creating if needed) a snapshot directory.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: create dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+func (st *FileStore) path(operator uint32) string {
+	return filepath.Join(st.dir, fmt.Sprintf("op-%d.ckpt", operator))
+}
+
+// Save atomically replaces the operator's snapshot file (older epochs are
+// rejected, as in MemStore).
+func (st *FileStore) Save(s *Snapshot) error {
+	data := Encode(s)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	path := st.path(s.Operator)
+	if prev, err := os.ReadFile(path); err == nil {
+		if old, err := Decode(prev); err == nil && old.Epoch >= s.Epoch {
+			return fmt.Errorf("checkpoint: stale epoch %d (have %d)", s.Epoch, old.Epoch)
+		}
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("checkpoint: sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("checkpoint: install: %w", err)
+	}
+	return nil
+}
+
+// Latest reads and decodes the operator's snapshot file.
+func (st *FileStore) Latest(operator uint32) (*Snapshot, error) {
+	st.mu.Lock()
+	data, err := os.ReadFile(st.path(operator))
+	st.mu.Unlock()
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: operator %d", ErrNotFound, operator)
+		}
+		return nil, fmt.Errorf("checkpoint: read: %w", err)
+	}
+	return Decode(data)
+}

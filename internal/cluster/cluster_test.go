@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"streammine/internal/event"
+	"streammine/internal/metrics"
+	"streammine/internal/transport"
+)
+
+// clusterTopo is the integration topology: a checkpointing stateful stage
+// downstream of a bridged cut, so a reassigned partition must restore
+// from its checkpoint + decision log and absorb the upstream replay.
+const clusterTopo = `{
+  "speculative": true,
+  "seed": 11,
+  "nodes": [
+    {"name": "src",      "type": "source", "rate": 5000, "count": 900},
+    {"name": "classify", "type": "classifier", "classes": 4, "inputs": ["src"], "checkpointEvery": 32},
+    {"name": "out",      "type": "sink", "inputs": ["classify"]}
+  ],
+  "placement": {
+    "workers": 2,
+    "assign": {"src": 0, "classify": 1, "out": 1}
+  }
+}`
+
+// sinkSet collects finalized sink-event identities across workers.
+type sinkSet struct {
+	mu   sync.Mutex
+	seen map[event.ID]bool
+	per  map[string]int
+}
+
+func newSinkSet() *sinkSet {
+	return &sinkSet{seen: make(map[event.ID]bool), per: make(map[string]int)}
+}
+
+func (s *sinkSet) observer(worker string) func(string, event.Event) {
+	return func(_ string, ev event.Event) {
+		s.mu.Lock()
+		s.seen[ev.ID] = true
+		s.per[worker]++
+		s.mu.Unlock()
+	}
+}
+
+func (s *sinkSet) busiest(min int) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for w, n := range s.per {
+		if n >= min {
+			return w
+		}
+	}
+	return ""
+}
+
+func (s *sinkSet) count(worker string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.per[worker]
+}
+
+func (s *sinkSet) ids() map[event.ID]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[event.ID]bool, len(s.seen))
+	for id := range s.seen {
+		out[id] = true
+	}
+	return out
+}
+
+// runCluster deploys clusterTopo on an in-process coordinator + two
+// workers. With chaos set, the worker hosting the sink partition is torn
+// down mid-run and its partition must be reassigned and recovered for the
+// run to complete. Returns the sink identity set.
+func runCluster(t *testing.T, chaos bool, reg *metrics.Registry) map[event.ID]bool {
+	t.Helper()
+	stateDir := t.TempDir()
+	coord, err := NewCoordinator([]byte(clusterTopo), CoordinatorOptions{
+		Addr:              "127.0.0.1:0",
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  400 * time.Millisecond,
+		Metrics:           reg,
+		Logf:              t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	sinks := newSinkSet()
+	workers := make(map[string]*Worker, 2)
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("w%d", i+1)
+		w, err := StartWorker(WorkerOptions{
+			Name:              name,
+			CoordAddr:         coord.Addr(),
+			StateDir:          stateDir,
+			HeartbeatInterval: 50 * time.Millisecond,
+			HeartbeatTimeout:  400 * time.Millisecond,
+			OnSinkEvent:       sinks.observer(name),
+			Logf: func(format string, args ...any) {
+				t.Logf("["+name+"] "+format, args...)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		workers[name] = w
+	}
+
+	if chaos {
+		// Kill whichever worker externalizes sink events once the run is
+		// demonstrably under way (so there is state to recover).
+		deadline := time.Now().Add(15 * time.Second)
+		var victim string
+		for victim == "" {
+			if time.Now().After(deadline) {
+				t.Fatal("no worker produced sink output to kill")
+			}
+			victim = sinks.busiest(50)
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Logf("killing %s after %d sink events", victim, sinks.count(victim))
+		_ = workers[victim].Close()
+	}
+
+	select {
+	case <-coord.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("cluster run did not complete")
+	}
+	if err := coord.Err(); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	return sinks.ids()
+}
+
+// TestClusterRunsTopology is the basic distributed path: two workers, a
+// bridged cut edge, full completion detection.
+func TestClusterRunsTopology(t *testing.T) {
+	ids := runCluster(t, false, nil)
+	if len(ids) != 900 {
+		t.Fatalf("sink identity set = %d events, want 900", len(ids))
+	}
+}
+
+// TestClusterFailover kills the worker hosting the stateful sink
+// partition mid-run; the coordinator must detect the failure, reassign
+// the partition to the survivor, and the recovered run must externalize
+// exactly the same identity set as a failure-free run.
+func TestClusterFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover test exercises multi-second failure detection")
+	}
+	baseline := runCluster(t, false, nil)
+	reg := metrics.NewRegistry()
+	chaos := runCluster(t, true, reg)
+	if len(chaos) != len(baseline) {
+		t.Fatalf("chaos run externalized %d distinct events, baseline %d", len(chaos), len(baseline))
+	}
+	for id := range baseline {
+		if !chaos[id] {
+			t.Fatalf("event %v missing from chaos run", id)
+		}
+	}
+	if v, ok := reg.Value("cluster_reassignments_total", nil); !ok || v < 1 {
+		t.Fatalf("cluster_reassignments_total = %v (ok=%v), want >= 1", v, ok)
+	}
+}
+
+// TestWorkerDegraded joins a worker to a control server that never
+// heartbeats; the worker must stay up but report the coordinator as a
+// degraded dependency.
+func TestWorkerDegraded(t *testing.T) {
+	srv, err := transport.ListenConn("127.0.0.1:0", func(transport.Conn, transport.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	w, err := StartWorker(WorkerOptions{
+		Name:              "lonely",
+		CoordAddr:         srv.Addr(),
+		StateDir:          t.TempDir(),
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatTimeout:  150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if down := w.Degraded(); len(down) != 0 {
+		t.Fatalf("degraded immediately after join: %v", down)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		down := w.Degraded()
+		if len(down) == 1 && down[0] == coordinatorPeer {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("degraded = %v, want [coordinator]", down)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

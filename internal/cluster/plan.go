@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"streammine/internal/topology"
+)
+
+// Partition is one worker-sized share of the topology.
+type Partition struct {
+	ID    int
+	Nodes []string
+	// CutIn / CutOut are the partition's cross-partition edges (PeerAddr
+	// unfilled; the coordinator resolves it per assignment).
+	CutIn  []Edge
+	CutOut []Edge
+}
+
+// BuildPlan splits the topology into partitions. Nodes pinned by the
+// placement's assign map go to their partition; the rest are spread
+// round-robin. The partition count is placement.workers when set,
+// otherwise the number of available workers. Empty partitions are
+// dropped (their IDs are kept, so partition IDs may be sparse only when
+// the placement over-provisions).
+func BuildPlan(cfg *topology.Config, availableWorkers int) ([]Partition, error) {
+	// Validate the full topology once before slicing it.
+	if _, err := cfg.Build(); err != nil {
+		return nil, fmt.Errorf("cluster: invalid topology: %w", err)
+	}
+	nParts := availableWorkers
+	var assign map[string]int
+	if p := cfg.Placement; p != nil {
+		if p.Workers > 0 {
+			nParts = p.Workers
+		}
+		assign = p.Assign
+	}
+	if nParts < 1 {
+		return nil, fmt.Errorf("cluster: no workers to place onto")
+	}
+	names := make(map[string]bool, len(cfg.Nodes))
+	for _, nc := range cfg.Nodes {
+		names[nc.Name] = true
+	}
+	for name, part := range assign {
+		if !names[name] {
+			return nil, fmt.Errorf("cluster: placement assigns unknown node %q", name)
+		}
+		if part < 0 || part >= nParts {
+			return nil, fmt.Errorf("cluster: node %q assigned to partition %d (have %d)", name, part, nParts)
+		}
+	}
+
+	// Pin assigned nodes, round-robin the rest in topology order.
+	partOf := make(map[string]int, len(cfg.Nodes))
+	next := 0
+	for _, nc := range cfg.Nodes {
+		if p, ok := assign[nc.Name]; ok {
+			partOf[nc.Name] = p
+			continue
+		}
+		partOf[nc.Name] = next % nParts
+		next++
+	}
+
+	parts := make([]Partition, nParts)
+	for i := range parts {
+		parts[i].ID = i
+	}
+	for _, nc := range cfg.Nodes {
+		p := partOf[nc.Name]
+		parts[p].Nodes = append(parts[p].Nodes, nc.Name)
+	}
+	// Cut edges: every input whose upstream lives in another partition.
+	for _, nc := range cfg.Nodes {
+		to := partOf[nc.Name]
+		for input, ref := range nc.Inputs {
+			upName, port := topology.SplitRef(ref)
+			from, ok := partOf[upName]
+			if !ok {
+				return nil, fmt.Errorf("cluster: node %q: unknown input %q", nc.Name, upName)
+			}
+			if from == to {
+				continue
+			}
+			e := Edge{From: upName, FromPort: port, To: nc.Name, ToInput: input}
+			parts[from].CutOut = append(parts[from].CutOut, e)
+			parts[to].CutIn = append(parts[to].CutIn, e)
+		}
+	}
+	// Drop empty partitions (more workers than nodes).
+	var out []Partition
+	for _, p := range parts {
+		if len(p.Nodes) > 0 {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}

@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"streammine/internal/topology"
+)
+
+const planTopo = `{
+  "seed": 1,
+  "nodes": [
+    {"name": "src",      "type": "source", "count": 10},
+    {"name": "splitter", "type": "split", "outputs": 2, "inputs": ["src"]},
+    {"name": "left",     "type": "passthrough", "inputs": ["splitter:0"]},
+    {"name": "right",    "type": "passthrough", "inputs": ["splitter:1"]},
+    {"name": "merge",    "type": "union", "inputs": ["left", "right"]},
+    {"name": "out",      "type": "sink", "inputs": ["merge"]}
+  ],
+  "placement": {
+    "workers": 2,
+    "assign": {"src": 0, "splitter": 0, "left": 0, "right": 1, "merge": 1, "out": 1}
+  }
+}`
+
+func TestBuildPlanPinned(t *testing.T) {
+	cfg, err := topology.Parse([]byte(planTopo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := BuildPlan(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 {
+		t.Fatalf("partitions = %d, want 2", len(parts))
+	}
+	if !reflect.DeepEqual(parts[0].Nodes, []string{"src", "splitter", "left"}) {
+		t.Fatalf("partition 0 nodes = %v", parts[0].Nodes)
+	}
+	if !reflect.DeepEqual(parts[1].Nodes, []string{"right", "merge", "out"}) {
+		t.Fatalf("partition 1 nodes = %v", parts[1].Nodes)
+	}
+	// Two cut edges: splitter:1 → right and left:0 → merge:0.
+	if len(parts[0].CutOut) != 2 || len(parts[1].CutIn) != 2 {
+		t.Fatalf("cut edges out=%v in=%v", parts[0].CutOut, parts[1].CutIn)
+	}
+	keys := map[string]bool{}
+	for _, e := range parts[0].CutOut {
+		keys[e.Key()] = true
+	}
+	for _, want := range []string{"splitter:1->right:0", "left:0->merge:0"} {
+		if !keys[want] {
+			t.Errorf("missing cut edge %s in %v", want, keys)
+		}
+	}
+	if len(parts[1].CutOut) != 0 || len(parts[0].CutIn) != 0 {
+		t.Fatalf("unexpected reverse cuts: out=%v in=%v", parts[1].CutOut, parts[0].CutIn)
+	}
+}
+
+func TestBuildPlanRoundRobin(t *testing.T) {
+	cfg, err := topology.Parse([]byte(planTopo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Placement = nil // spread over however many workers registered
+	parts, err := BuildPlan(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("partitions = %d, want 3", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p.Nodes)
+	}
+	if total != 6 {
+		t.Fatalf("placed %d nodes, want 6", total)
+	}
+	// Every cross-partition input must appear exactly once as CutIn and
+	// once as the matching CutOut.
+	in, out := map[string]int{}, map[string]int{}
+	for _, p := range parts {
+		for _, e := range p.CutIn {
+			in[e.Key()]++
+		}
+		for _, e := range p.CutOut {
+			out[e.Key()]++
+		}
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("cut edge mismatch: in=%v out=%v", in, out)
+	}
+}
+
+func TestBuildPlanMoreWorkersThanNodes(t *testing.T) {
+	cfg, err := topology.Parse([]byte(planTopo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Placement = nil
+	parts, err := BuildPlan(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 6 {
+		t.Fatalf("partitions = %d, want 6 (empty ones dropped)", len(parts))
+	}
+}
+
+func TestBuildPlanErrors(t *testing.T) {
+	cfg, err := topology.Parse([]byte(planTopo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Placement = &topology.Placement{Workers: 2, Assign: map[string]int{"ghost": 0}}
+	if _, err := BuildPlan(cfg, 2); err == nil {
+		t.Fatal("unknown assigned node accepted")
+	}
+	cfg.Placement = &topology.Placement{Workers: 2, Assign: map[string]int{"src": 7}}
+	if _, err := BuildPlan(cfg, 2); err == nil {
+		t.Fatal("out-of-range partition accepted")
+	}
+	cfg.Placement = nil
+	if _, err := BuildPlan(cfg, 0); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+}

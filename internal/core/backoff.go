@@ -1,0 +1,41 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// backoff produces jittered exponential retry delays: each failed attempt
+// doubles the delay from base up to max, and the returned value is drawn
+// uniformly from [d/2, d) so a fleet of reconnecting bridges does not
+// hammer a recovering peer in lockstep. Not safe for concurrent use; each
+// retry loop owns one.
+type backoff struct {
+	base, max time.Duration
+	attempt   int
+}
+
+// next returns the delay to wait before the upcoming attempt.
+func (b *backoff) next() time.Duration {
+	base, max := b.base, b.max
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	d := base << uint(b.attempt)
+	if d <= 0 || d > max { // <= 0 catches shift overflow
+		d = max
+	} else {
+		b.attempt++
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// reset returns the schedule to the base delay after a success.
+func (b *backoff) reset() { b.attempt = 0 }

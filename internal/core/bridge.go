@@ -40,8 +40,11 @@ func (e *Engine) BridgeOut(id graph.NodeID, port int, addr string) (transport.Co
 //	h, _ := eng.BridgeIn(nodeID, 0)
 //	srv, _ := transport.ListenConn("127.0.0.1:7070", h)
 //
-// The first message on a connection binds it as the input's upstream, so
-// the node's ACKs and recovery replay requests travel back over it.
+// Each message on a connection (re)binds it as the input's upstream, so
+// the node's ACKs and recovery replay requests travel back over the most
+// recent live link — after an upstream redial (ReliableBridge) or a
+// failover to a different worker, control traffic must not keep flowing
+// into the dead connection.
 func (e *Engine) BridgeIn(id graph.NodeID, input int) (transport.ConnHandler, error) {
 	n, err := e.node(id)
 	if err != nil {
@@ -52,7 +55,7 @@ func (e *Engine) BridgeIn(id graph.NodeID, input int) (transport.ConnHandler, er
 	}
 	return func(c transport.Conn, m transport.Message) {
 		n.mu.Lock()
-		if n.upstream[input] == nil {
+		if cur, ok := n.upstream[input].(remoteUpstream); !ok || cur.c != c {
 			n.upstream[input] = remoteUpstream{c: c}
 		}
 		n.mu.Unlock()

@@ -69,6 +69,15 @@ type Options struct {
 	// files). When nil, recovery reads each node's in-memory mirror of
 	// stable records.
 	LogScanner func() ([]wal.Record, error)
+	// RestoreFromStorage primes every node from durable state at Start:
+	// the latest checkpoint is restored and a replay plan is built from
+	// the stable decision log before any event is admitted. On an empty
+	// store this is a plain start, so a cluster worker can always start
+	// partitions this way — a reassigned partition resumes exactly where
+	// the failed worker's durable state left off (paper §2.2), a fresh
+	// one starts from scratch. Requires LogScanner/CheckpointStore to
+	// point at storage that survives the previous process.
+	RestoreFromStorage bool
 	// ConflictBackoff trades promptness for wasted work under contention
 	// (paper §4): a task that has already aborted waits attempts×backoff
 	// before re-executing, so it stops burning re-executions while the
@@ -192,6 +201,14 @@ func (e *Engine) Start() error {
 			return fmt.Errorf("start node %q: %w", n.spec.Name, err)
 		}
 	}
+	if e.opts.RestoreFromStorage {
+		// A restored process lost every in-memory output buffer; ask local
+		// upstreams to re-send what survived (bridged upstreams replay on
+		// reconnect instead).
+		for _, n := range e.nodes {
+			n.requestUpstreamReplay()
+		}
+	}
 	return nil
 }
 
@@ -223,6 +240,19 @@ func (e *Engine) Drain() {
 	for _, id := range order {
 		e.nodes[id].drain()
 	}
+}
+
+// Quiesced reports whether the engine is momentarily idle: every node's
+// mailbox and execution queue are empty and no tasks are open. Unlike
+// Drain it does not block; cluster workers poll it to report quiescence
+// to the coordinator's completion detector.
+func (e *Engine) Quiesced() bool {
+	for _, n := range e.nodes {
+		if n.mailbox.Len() != 0 || n.execQ.Len() != 0 || n.openCount() != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Err returns the first operator or logging error any node recorded, or
@@ -284,7 +314,7 @@ func (s *SourceHandle) EmitAt(ts int64, key uint64, payload []byte) (event.Event
 	seq := s.seq
 	s.mu.Unlock()
 	ev := event.Event{
-		ID:        event.ID{Source: event.SourceID(s.n.spec.ID), Seq: seq},
+		ID:        event.ID{Source: event.SourceID(s.n.opID), Seq: seq},
 		Timestamp: ts,
 		Key:       key,
 		Payload:   payload,

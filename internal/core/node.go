@@ -109,10 +109,14 @@ func newNode(eng *Engine, spec graph.Node, rng *detrand.Source, log *wal.Log) (*
 	if capWords < 256 {
 		capWords = 256
 	}
+	opID := uint32(spec.ID)
+	if spec.StableID != 0 {
+		opID = spec.StableID // cluster partitions keep global identities
+	}
 	n := &node{
 		eng:           eng,
 		spec:          spec,
-		opID:          uint32(spec.ID),
+		opID:          opID,
 		mem:           stm.NewMemory(capWords),
 		log:           log,
 		rng:           rng,
@@ -175,11 +179,18 @@ type initContext struct{ n *node }
 func (c initContext) Memory() *stm.Memory { return c.n.mem }
 func (c initContext) OperatorID() uint32  { return c.n.opID }
 
-// start initializes the operator and launches the goroutines.
+// start initializes the operator and launches the goroutines. With
+// RestoreFromStorage set, the node first primes itself from durable
+// state so a restarted process resumes where its predecessor left off.
 func (n *node) start() error {
 	if n.spec.Op != nil {
 		if err := n.spec.Op.Init(initContext{n: n}); err != nil {
 			return fmt.Errorf("init: %w", err)
+		}
+	}
+	if n.eng.opts.RestoreFromStorage {
+		if err := n.restoreDurable(); err != nil {
+			return fmt.Errorf("restore %q: %w", n.spec.Name, err)
 		}
 	}
 	n.wg.Add(1)
@@ -1107,6 +1118,23 @@ func (n *node) takeCheckpoint() {
 	}
 	for i, id := range n.lastCommitted {
 		snap.InputPositions[i] = id
+	}
+	// Committed-but-unacknowledged outputs ride in the snapshot: their
+	// inputs are covered (pruned upstream, below the replay start), so
+	// after a crash nothing else could regenerate them. Non-final records
+	// belong to uncommitted tasks, which log replay re-executes.
+	pending := make([]*outRecord, 0, len(n.outBuf))
+	for _, rec := range n.outBuf {
+		if rec.finalSent {
+			pending = append(pending, rec)
+		}
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].seq < pending[j].seq })
+	for _, rec := range pending {
+		snap.Outputs = append(snap.Outputs, checkpoint.Output{
+			ID: rec.id, Port: rec.port, Timestamp: rec.ts,
+			Key: rec.key, Version: uint32(rec.version), Payload: rec.payload,
+		})
 	}
 	acks := n.sinceCkpt
 	n.sinceCkpt = nil

@@ -109,16 +109,24 @@ type replayPlan struct {
 // event identity, not by LSN position: an event uncommitted at
 // checkpoint time can have decision LSNs below the snapshot's covered
 // LSN, and replaying it with fresh decisions would break determinism.
-func (n *node) buildReplayPlan(lastByInput map[int]event.ID) (*replayPlan, map[event.ID]bool, error) {
+func (n *node) buildReplayPlan(lastByInput map[int]event.ID) (*replayPlan, map[event.ID]bool, wal.LSN, error) {
 	var stable []wal.Record
 	if scan := n.eng.opts.LogScanner; scan != nil {
 		recs, err := scan()
 		if err != nil {
-			return nil, nil, fmt.Errorf("scan decision log: %w", err)
+			return nil, nil, 0, fmt.Errorf("scan decision log: %w", err)
 		}
 		stable = recs
 	} else {
 		stable = n.stableRecords()
+	}
+	// Highest LSN across the whole scan (all operators, marks included):
+	// a fresh Log over reopened storage must continue the LSN sequence.
+	var maxSeen wal.LSN
+	for _, r := range stable {
+		if r.LSN > maxSeen {
+			maxSeen = r.LSN
+		}
 	}
 	// Filter to this operator's decision records WITHOUT wal.Replay's
 	// checkpoint-mark cut: the cut hides the snapshot-covered prefix, and
@@ -175,23 +183,16 @@ func (n *node) buildReplayPlan(lastByInput map[int]event.ID) (*replayPlan, map[e
 	if len(plan.order) == 0 && len(plan.decs) == 0 {
 		plan = nil // nothing to replay: plain restart
 	}
-	return plan, covered, nil
+	return plan, covered, maxSeen, nil
 }
 
-// recover rebuilds the node and rejoins the graph.
-func (n *node) recover() error {
-	if !n.stopFlag.Load() {
-		return fmt.Errorf("core: node %q is not crashed", n.spec.Name)
-	}
-	n.mailbox.Reopen()
-	n.execQ.Reopen()
-
-	// Deterministic state layout, then overwrite with the checkpoint.
-	if n.spec.Op != nil {
-		if err := n.spec.Op.Init(initContext{n: n}); err != nil {
-			return fmt.Errorf("re-init: %w", err)
-		}
-	}
+// restoreDurable loads the node's durable state — the latest checkpoint
+// (if any) plus a replay plan built from the stable decision log — and
+// advances the log's LSN cursor past every scanned record so freshly
+// logged decisions continue the sequence. It is the common core of crash
+// recovery and restore-on-start (cluster partition reassignment); on an
+// empty store it is a no-op and the node starts from scratch.
+func (n *node) restoreDurable() error {
 	lastByInput := make(map[int]event.ID)
 	snap, err := n.eng.store.Latest(n.opID)
 	switch {
@@ -209,6 +210,23 @@ func (n *node) recover() error {
 			n.lastCommitted[i] = id
 			lastByInput[i] = id
 		}
+		// Rebuild the output buffer from the snapshot so a downstream
+		// replay request can re-send outputs whose inputs the snapshot
+		// covers; downstream identity dedup absorbs any it already has.
+		for _, o := range snap.Outputs {
+			n.outEmitSeq++
+			rec := &outRecord{
+				id: o.ID, port: o.Port, ts: o.Timestamp, key: o.Key,
+				payload:     o.Payload,
+				version:     event.Version(o.Version),
+				finalSent:   true,
+				pendingAcks: n.bufferedLinks(o.Port),
+				seq:         n.outEmitSeq,
+			}
+			if rec.pendingAcks > 0 {
+				n.outBuf[rec.id] = rec
+			}
+		}
 		n.mu.Unlock()
 	case isNotFound(err):
 		// No checkpoint yet: rebuild from scratch via full replay.
@@ -220,7 +238,7 @@ func (n *node) recover() error {
 	// (and re-ACKed): the covering mark may never have become stable, in
 	// which case upstream was never told to prune them (paper §2.2: replay
 	// "starting at the last logged messages from each source").
-	plan, covered, err := n.buildReplayPlan(lastByInput)
+	plan, covered, maxSeen, err := n.buildReplayPlan(lastByInput)
 	if err != nil {
 		return err
 	}
@@ -228,18 +246,13 @@ func (n *node) recover() error {
 	n.replay = plan
 	n.recoverDrop = covered
 	n.mu.Unlock()
+	n.log.AdvanceLSN(maxSeen)
+	return nil
+}
 
-	n.stopFlag.Store(false)
-	n.wg.Add(1)
-	go n.dispatcher()
-	for i := 0; i < n.spec.Workers; i++ {
-		n.wg.Add(1)
-		go n.worker()
-	}
-	n.wg.Add(1)
-	go n.committer()
-
-	// Ask every upstream to re-send its unacknowledged outputs.
+// requestUpstreamReplay asks every connected upstream to re-send its
+// unacknowledged outputs.
+func (n *node) requestUpstreamReplay() {
 	n.mu.Lock()
 	ups := make([]upstreamSender, 0, len(n.upstream))
 	for _, up := range n.upstream {
@@ -251,6 +264,37 @@ func (n *node) recover() error {
 	for _, up := range ups {
 		up.send(transport.Message{Type: transport.MsgReplay})
 	}
+}
+
+// recover rebuilds the node and rejoins the graph.
+func (n *node) recover() error {
+	if !n.stopFlag.Load() {
+		return fmt.Errorf("core: node %q is not crashed", n.spec.Name)
+	}
+	n.mailbox.Reopen()
+	n.execQ.Reopen()
+
+	// Deterministic state layout, then overwrite with the checkpoint.
+	if n.spec.Op != nil {
+		if err := n.spec.Op.Init(initContext{n: n}); err != nil {
+			return fmt.Errorf("re-init: %w", err)
+		}
+	}
+	if err := n.restoreDurable(); err != nil {
+		return err
+	}
+
+	n.stopFlag.Store(false)
+	n.wg.Add(1)
+	go n.dispatcher()
+	for i := 0; i < n.spec.Workers; i++ {
+		n.wg.Add(1)
+		go n.worker()
+	}
+	n.wg.Add(1)
+	go n.committer()
+
+	n.requestUpstreamReplay()
 	return nil
 }
 

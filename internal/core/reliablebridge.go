@@ -11,29 +11,56 @@ import (
 
 // ReliableBridge is a self-healing BridgeOut: it dials the downstream
 // engine, forwards the node's outputs, and on connection failure keeps
-// redialing in the background. After every reconnect it replays the
-// node's unacknowledged output buffer — exactly the paper's upstream-
-// replay protocol (§2.2) applied to link failures: the downstream engine
-// drops byte-identical duplicates and re-ACKs, so no event is lost or
-// double-applied.
+// redialing in the background with jittered exponential backoff. After
+// every reconnect it replays the node's unacknowledged output buffer —
+// exactly the paper's upstream-replay protocol (§2.2) applied to link
+// failures: the downstream engine drops byte-identical duplicates and
+// re-ACKs, so no event is lost or double-applied.
+//
+// Retarget repoints the bridge at a different address; the cluster
+// runtime uses it when a downstream partition is reassigned to another
+// worker after a failure.
 type ReliableBridge struct {
-	n     *node
-	addr  string
-	retry time.Duration
+	n        *node
+	retry    time.Duration
+	maxRetry time.Duration
 
-	mu     sync.Mutex
-	conn   transport.Conn
-	closed bool
+	mu          sync.Mutex
+	addr        string
+	conn        transport.Conn
+	closed      bool
+	hello       *transport.Message
+	onReconnect func()
+	reconnects  int
 
 	stop chan struct{}
 	done chan struct{}
+}
 
-	reconnects int
+// BridgeOptions tune a ReliableBridge. The zero value of a field selects
+// its default.
+type BridgeOptions struct {
+	// Retry is the initial redial delay (default 100 ms).
+	Retry time.Duration
+	// MaxRetry caps the exponential backoff (default 2 s).
+	MaxRetry time.Duration
+	// Hello, when set, is sent first on every (re)connection, before any
+	// data. The cluster runtime uses it to route a fresh connection to the
+	// right edge on a worker's shared data listener.
+	Hello *transport.Message
+	// OnReconnect runs after every successful redial (e.g. to bump a
+	// reconnect counter). It must not block.
+	OnReconnect func()
 }
 
 // BridgeOutReliable attaches a reconnecting bridge to a node output port.
-// retry is the redial interval (default 100 ms).
+// retry is the initial redial delay (default 100 ms).
 func (e *Engine) BridgeOutReliable(id graph.NodeID, port int, addr string, retry time.Duration) (*ReliableBridge, error) {
+	return e.BridgeOutReliableOpts(id, port, addr, BridgeOptions{Retry: retry})
+}
+
+// BridgeOutReliableOpts is BridgeOutReliable with full options.
+func (e *Engine) BridgeOutReliableOpts(id graph.NodeID, port int, addr string, o BridgeOptions) (*ReliableBridge, error) {
 	n, err := e.node(id)
 	if err != nil {
 		return nil, err
@@ -41,15 +68,21 @@ func (e *Engine) BridgeOutReliable(id graph.NodeID, port int, addr string, retry
 	if port < 0 || port >= n.spec.OutputPorts {
 		return nil, fmt.Errorf("core: node %q has no output port %d", n.spec.Name, port)
 	}
-	if retry <= 0 {
-		retry = 100 * time.Millisecond
+	if o.Retry <= 0 {
+		o.Retry = 100 * time.Millisecond
+	}
+	if o.MaxRetry <= 0 {
+		o.MaxRetry = 2 * time.Second
 	}
 	b := &ReliableBridge{
-		n:     n,
-		addr:  addr,
-		retry: retry,
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		n:           n,
+		addr:        addr,
+		retry:       o.Retry,
+		maxRetry:    o.MaxRetry,
+		hello:       o.Hello,
+		onReconnect: o.OnReconnect,
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
 	}
 	// The first connection is established synchronously so misconfigured
 	// addresses fail fast.
@@ -61,18 +94,32 @@ func (e *Engine) BridgeOutReliable(id graph.NodeID, port int, addr string, retry
 	return b, nil
 }
 
-// connect dials and installs a fresh connection.
+// connect dials and installs a fresh connection, leading with the hello
+// frame when configured.
 func (b *ReliableBridge) connect() error {
-	conn, err := transport.Dial(b.addr, func(m transport.Message) {
+	b.mu.Lock()
+	addr := b.addr
+	hello := b.hello
+	b.mu.Unlock()
+	conn, err := transport.Dial(addr, func(m transport.Message) {
 		b.n.mailbox.Push(m) // ACKs and replay requests from downstream
 	})
 	if err != nil {
 		return err
 	}
+	if hello != nil {
+		if err := conn.Send(*hello); err != nil {
+			_ = conn.Close()
+			return err
+		}
+	}
 	b.mu.Lock()
-	if b.closed {
+	if b.closed || b.addr != addr {
+		// Closed or retargeted while dialing: discard and let the
+		// supervisor try the current address.
 		b.mu.Unlock()
-		return conn.Close()
+		_ = conn.Close()
+		return transport.ErrClosed
 	}
 	b.conn = conn
 	b.mu.Unlock()
@@ -99,33 +146,70 @@ func (b *ReliableBridge) send(m transport.Message) bool {
 	return true
 }
 
-// supervise redials dropped connections and triggers the replay of the
+// supervise redials dropped connections — backing off exponentially with
+// jitter while the peer stays down — and triggers the replay of the
 // node's unacknowledged buffer after every successful reconnect.
 func (b *ReliableBridge) supervise() {
 	defer close(b.done)
-	ticker := time.NewTicker(b.retry)
-	defer ticker.Stop()
+	bo := backoff{base: b.retry, max: b.maxRetry}
+	timer := time.NewTimer(b.retry)
+	defer timer.Stop()
 	for {
 		select {
 		case <-b.stop:
 			return
-		case <-ticker.C:
+		case <-timer.C:
 		}
 		b.mu.Lock()
 		needsDial := b.conn == nil && !b.closed
 		b.mu.Unlock()
 		if !needsDial {
+			bo.reset()
+			timer.Reset(b.retry)
 			continue
 		}
 		if err := b.connect(); err != nil {
-			continue // keep retrying
+			timer.Reset(bo.next())
+			continue
 		}
+		bo.reset()
+		timer.Reset(b.retry)
 		b.mu.Lock()
 		b.reconnects++
+		onRec := b.onReconnect
 		b.mu.Unlock()
+		if onRec != nil {
+			onRec()
+		}
 		// Replay everything still unacknowledged over the new link.
 		b.n.mailbox.Push(transport.Message{Type: transport.MsgReplay})
 	}
+}
+
+// Retarget points the bridge at a new address. The current connection (if
+// any) is torn down and the supervisor redials the new peer, replaying
+// the unacknowledged buffer once it connects. Retargeting to the current
+// address with a live connection is a no-op.
+func (b *ReliableBridge) Retarget(addr string) {
+	b.mu.Lock()
+	if b.addr == addr && b.conn != nil {
+		b.mu.Unlock()
+		return
+	}
+	b.addr = addr
+	conn := b.conn
+	b.conn = nil
+	b.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// Addr returns the bridge's current target address.
+func (b *ReliableBridge) Addr() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.addr
 }
 
 // Reconnects reports how many times the bridge re-established the link.

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryBackoffJitterBounds draws many first delays and checks every
+// one lands in the documented jitter window [d/2, d].
+func TestRetryBackoffJitterBounds(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		b := backoff{base: 100 * time.Millisecond, max: 2 * time.Second}
+		d := b.next()
+		if d < 50*time.Millisecond || d > 100*time.Millisecond {
+			t.Fatalf("first delay %v outside [50ms, 100ms]", d)
+		}
+	}
+}
+
+// TestRetryBackoffDoubling verifies the schedule underneath the jitter:
+// each attempt doubles the window until the cap, where it stays.
+func TestRetryBackoffDoubling(t *testing.T) {
+	b := backoff{base: 100 * time.Millisecond, max: 2 * time.Second}
+	wants := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second, // capped
+		2 * time.Second, // stays capped
+		2 * time.Second,
+	}
+	for i, want := range wants {
+		d := b.next()
+		if d < want/2 || d > want {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", i, d, want/2, want)
+		}
+	}
+}
+
+// TestRetryBackoffReset returns the schedule to the base window after a
+// successful reconnect.
+func TestRetryBackoffReset(t *testing.T) {
+	b := backoff{base: 100 * time.Millisecond, max: 2 * time.Second}
+	for i := 0; i < 10; i++ {
+		b.next()
+	}
+	b.reset()
+	d := b.next()
+	if d < 50*time.Millisecond || d > 100*time.Millisecond {
+		t.Fatalf("post-reset delay %v outside base window [50ms, 100ms]", d)
+	}
+}
+
+// TestRetryBackoffDefaults covers the guard rails: a zero-value backoff
+// falls back to a 100 ms base, and a max below base is raised to base.
+func TestRetryBackoffDefaults(t *testing.T) {
+	var b backoff
+	d := b.next()
+	if d < 50*time.Millisecond || d > 100*time.Millisecond {
+		t.Fatalf("zero-value delay %v outside [50ms, 100ms]", d)
+	}
+	b = backoff{base: time.Second, max: time.Millisecond}
+	d = b.next()
+	if d < 500*time.Millisecond || d > time.Second {
+		t.Fatalf("max<base delay %v outside [500ms, 1s]", d)
+	}
+}

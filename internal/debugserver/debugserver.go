@@ -13,6 +13,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
+	"sync"
 	"time"
 
 	"streammine/internal/metrics"
@@ -20,10 +22,12 @@ import (
 
 // Server serves /metrics, /healthz and /debug/pprof/* on one listener.
 type Server struct {
-	reg    *metrics.Registry
-	health func() error
-	srv    *http.Server
-	ln     net.Listener
+	reg      *metrics.Registry
+	health   func() error
+	srv      *http.Server
+	ln       net.Listener
+	mu       sync.Mutex
+	degraded func() []string
 }
 
 // New builds a server over reg. health may be nil; when set it is polled
@@ -69,6 +73,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	_ = s.reg.WritePrometheus(w)
 }
 
+// SetDegraded installs a liveness-dependency probe: when fn returns a
+// non-empty list of unreachable peers (e.g. a cluster worker whose
+// coordinator heartbeats stopped, or a severed bridge), /healthz stays
+// 200 — the process itself is alive — but reports "degraded: <peers>"
+// instead of "ok" so operators and orchestrators can see partial failure.
+func (s *Server) SetDegraded(fn func() []string) {
+	s.mu.Lock()
+	s.degraded = fn
+	s.mu.Unlock()
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.health != nil {
 		if err := s.health(); err != nil {
@@ -76,6 +91,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			return
 		}
 	}
+	s.mu.Lock()
+	degraded := s.degraded
+	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if degraded != nil {
+		if down := degraded(); len(down) > 0 {
+			fmt.Fprintf(w, "degraded: %s\n", strings.Join(down, ", "))
+			return
+		}
+	}
 	fmt.Fprintln(w, "ok")
 }

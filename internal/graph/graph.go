@@ -32,6 +32,17 @@ type Node struct {
 	// CheckpointEvery triggers a state checkpoint every N processed
 	// events (0 disables periodic checkpoints).
 	CheckpointEvery int
+	// StableID, when non-zero, overrides the operator identity used for
+	// decision-log records, checkpoints, and event IDs. The cluster
+	// runtime sets it to the node's position in the *global* topology so
+	// identities stay stable when a partition subgraph (whose local IDs
+	// are renumbered from 0) is rebuilt on another worker.
+	StableID uint32
+	// RemoteInputs lists input indices fed from outside this graph (a
+	// cluster bridge delivers them). Validation treats them as occupied,
+	// so a partition subgraph with a mix of local and remote inputs still
+	// passes the contiguity check.
+	RemoteInputs []int
 }
 
 // Edge connects node From's output port FromPort to node To's input
@@ -153,6 +164,22 @@ func (g *Graph) Validate() error {
 		names[n.Name] = true
 	}
 	inputSeen := make(map[NodeID]map[int]bool)
+	for _, n := range g.nodes {
+		for _, i := range n.RemoteInputs {
+			if i < 0 {
+				return fmt.Errorf("%w: node %d remote input %d", ErrBadEdge, n.ID, i)
+			}
+			m := inputSeen[n.ID]
+			if m == nil {
+				m = make(map[int]bool)
+				inputSeen[n.ID] = m
+			}
+			if m[i] {
+				return fmt.Errorf("%w: node %d remote input %d declared twice", ErrBadEdge, n.ID, i)
+			}
+			m[i] = true
+		}
+	}
 	for _, e := range g.edges {
 		if int(e.From) < 0 || int(e.From) >= len(g.nodes) ||
 			int(e.To) < 0 || int(e.To) >= len(g.nodes) {

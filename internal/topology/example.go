@@ -1,0 +1,16 @@
+package topology
+
+// Example is the starter topology printed by `streammine -example`.
+const Example = `{
+  "speculative": true,
+  "diskLatencyMillis": 10,
+  "disks": 1,
+  "seed": 42,
+  "nodes": [
+    {"name": "pub1", "type": "source", "rate": 500, "count": 2000},
+    {"name": "pub2", "type": "source", "rate": 500, "count": 2000},
+    {"name": "merge", "type": "union", "inputs": ["pub1", "pub2"]},
+    {"name": "proc", "type": "classifier", "classes": 16, "checkpointEvery": 100, "inputs": ["merge"]},
+    {"name": "out", "type": "sink", "inputs": ["proc"]}
+  ]
+}`

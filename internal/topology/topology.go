@@ -1,4 +1,8 @@
-package main
+// Package topology loads the JSON pipeline description accepted by the
+// streammine command and builds validated operator graphs from it —
+// whole (Build) or restricted to one cluster partition (BuildSubset).
+// The optional placement section assigns nodes to cluster workers.
+package topology
 
 import (
 	"encoding/json"
@@ -6,13 +10,13 @@ import (
 	"os"
 	"time"
 
+	"streammine/internal/event"
 	"streammine/internal/graph"
 	"streammine/internal/operator"
 )
 
-// TopologyConfig is the JSON description of a pipeline accepted by the
-// streammine command.
-type TopologyConfig struct {
+// Config is the JSON description of a pipeline.
+type Config struct {
 	// Speculative is the default speculation switch for all nodes.
 	Speculative bool `json:"speculative"`
 	// DiskLatencyMillis models the stable-storage write time.
@@ -23,6 +27,19 @@ type TopologyConfig struct {
 	Seed uint64 `json:"seed"`
 	// Nodes lists the operators; edges derive from each node's inputs.
 	Nodes []NodeConfig `json:"nodes"`
+	// Placement optionally assigns nodes to cluster workers; ignored by
+	// the single-process runner.
+	Placement *Placement `json:"placement"`
+}
+
+// Placement distributes the topology over cluster workers.
+type Placement struct {
+	// Workers is the number of partitions to create when Assign leaves
+	// nodes unassigned: those are spread round-robin over partitions
+	// 0..Workers-1 (default 1).
+	Workers int `json:"workers"`
+	// Assign pins node names to partition indices.
+	Assign map[string]int `json:"assign"`
 }
 
 // NodeConfig is one node of the topology.
@@ -58,13 +75,18 @@ type NodeConfig struct {
 	Key          string   `json:"key"` // split: "hash" for by-key routing
 }
 
-// LoadTopology reads and parses a topology file.
-func LoadTopology(path string) (*TopologyConfig, error) {
+// Load reads and parses a topology file.
+func Load(path string) (*Config, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("read topology: %w", err)
 	}
-	var cfg TopologyConfig
+	return Parse(data)
+}
+
+// Parse parses a topology from raw JSON.
+func Parse(data []byte) (*Config, error) {
+	var cfg Config
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return nil, fmt.Errorf("parse topology: %w", err)
 	}
@@ -74,35 +96,80 @@ func LoadTopology(path string) (*TopologyConfig, error) {
 	return &cfg, nil
 }
 
-// buildResult carries the constructed graph plus the roles the runner
-// needs to drive it.
-type buildResult struct {
-	graph   *graph.Graph
-	sources []sourceSpec
-	sinks   []graph.NodeID
-	names   map[string]graph.NodeID
+// Built carries a constructed graph plus the roles a runner needs to
+// drive it.
+type Built struct {
+	Graph   *graph.Graph
+	Sources []SourceSpec
+	Sinks   []graph.NodeID
+	Names   map[string]graph.NodeID
 }
 
-// sourceSpec is one source node with its publishing parameters.
-type sourceSpec struct {
-	id    graph.NodeID
-	name  string
-	rate  int
-	count int
+// SourceSpec is one source node with its publishing parameters.
+type SourceSpec struct {
+	ID    graph.NodeID
+	Name  string
+	Rate  int
+	Count int
 }
 
-// Build converts the config into a validated graph.
-func (cfg *TopologyConfig) Build() (*buildResult, error) {
-	g := graph.New()
-	res := &buildResult{graph: g, names: make(map[string]graph.NodeID)}
+// Build converts the whole config into a validated graph.
+func (cfg *Config) Build() (*Built, error) {
+	return cfg.build(nil)
+}
 
+// BuildSubset builds the partition subgraph containing only the named
+// nodes. Each node's StableID is set to its position in the full
+// topology (+1), so operator identities — decision-log records,
+// checkpoints, output-event IDs — survive re-partitioning. Inputs fed
+// from nodes outside the subset become RemoteInputs (a cluster bridge
+// delivers them).
+func (cfg *Config) BuildSubset(members []string) (*Built, error) {
+	in := make(map[string]bool, len(members))
+	for _, m := range members {
+		in[m] = true
+	}
+	all := make(map[string]bool, len(cfg.Nodes))
 	for _, nc := range cfg.Nodes {
+		all[nc.Name] = true
+	}
+	for _, m := range members {
+		if !all[m] {
+			return nil, fmt.Errorf("subset member %q is not in the topology", m)
+		}
+	}
+	return cfg.build(in)
+}
+
+// build constructs the graph; in == nil selects every node (Build), and
+// then StableIDs are left zero so single-process behavior is unchanged.
+func (cfg *Config) build(in map[string]bool) (*Built, error) {
+	g := graph.New()
+	res := &Built{Graph: g, Names: make(map[string]graph.NodeID)}
+	all := make(map[string]bool, len(cfg.Nodes))
+	for _, nc := range cfg.Nodes {
+		all[nc.Name] = true
+	}
+
+	for gi, nc := range cfg.Nodes {
+		if in != nil && !in[nc.Name] {
+			continue
+		}
 		spec, isSource, isSink, err := cfg.makeNode(nc)
 		if err != nil {
 			return nil, fmt.Errorf("node %q: %w", nc.Name, err)
 		}
+		if in != nil {
+			spec.StableID = uint32(gi) + 1
+			for input, ref := range nc.Inputs {
+				name, _ := splitRef(ref)
+				if !in[name] {
+					spec.RemoteInputs = append(spec.RemoteInputs, input)
+				}
+			}
+		}
 		id := g.AddNode(spec)
-		res.names[nc.Name] = id
+		res.Names[nc.Name] = id
 		if isSource {
 			rate := nc.Rate
 			if rate <= 0 {
@@ -112,19 +179,25 @@ func (cfg *TopologyConfig) Build() (*buildResult, error) {
 			if count <= 0 {
 				count = 1000
 			}
-			res.sources = append(res.sources, sourceSpec{id: id, name: nc.Name, rate: rate, count: count})
+			res.Sources = append(res.Sources, SourceSpec{ID: id, Name: nc.Name, Rate: rate, Count: count})
 		}
 		if isSink {
-			res.sinks = append(res.sinks, id)
+			res.Sinks = append(res.Sinks, id)
 		}
 	}
 	// Wire edges now that all names resolve.
 	for _, nc := range cfg.Nodes {
-		to := res.names[nc.Name]
+		if in != nil && !in[nc.Name] {
+			continue
+		}
+		to := res.Names[nc.Name]
 		for input, ref := range nc.Inputs {
 			name, port := splitRef(ref)
-			from, ok := res.names[name]
+			from, ok := res.Names[name]
 			if !ok {
+				if in != nil && all[name] {
+					continue // cross-partition edge; a bridge feeds it
+				}
 				return nil, fmt.Errorf("node %q: unknown input %q", nc.Name, name)
 			}
 			g.Connect(from, port, to, input)
@@ -153,8 +226,13 @@ func splitRef(ref string) (string, int) {
 	return ref, 0
 }
 
+// SplitRef parses an input reference "name" or "name:port" into the
+// upstream node name and output port (cluster planning needs the same
+// resolution as graph building).
+func SplitRef(ref string) (string, int) { return splitRef(ref) }
+
 // makeNode translates one NodeConfig into a graph.Node.
-func (cfg *TopologyConfig) makeNode(nc NodeConfig) (graph.Node, bool, bool, error) {
+func (cfg *Config) makeNode(nc NodeConfig) (graph.Node, bool, bool, error) {
 	spec := graph.Node{
 		Name:            nc.Name,
 		Workers:         nc.Workers,
@@ -235,7 +313,7 @@ func (cfg *TopologyConfig) makeNode(nc NodeConfig) (graph.Node, bool, bool, erro
 		spec.Traits = operator.JoinTraits(buckets)
 		return spec, false, false, nil
 	case "filter_even":
-		spec.Op = &operator.Filter{Pred: func(e eventAlias) bool { return e.Key%2 == 0 }}
+		spec.Op = &operator.Filter{Pred: func(e event.Event) bool { return e.Key%2 == 0 }}
 		spec.Traits = operator.FilterTraits
 		return spec, false, false, nil
 	case "shedder":

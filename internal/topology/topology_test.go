@@ -1,4 +1,4 @@
-package main
+package topology
 
 import (
 	"os"
@@ -16,8 +16,8 @@ func writeTopo(t *testing.T, body string) string {
 }
 
 func TestLoadExampleTopology(t *testing.T) {
-	path := writeTopo(t, exampleTopology)
-	cfg, err := LoadTopology(path)
+	path := writeTopo(t, Example)
+	cfg, err := Load(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,13 +25,13 @@ func TestLoadExampleTopology(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(built.sources) != 2 {
-		t.Fatalf("sources = %d", len(built.sources))
+	if len(built.Sources) != 2 {
+		t.Fatalf("sources = %d", len(built.Sources))
 	}
-	if len(built.sinks) != 1 {
-		t.Fatalf("sinks = %d", len(built.sinks))
+	if len(built.Sinks) != 1 {
+		t.Fatalf("sinks = %d", len(built.Sinks))
 	}
-	if err := built.graph.Validate(); err != nil {
+	if err := built.Graph.Validate(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -55,7 +55,7 @@ func TestBuildAllNodeTypes(t *testing.T) {
 			{"name": "out2", "type": "sink", "inputs": ["tws"]}
 		]
 	}`)
-	cfg, err := LoadTopology(path)
+	cfg, err := Load(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,11 +63,11 @@ func TestBuildAllNodeTypes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(built.graph.Nodes()); got != 13 {
+	if got := len(built.Graph.Nodes()); got != 13 {
 		t.Fatalf("nodes = %d, want 13", got)
 	}
-	if len(built.sinks) != 2 {
-		t.Fatalf("sinks = %d", len(built.sinks))
+	if len(built.Sinks) != 2 {
+		t.Fatalf("sinks = %d", len(built.Sinks))
 	}
 }
 
@@ -92,7 +92,7 @@ func TestBuildErrors(t *testing.T) {
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
 			path := writeTopo(t, tt.body)
-			cfg, err := LoadTopology(path)
+			cfg, err := Load(path)
 			if err != nil {
 				return // load-stage rejection is fine
 			}
@@ -104,7 +104,7 @@ func TestBuildErrors(t *testing.T) {
 }
 
 func TestLoadTopologyMissingFile(t *testing.T) {
-	if _, err := LoadTopology("/does/not/exist.json"); err == nil {
+	if _, err := Load("/does/not/exist.json"); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
@@ -121,9 +121,9 @@ func TestSplitRef(t *testing.T) {
 		{"weird:x", "weird:x", 0},
 	}
 	for _, tt := range tests {
-		name, port := splitRef(tt.in)
+		name, port := SplitRef(tt.in)
 		if name != tt.name || port != tt.port {
-			t.Errorf("splitRef(%q) = %q,%d want %q,%d", tt.in, name, port, tt.name, tt.port)
+			t.Errorf("SplitRef(%q) = %q,%d want %q,%d", tt.in, name, port, tt.name, tt.port)
 		}
 	}
 }
@@ -137,7 +137,7 @@ func TestNodeSpeculativeOverride(t *testing.T) {
 			{"name": "b", "type": "passthrough", "speculative": false, "inputs": ["a"]}
 		]
 	}`)
-	cfg, err := LoadTopology(path)
+	cfg, err := Load(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,11 +145,84 @@ func TestNodeSpeculativeOverride(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nodes := built.graph.Nodes()
+	nodes := built.Graph.Nodes()
 	if !nodes[1].Speculative {
 		t.Fatal("default speculative not applied")
 	}
 	if nodes[2].Speculative {
 		t.Fatal("per-node override not applied")
+	}
+}
+
+// TestBuildSubset checks partition subgraphs: stable identities follow
+// the global topology and cross-partition inputs become remote.
+func TestBuildSubset(t *testing.T) {
+	cfg, err := Parse([]byte(`{
+		"nodes": [
+			{"name": "src", "type": "source"},
+			{"name": "proc", "type": "classifier", "inputs": ["src"]},
+			{"name": "merge", "type": "union", "inputs": ["proc", "side"]},
+			{"name": "side", "type": "source"},
+			{"name": "out", "type": "sink", "inputs": ["merge"]}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := cfg.BuildSubset([]string{"merge", "side", "out"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := built.Graph.Nodes()
+	if len(nodes) != 3 {
+		t.Fatalf("nodes = %d, want 3", len(nodes))
+	}
+	// merge is global node 2 → StableID 3; its input 0 (proc) is remote,
+	// input 1 (side) is local.
+	merge := nodes[built.Names["merge"]]
+	if merge.StableID != 3 {
+		t.Fatalf("merge StableID = %d, want 3", merge.StableID)
+	}
+	if len(merge.RemoteInputs) != 1 || merge.RemoteInputs[0] != 0 {
+		t.Fatalf("merge RemoteInputs = %v, want [0]", merge.RemoteInputs)
+	}
+	side := nodes[built.Names["side"]]
+	if side.StableID != 4 {
+		t.Fatalf("side StableID = %d, want 4", side.StableID)
+	}
+	if len(built.Sources) != 1 || built.Sources[0].Name != "side" {
+		t.Fatalf("sources = %+v, want [side]", built.Sources)
+	}
+	if len(built.Sinks) != 1 {
+		t.Fatalf("sinks = %d, want 1", len(built.Sinks))
+	}
+	// Local edges only: side→merge and merge→out.
+	if got := len(built.Graph.Edges()); got != 2 {
+		t.Fatalf("edges = %d, want 2", got)
+	}
+
+	if _, err := cfg.BuildSubset([]string{"merge", "ghost"}); err == nil {
+		t.Fatal("unknown subset member accepted")
+	}
+}
+
+// TestBuildSubsetPlacementParse checks the placement section survives a
+// round trip through the loader.
+func TestBuildSubsetPlacementParse(t *testing.T) {
+	cfg, err := Parse([]byte(`{
+		"placement": {"workers": 2, "assign": {"src": 0, "out": 1}},
+		"nodes": [
+			{"name": "src", "type": "source"},
+			{"name": "out", "type": "sink", "inputs": ["src"]}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Placement == nil || cfg.Placement.Workers != 2 {
+		t.Fatalf("placement = %+v", cfg.Placement)
+	}
+	if cfg.Placement.Assign["out"] != 1 {
+		t.Fatalf("assign = %v", cfg.Placement.Assign)
 	}
 }

@@ -29,6 +29,8 @@ func EncodeMessage(dst []byte, m Message) []byte {
 	switch m.Type {
 	case MsgEvent:
 		dst = m.Event.Encode(dst)
+	case MsgHello, MsgRegister, MsgAssign, MsgStart, MsgStatus, MsgStop:
+		dst = append(dst, m.Payload...)
 	default:
 		var b [controlBody]byte
 		binary.LittleEndian.PutUint32(b[0:], uint32(m.ID.Source))
@@ -62,6 +64,11 @@ func DecodeMessage(src []byte) (Message, int, error) {
 			return Message{}, 0, fmt.Errorf("decode event frame: %w", err)
 		}
 		m.Event = e.Clone() // detach from the read buffer
+	case MsgHello, MsgRegister, MsgAssign, MsgStart, MsgStatus, MsgStop:
+		if len(body) > 0 {
+			m.Payload = make([]byte, len(body)) // detach from the read buffer
+			copy(m.Payload, body)
+		}
 	case MsgFinalize, MsgRevoke, MsgAck, MsgReplay, MsgHeartbeat:
 		if len(body) < controlBody {
 			return Message{}, 0, event.ErrShortBuffer

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // Conn is a unidirectional-ish message link: Send pushes messages to the
@@ -103,7 +104,8 @@ func (c *pipeConn) Close() error {
 
 // tcpConn adapts a net.Conn to the Conn interface.
 type tcpConn struct {
-	nc net.Conn
+	nc           net.Conn
+	writeTimeout time.Duration // per-Send deadline; 0 = none
 
 	sendMu sync.Mutex
 	closed sync.Once
@@ -113,7 +115,9 @@ type tcpConn struct {
 
 var _ Conn = (*tcpConn)(nil)
 
-// Send writes one frame.
+// Send writes one frame. With a write timeout configured, a peer that has
+// stopped draining its socket fails the Send instead of blocking forever
+// (the caller treats any Send error as a dead link and redials).
 func (c *tcpConn) Send(m Message) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
@@ -121,6 +125,9 @@ func (c *tcpConn) Send(m Message) error {
 	case <-c.done:
 		return ErrClosed
 	default:
+	}
+	if c.writeTimeout > 0 {
+		_ = c.nc.SetWriteDeadline(time.Now().Add(c.writeTimeout))
 	}
 	if err := WriteMessage(c.nc, m); err != nil {
 		return fmt.Errorf("tcp send: %w", err)
@@ -154,14 +161,46 @@ func (c *tcpConn) readLoop(h Handler) {
 	}
 }
 
+// DialOptions bound how long a connection may hang on an unresponsive
+// peer. The zero value of a field selects its default.
+type DialOptions struct {
+	// ConnectTimeout bounds the TCP connect (default 10 s).
+	ConnectTimeout time.Duration
+	// KeepAlive is the TCP keepalive probe interval (default 15 s);
+	// negative disables keepalives.
+	KeepAlive time.Duration
+	// WriteTimeout, when positive, is applied as a deadline to every Send
+	// so a peer that stops reading fails the link instead of wedging it.
+	WriteTimeout time.Duration
+}
+
+// Default connection-hygiene bounds (see DialOptions).
+const (
+	DefaultConnectTimeout = 10 * time.Second
+	DefaultKeepAlive      = 15 * time.Second
+)
+
 // Dial connects to a listening node and returns the connection; inbound
-// messages go to h.
+// messages go to h. It uses the default DialOptions: bounded connect,
+// keepalive on, no write deadline.
 func Dial(addr string, h Handler) (Conn, error) {
-	nc, err := net.Dial("tcp", addr)
+	return DialWith(addr, DialOptions{}, h)
+}
+
+// DialWith is Dial with explicit connection-hygiene bounds.
+func DialWith(addr string, o DialOptions, h Handler) (Conn, error) {
+	if o.ConnectTimeout <= 0 {
+		o.ConnectTimeout = DefaultConnectTimeout
+	}
+	if o.KeepAlive == 0 {
+		o.KeepAlive = DefaultKeepAlive
+	}
+	d := net.Dialer{Timeout: o.ConnectTimeout, KeepAlive: o.KeepAlive}
+	nc, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dial %s: %w", addr, err)
 	}
-	c := &tcpConn{nc: nc, done: make(chan struct{})}
+	c := &tcpConn{nc: nc, writeTimeout: o.WriteTimeout, done: make(chan struct{})}
 	c.wg.Add(1)
 	go c.readLoop(h)
 	return c, nil
@@ -213,6 +252,10 @@ func (s *Server) acceptLoop(h ConnHandler) {
 		nc, err := s.ln.Accept()
 		if err != nil {
 			return // listener closed
+		}
+		if tc, ok := nc.(*net.TCPConn); ok {
+			_ = tc.SetKeepAlive(true)
+			_ = tc.SetKeepAlivePeriod(DefaultKeepAlive)
 		}
 		c := &tcpConn{nc: nc, done: make(chan struct{})}
 		var inner Handler

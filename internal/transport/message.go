@@ -28,12 +28,17 @@ type Message struct {
 	ID      event.ID      // subject of control messages
 	Version event.Version // version finalized / revoked
 	Input   int           // receiving input index (set by the receiver side)
+	Payload []byte        // opaque body for control-plane messages (MsgHello..MsgStop)
 }
 
 // MsgType discriminates message kinds on the wire.
 type MsgType uint8
 
-// Message kinds.
+// Message kinds. MsgEvent..MsgHeartbeat carry the speculation protocol;
+// MsgHello..MsgStop carry the cluster runtime's opaque control payloads:
+// HELLO names the target edge on a data-plane bridge connection, and
+// REGISTER/ASSIGN/START/STATUS/STOP form the coordinator/worker control
+// plane (internal/cluster defines the payload schemas).
 const (
 	MsgEvent MsgType = iota + 1
 	MsgFinalize
@@ -41,7 +46,16 @@ const (
 	MsgAck
 	MsgReplay
 	MsgHeartbeat
+	MsgHello
+	MsgRegister
+	MsgAssign
+	MsgStart
+	MsgStatus
+	MsgStop
 )
+
+// maxMsgType is the highest defined message kind (metrics sizing).
+const maxMsgType = MsgStop
 
 // String names the message type.
 func (t MsgType) String() string {
@@ -58,6 +72,18 @@ func (t MsgType) String() string {
 		return "REPLAY"
 	case MsgHeartbeat:
 		return "HEARTBEAT"
+	case MsgHello:
+		return "HELLO"
+	case MsgRegister:
+		return "REGISTER"
+	case MsgAssign:
+		return "ASSIGN"
+	case MsgStart:
+		return "START"
+	case MsgStatus:
+		return "STATUS"
+	case MsgStop:
+		return "STOP"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(t))
 	}

@@ -13,7 +13,7 @@ import (
 type Metrics struct {
 	// Sent indexes per-type send counters by MsgType. Index 0 collects
 	// unknown types.
-	Sent [MsgHeartbeat + 1]*metrics.Counter
+	Sent [maxMsgType + 1]*metrics.Counter
 	// HeartbeatMisses counts failure-detector down transitions.
 	HeartbeatMisses *metrics.Counter
 }
@@ -36,7 +36,7 @@ func RegisterMetrics(reg *metrics.Registry) *Metrics {
 			"Failure-detector down transitions (peer silent past the timeout)."),
 	}
 	const help = "Messages sent on transport connections, by type."
-	for t := MsgEvent; t <= MsgHeartbeat; t++ {
+	for t := MsgEvent; t <= maxMsgType; t++ {
 		m.Sent[t] = reg.CounterWith("transport_messages_sent_total", help,
 			metrics.Labels{"type": t.String()})
 	}

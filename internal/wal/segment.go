@@ -171,7 +171,9 @@ func (s *SegmentStore) Scan() ([]Record, error) {
 		}
 		recs, err := Scan(data)
 		if err != nil {
-			return recs, fmt.Errorf("segment %d: %w", idx, err)
+			// Return everything intact so far: a crash can tear the last
+			// append, and recovery may choose to treat the prefix as the log.
+			return append(out, recs...), fmt.Errorf("segment %d: %w", idx, err)
 		}
 		out = append(out, recs...)
 	}

@@ -323,6 +323,16 @@ func (l *Log) UnstableLag() uint64 {
 // NextLSN returns the LSN that the next appended record will receive.
 func (l *Log) NextLSN() LSN { return LSN(l.nextLSN.Load() + 1) }
 
+// AdvanceLSN raises the LSN cursor (and the stable watermark) to at least
+// last. A recovered node calls it with the highest LSN found in its
+// durable records, so a fresh Log over a reopened store continues the LSN
+// sequence instead of re-issuing low LSNs that would break the log-order
+// invariant for future recoveries.
+func (l *Log) AdvanceLSN(last LSN) {
+	advance(&l.nextLSN, uint64(last))
+	advance(&l.stableLSN, uint64(last))
+}
+
 // Truncate marks all records with LSN <= upTo as prunable (a checkpoint
 // covers them). Truncation is monotonic.
 func (l *Log) Truncate(upTo LSN) {
