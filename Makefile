@@ -1,8 +1,9 @@
 # Development targets. `make check` is the CI gate documented in README.md.
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
+BENCHREV := $(shell git rev-parse --short HEAD 2>/dev/null || date +%s)
 
-.PHONY: check fmt vet test race build
+.PHONY: check fmt vet test race build bench
 
 check: fmt vet race
 
@@ -23,3 +24,10 @@ test:
 
 race:
 	go test -race ./...
+
+# bench smoke-runs every benchmark once and archives the results as
+# machine-readable BENCH_<rev>.json (docs/FLOW.md, "perf trajectory").
+bench:
+	go test -bench . -benchtime 1x -run '^$$' ./... > bench-raw.txt || (cat bench-raw.txt; rm -f bench-raw.txt; exit 1)
+	go run ./cmd/benchjson -out BENCH_$(BENCHREV).json < bench-raw.txt
+	@rm -f bench-raw.txt

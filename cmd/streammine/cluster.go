@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/signal"
@@ -35,6 +36,11 @@ func runCoordinator(topoPath, addr string, workers int, hbTimeout time.Duration,
 	defer c.Close()
 	if err := obs.serve(c.Err); err != nil {
 		return err
+	}
+	if obs.server != nil {
+		// /healthz carries the per-partition queue-depth / credit snapshot
+		// folded from worker STATUS reports.
+		obs.server.SetPressure(pressureJSON(func() any { return c.Pressure() }))
 	}
 	fmt.Printf("coordinator on %s, waiting for workers\n", c.Addr())
 	select {
@@ -74,8 +80,10 @@ func runWorker(name, join, dataAddr, stateDir string, hbTimeout time.Duration, o
 	}
 	if obs.server != nil {
 		// /healthz answers "degraded: coordinator" / "degraded: bridge ..."
-		// while a peer this worker depends on is unreachable.
+		// while a peer this worker depends on is unreachable, plus the
+		// flow-control pressure snapshot of the hosted partitions.
 		obs.server.SetDegraded(w.Degraded)
+		obs.server.SetPressure(pressureJSON(func() any { return w.Pressure() }))
 	}
 	fmt.Printf("worker %q joined %s (data %s)\n", name, join, w.DataAddr())
 	select {
@@ -88,6 +96,19 @@ func runWorker(name, join, dataAddr, stateDir string, hbTimeout time.Duration, o
 
 func printSinkEvent(sink string, ev event.Event) {
 	fmt.Printf("SINK %s %s\n", sink, ev.ID)
+}
+
+// pressureJSON adapts a pressure snapshot provider to the debug server's
+// /healthz line format. Empty snapshots produce no output.
+func pressureJSON(fn func() any) func() string {
+	return func() string {
+		v := fn()
+		data, err := json.Marshal(v)
+		if err != nil || string(data) == "null" || string(data) == "[]" {
+			return ""
+		}
+		return "pressure: " + string(data)
+	}
 }
 
 func logfFor(role string) func(string, ...any) {

@@ -29,6 +29,25 @@ const e2eTopo = `{
   }
 }`
 
+// e2eFlowTopo adds engine-wide flow control to e2eTopo: every mailbox is
+// bounded at 8 and the bridged cut edge is credit-gated with the same
+// window, so at rate 1500 the upstream bridge spends most of the run with
+// its credits exhausted — the state the SIGKILL below must interrupt.
+const e2eFlowTopo = `{
+  "speculative": true,
+  "seed": 7,
+  "flow": {"mailboxCap": 8, "maxOpenSpec": 4},
+  "nodes": [
+    {"name": "src",      "type": "source", "rate": 1500, "count": 1000},
+    {"name": "classify", "type": "classifier", "classes": 4, "inputs": ["src"], "checkpointEvery": 32},
+    {"name": "out",      "type": "sink", "inputs": ["classify"]}
+  ],
+  "placement": {
+    "workers": 2,
+    "assign": {"src": 0, "classify": 1, "out": 1}
+  }
+}`
+
 // procSinks collects "SINK <name> <id>" lines across worker processes.
 type procSinks struct {
 	mu   sync.Mutex
@@ -105,11 +124,11 @@ func scanLines(t *testing.T, cmd *exec.Cmd, fn func(line string)) {
 // a shared state directory. With chaos set it SIGKILLs whichever worker
 // externalizes sink output once the run is under way. Returns the distinct
 // sink identity set externalized across all workers.
-func runClusterProcesses(t *testing.T, bin string, chaos bool) map[string]bool {
+func runClusterProcesses(t *testing.T, bin, topo string, chaos bool) map[string]bool {
 	t.Helper()
 	dir := t.TempDir()
 	topoPath := filepath.Join(dir, "topo.json")
-	if err := os.WriteFile(topoPath, []byte(e2eTopo), 0o644); err != nil {
+	if err := os.WriteFile(topoPath, []byte(topo), 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -208,11 +227,11 @@ func TestClusterProcessesFailover(t *testing.T) {
 		t.Skip("multi-process e2e: builds a binary and runs multi-second failure detection")
 	}
 	bin := buildBinary(t)
-	baseline := runClusterProcesses(t, bin, false)
+	baseline := runClusterProcesses(t, bin, e2eTopo, false)
 	if len(baseline) != 1000 {
 		t.Fatalf("baseline externalized %d distinct events, want 1000", len(baseline))
 	}
-	chaos := runClusterProcesses(t, bin, true)
+	chaos := runClusterProcesses(t, bin, e2eTopo, true)
 	if len(chaos) != len(baseline) {
 		t.Fatalf("chaos run externalized %d distinct events, baseline %d", len(chaos), len(baseline))
 	}
@@ -220,5 +239,22 @@ func TestClusterProcessesFailover(t *testing.T) {
 		if !chaos[id] {
 			t.Fatalf("event %s missing from chaos run", id)
 		}
+	}
+}
+
+// TestClusterProcessesFailoverWithFlow SIGKILLs a worker mid-run with
+// credit-based flow control active on the bridged cut edge (window 8, so
+// the upstream bridge is credit-starved almost continuously at rate
+// 1500). The reassigned partition's bridges must re-grant a fresh window
+// on reconnect; precise recovery must externalize every event exactly
+// once despite the bounded queues.
+func TestClusterProcessesFailoverWithFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e: builds a binary and runs multi-second failure detection")
+	}
+	bin := buildBinary(t)
+	chaos := runClusterProcesses(t, bin, e2eFlowTopo, true)
+	if len(chaos) != 1000 {
+		t.Fatalf("flow-controlled chaos run externalized %d distinct events, want 1000", len(chaos))
 	}
 }

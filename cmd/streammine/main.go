@@ -19,6 +19,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -186,6 +187,9 @@ func run() error {
 	if err := obs.serve(eng.Err); err != nil {
 		return err
 	}
+	if obs.server != nil {
+		obs.server.SetPressure(pressureJSON(func() any { return eng.Pressure() }))
+	}
 	if err := eng.Start(); err != nil {
 		return err
 	}
@@ -245,7 +249,11 @@ func run() error {
 				for emitted < due {
 					payload := operator.EncodeValue(uint64(emitted))
 					if _, err := handle.Emit(uint64(emitted), payload); err != nil {
-						return
+						if !errors.Is(err, core.ErrShed) {
+							return
+						}
+						// Shed by admission control: the sequence number is
+						// burnt; keep publishing the remainder of the stream.
 					}
 					emitted++
 				}

@@ -28,6 +28,27 @@ const clusterTopo = `{
   }
 }`
 
+// clusterFlowTopo is clusterTopo with engine-wide flow control: bounded
+// mailboxes (credit window 8 on every edge, including the bridged cut)
+// and speculation throttling. At rate 5000 against an 8-event window the
+// upstream bridge runs credit-exhausted for most of the run, so a worker
+// kill during it exercises the reconnect path that must re-grant credits
+// before replay (a stranded window would wedge recovery forever).
+const clusterFlowTopo = `{
+  "speculative": true,
+  "seed": 11,
+  "flow": {"mailboxCap": 8, "maxOpenSpec": 4},
+  "nodes": [
+    {"name": "src",      "type": "source", "rate": 5000, "count": 900},
+    {"name": "classify", "type": "classifier", "classes": 4, "inputs": ["src"], "checkpointEvery": 32},
+    {"name": "out",      "type": "sink", "inputs": ["classify"]}
+  ],
+  "placement": {
+    "workers": 2,
+    "assign": {"src": 0, "classify": 1, "out": 1}
+  }
+}`
+
 // sinkSet collects finalized sink-event identities across workers.
 type sinkSet struct {
 	mu   sync.Mutex
@@ -75,14 +96,14 @@ func (s *sinkSet) ids() map[event.ID]bool {
 	return out
 }
 
-// runCluster deploys clusterTopo on an in-process coordinator + two
-// workers. With chaos set, the worker hosting the sink partition is torn
-// down mid-run and its partition must be reassigned and recovered for the
-// run to complete. Returns the sink identity set.
-func runCluster(t *testing.T, chaos bool, reg *metrics.Registry) map[event.ID]bool {
+// runCluster deploys the given topology on an in-process coordinator +
+// two workers. With chaos set, the worker hosting the sink partition is
+// torn down mid-run and its partition must be reassigned and recovered
+// for the run to complete. Returns the sink identity set.
+func runCluster(t *testing.T, topo string, chaos bool, reg *metrics.Registry) map[event.ID]bool {
 	t.Helper()
 	stateDir := t.TempDir()
-	coord, err := NewCoordinator([]byte(clusterTopo), CoordinatorOptions{
+	coord, err := NewCoordinator([]byte(topo), CoordinatorOptions{
 		Addr:              "127.0.0.1:0",
 		HeartbeatInterval: 50 * time.Millisecond,
 		HeartbeatTimeout:  400 * time.Millisecond,
@@ -146,7 +167,7 @@ func runCluster(t *testing.T, chaos bool, reg *metrics.Registry) map[event.ID]bo
 // TestClusterRunsTopology is the basic distributed path: two workers, a
 // bridged cut edge, full completion detection.
 func TestClusterRunsTopology(t *testing.T) {
-	ids := runCluster(t, false, nil)
+	ids := runCluster(t, clusterTopo, false, nil)
 	if len(ids) != 900 {
 		t.Fatalf("sink identity set = %d events, want 900", len(ids))
 	}
@@ -160,9 +181,9 @@ func TestClusterFailover(t *testing.T) {
 	if testing.Short() {
 		t.Skip("failover test exercises multi-second failure detection")
 	}
-	baseline := runCluster(t, false, nil)
+	baseline := runCluster(t, clusterTopo, false, nil)
 	reg := metrics.NewRegistry()
-	chaos := runCluster(t, true, reg)
+	chaos := runCluster(t, clusterTopo, true, reg)
 	if len(chaos) != len(baseline) {
 		t.Fatalf("chaos run externalized %d distinct events, baseline %d", len(chaos), len(baseline))
 	}
@@ -173,6 +194,31 @@ func TestClusterFailover(t *testing.T) {
 	}
 	if v, ok := reg.Value("cluster_reassignments_total", nil); !ok || v < 1 {
 		t.Fatalf("cluster_reassignments_total = %v (ok=%v), want >= 1", v, ok)
+	}
+}
+
+// TestClusterFailoverWithFlowControl reruns the failover drill with flow
+// control on every node and the cut edge's bridge credit-gated at 8. The
+// victim dies while the upstream bridge is (almost certainly) out of
+// credits; the survivor's reconnect must reset the window before replay
+// or the run can never complete. Precise recovery must hold unchanged:
+// identical identity set, no losses, duplicates suppressed.
+func TestClusterFailoverWithFlowControl(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover test exercises multi-second failure detection")
+	}
+	baseline := runCluster(t, clusterFlowTopo, false, nil)
+	if len(baseline) != 900 {
+		t.Fatalf("flow-controlled baseline externalized %d distinct events, want 900", len(baseline))
+	}
+	chaos := runCluster(t, clusterFlowTopo, true, nil)
+	if len(chaos) != len(baseline) {
+		t.Fatalf("chaos run externalized %d distinct events, baseline %d", len(chaos), len(baseline))
+	}
+	for id := range baseline {
+		if !chaos[id] {
+			t.Fatalf("event %v missing from chaos run", id)
+		}
 	}
 }
 

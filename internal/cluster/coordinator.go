@@ -3,9 +3,11 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
+	"streammine/internal/core"
 	"streammine/internal/metrics"
 	"streammine/internal/topology"
 	"streammine/internal/transport"
@@ -81,6 +83,7 @@ type coordPart struct {
 	started   bool
 	committed uint64
 	quiesced  bool
+	pressure  []core.NodePressure
 }
 
 // NewCoordinator parses the topology and starts listening for workers.
@@ -147,6 +150,29 @@ func (c *Coordinator) Err() error {
 func (c *Coordinator) Wait() error {
 	<-c.done
 	return c.Err()
+}
+
+// PartitionPressure is one partition's last-reported flow-control state.
+type PartitionPressure struct {
+	Partition int                 `json:"partition"`
+	Worker    string              `json:"worker"`
+	Nodes     []core.NodePressure `json:"nodes"`
+}
+
+// Pressure returns the latest per-partition flow-control snapshots folded
+// from worker STATUS reports, ordered by partition ID. Partitions that
+// have not reported pressure yet are omitted.
+func (c *Coordinator) Pressure() []PartitionPressure {
+	c.mu.Lock()
+	var out []PartitionPressure
+	for id, cp := range c.parts {
+		if cp.pressure != nil {
+			out = append(out, PartitionPressure{Partition: id, Worker: cp.worker, Nodes: cp.pressure})
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Partition < out[j].Partition })
+	return out
 }
 
 // Close tears the coordinator down (workers are stopped first if the run
@@ -349,6 +375,9 @@ func (c *Coordinator) status(st StatusMsg) {
 	cp.phase = st.Phase
 	cp.committed = st.Committed
 	cp.quiesced = st.Quiesced
+	if st.Pressure != nil {
+		cp.pressure = st.Pressure
+	}
 	type send struct {
 		conn transport.Conn
 		msg  transport.Message

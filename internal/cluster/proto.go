@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"streammine/internal/core"
 	"streammine/internal/transport"
 )
 
@@ -94,6 +95,11 @@ type StatusMsg struct {
 	// publishing and the engine is idle.
 	Quiesced bool   `json:"quiesced"`
 	Err      string `json:"err,omitempty"`
+	// Pressure snapshots per-node flow-control state (queue depth,
+	// credit accounting, speculation throttle, admission counters) for
+	// every node of the partition, in node order. Empty when the
+	// partition is not running.
+	Pressure []core.NodePressure `json:"pressure,omitempty"`
 }
 
 // StopMsg tears a worker down.

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"streammine/internal/core"
 	"streammine/internal/transport"
 )
 
@@ -26,6 +27,12 @@ func TestControlCodecRoundTrip(t *testing.T) {
 		{transport.MsgStatus, &StatusMsg{
 			Name: "w1", Partition: 2, Epoch: 3, Phase: PhaseRunning,
 			Committed: 41, Quiesced: true, Err: "boom",
+			Pressure: []core.NodePressure{{
+				Node: "classify", DataDepth: 7, DataCap: 32, DataHighWater: 30,
+				Overflows: 2, CreditQueued: 5, CreditsOutstanding: 16,
+				ThrottleOpen: 3, ThrottleCap: 4, Throttled: 11,
+				Admitted: 100, Shed: 9, AdmitRate: 512.5,
+			}},
 		}, &StatusMsg{}},
 		{transport.MsgStop, &StopMsg{Reason: "done"}, &StopMsg{}},
 		{transport.MsgHello, &HelloMsg{Edge: edge}, &HelloMsg{}},

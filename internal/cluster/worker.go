@@ -80,6 +80,7 @@ type workerPart struct {
 	id    int
 	epoch int
 
+	cfg     *topology.Config
 	built   *topology.Built
 	eng     *core.Engine
 	pool    *storage.Pool
@@ -175,6 +176,24 @@ func (w *Worker) Degraded() []string {
 	w.mu.Unlock()
 	sort.Strings(down)
 	return down
+}
+
+// Pressure returns flow-control snapshots for every running partition
+// hosted by this worker, ordered by partition ID — the same data the
+// STATUS reports carry to the coordinator.
+func (w *Worker) Pressure() []PartitionPressure {
+	w.mu.Lock()
+	var out []PartitionPressure
+	for id, p := range w.parts {
+		if p.running {
+			out = append(out, PartitionPressure{
+				Partition: id, Worker: w.opts.Name, Nodes: p.eng.Pressure(),
+			})
+		}
+	}
+	w.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Partition < out[j].Partition })
+	return out
 }
 
 // Close tears the worker down: engines stop, bridges and listeners close.
@@ -381,6 +400,7 @@ func (w *Worker) buildPartition(am AssignMsg) (*workerPart, error) {
 	p := &workerPart{
 		id:      am.Partition,
 		epoch:   am.Epoch,
+		cfg:     cfg,
 		built:   built,
 		eng:     eng,
 		pool:    pool,
@@ -454,7 +474,13 @@ func (w *Worker) handleStart(sm StartMsg) {
 // start barrier), but after a reassignment the peer partition may still
 // be registering its edges.
 func (w *Worker) dialBridge(p *workerPart, e Edge, hello transport.Message) (*core.ReliableBridge, error) {
-	opts := core.BridgeOptions{Hello: &hello, OnReconnect: w.met.bridgeReconnected}
+	opts := core.BridgeOptions{
+		Hello:       &hello,
+		OnReconnect: w.met.bridgeReconnected,
+		// Credit-gate the cut edge with the receiving node's window; the
+		// remote engine returns CREDIT frames as events leave its mailbox.
+		CreditWindow: p.cfg.CreditWindowFor(e.To),
+	}
 	var (
 		b   *core.ReliableBridge
 		err error
@@ -495,6 +521,12 @@ func (w *Worker) runSource(p *workerPart, src topology.SourceSpec) {
 			}
 		}
 		if _, err := h.EmitAt(int64(i), uint64(i), nil); err != nil {
+			if errors.Is(err, core.ErrShed) {
+				// Dropped before admission: never logged, so the sequence
+				// number stays burnt and re-emission after failover sheds
+				// or delivers deterministically identical events.
+				continue
+			}
 			w.fail(p.id, p.epoch, fmt.Errorf("source %q: %w", src.Name, err))
 			return
 		}
@@ -512,6 +544,7 @@ func (w *Worker) partStatusLocked(p *workerPart, phase string) StatusMsg {
 	}
 	if p.running {
 		st.Committed = p.eng.TotalStats().Committed
+		st.Pressure = p.eng.Pressure()
 		quiesced := p.sourcesLeft == 0 && p.eng.Quiesced()
 		// A disconnected outgoing bridge means a peer still owes us a
 		// replay request (or is mid-recovery); the run cannot be complete

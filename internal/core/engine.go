@@ -31,6 +31,7 @@ import (
 	"streammine/internal/checkpoint"
 	"streammine/internal/detrand"
 	"streammine/internal/event"
+	"streammine/internal/flow"
 	"streammine/internal/graph"
 	"streammine/internal/metrics"
 	"streammine/internal/storage"
@@ -124,6 +125,10 @@ var (
 	ErrStopped = errors.New("core: engine stopped")
 	// ErrUnknownNode reports an out-of-range node ID.
 	ErrUnknownNode = errors.New("core: unknown node")
+	// ErrShed reports that admission control dropped a source event before
+	// it entered the engine. The event was never logged, so recovery
+	// semantics are untouched; the caller may retry, slow down, or ignore.
+	ErrShed = errors.New("core: event shed by admission control")
 )
 
 // New validates the graph and builds an engine for it.
@@ -161,11 +166,33 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 	}
 	// Wire edges: each upstream node gets a link per outgoing edge, and
 	// each downstream node learns its upstream per input (for ACKs and
-	// replay requests).
+	// replay requests). Edges into a flow-limited node are credit-gated:
+	// the upstream link blocks (in a dedicated sender goroutine) once the
+	// window of in-flight data events is exhausted, and the downstream
+	// dispatcher grants credits back as events leave its mailbox.
 	for _, e := range g.Edges() {
 		up, down := eng.nodes[e.From], eng.nodes[e.To]
-		up.addLink(e.FromPort, &localLink{target: down, input: e.ToInput})
+		inner := &localLink{target: down, input: e.ToInput}
+		if w := creditWindow(g, down.spec); w > 0 {
+			gate := flow.NewCreditGate(w)
+			up.addLink(e.FromPort, newCreditedLink(inner, gate))
+			down.granters[e.ToInput] = localGranter{gate: gate}
+			down.inGates = append(down.inGates, gate)
+		} else {
+			up.addLink(e.FromPort, inner)
+		}
 		down.setUpstream(e.ToInput, localUpstream{n: up})
+	}
+	// Remote inputs (cluster cut edges): the credit gate lives on the
+	// sending side's bridge; this side only returns credits, batched into
+	// CREDIT frames on the input's upstream connection.
+	for _, n := range eng.nodes {
+		if w := creditWindow(g, n.spec); w > 0 {
+			for _, idx := range n.spec.RemoteInputs {
+				n.granters[idx] = &remoteGranter{n: n, input: idx, batch: creditBatch(w)}
+			}
+		}
+		n.admission = flow.NewAdmission(n.spec.Flow, eng.pressureProbe(n))
 	}
 	eng.tracer = opts.Tracer
 	if opts.Metrics != nil {
@@ -175,6 +202,65 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 		}
 	}
 	return eng, nil
+}
+
+// creditWindow derives the per-edge credit window for a node: the explicit
+// CreditWindow when set, else the mailbox capacity split evenly across the
+// node's inputs (local and remote) so their windows sum to the capacity.
+// Zero disables credit gating on the node's inbound edges.
+func creditWindow(g *graph.Graph, spec graph.Node) int {
+	f := spec.Flow
+	if f == nil {
+		return 0
+	}
+	if f.CreditWindow > 0 {
+		return f.CreditWindow
+	}
+	if f.MailboxCap <= 0 {
+		return 0
+	}
+	inputs := len(g.InputsOf(spec.ID)) + len(spec.RemoteInputs)
+	if inputs < 1 {
+		return 0
+	}
+	w := f.MailboxCap / inputs
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// creditBatch sizes remote CREDIT batching: a quarter window amortizes the
+// control frames while keeping the withheld remainder well below the
+// window, so the remote sender never starves.
+func creditBatch(window int) int {
+	b := window / 4
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// pressureProbe builds the downstream-congestion sampler driving a source
+// node's AIMD admission controller: congested when any of the source's
+// outputs is parked behind an exhausted credit gate, or any directly
+// downstream mailbox is at least half full.
+func (e *Engine) pressureProbe(n *node) func() bool {
+	var downs []*node
+	for _, edge := range e.g.OutputsOf(n.spec.ID) {
+		downs = append(downs, e.nodes[edge.To])
+	}
+	return func() bool {
+		if n.creditQueued() > 0 {
+			return true
+		}
+		for _, d := range downs {
+			if c := d.mailbox.DataCap(); c > 0 && d.mailbox.DataDepth()*2 >= c {
+				return true
+			}
+		}
+		return false
+	}
 }
 
 // Graph returns the topology the engine runs.
@@ -248,7 +334,8 @@ func (e *Engine) Drain() {
 // to the coordinator's completion detector.
 func (e *Engine) Quiesced() bool {
 	for _, n := range e.nodes {
-		if n.mailbox.Len() != 0 || n.execQ.Len() != 0 || n.openCount() != 0 {
+		if n.mailbox.Len() != 0 || n.execQ.Len() != 0 || n.openCount() != 0 ||
+			n.creditQueued() != 0 {
 			return false
 		}
 	}
@@ -307,7 +394,11 @@ func (s *SourceHandle) Emit(key uint64, payload []byte) (event.Event, error) {
 	return s.EmitAt(s.tick.Next(), key, payload)
 }
 
-// EmitAt publishes one final event with an explicit timestamp.
+// EmitAt publishes one final event with an explicit timestamp. When the
+// source node has admission control configured, the call blocks until the
+// token bucket admits the event — or, with shedding enabled, returns
+// ErrShed immediately. A shed event still consumes a sequence number so
+// event IDs stay deterministic under worker failover re-emission.
 func (s *SourceHandle) EmitAt(ts int64, key uint64, payload []byte) (event.Event, error) {
 	s.mu.Lock()
 	s.seq++
@@ -318,6 +409,14 @@ func (s *SourceHandle) EmitAt(ts int64, key uint64, payload []byte) (event.Event
 		Timestamp: ts,
 		Key:       key,
 		Payload:   payload,
+	}
+	if a := s.n.admission; a != nil {
+		switch a.Admit() {
+		case flow.Shed:
+			return ev, ErrShed
+		case flow.Stopped:
+			return event.Event{}, ErrStopped
+		}
 	}
 	if err := s.n.publishSourceEvent(ev); err != nil {
 		return event.Event{}, err
@@ -363,4 +462,62 @@ func (e *Engine) Stats(id graph.NodeID) (NodeStats, error) {
 		return NodeStats{}, err
 	}
 	return n.stats(), nil
+}
+
+// NodePressure is one node's flow-control state snapshot: queue occupancy,
+// credit accounting, speculation throttle position, and admission counters.
+// Zero-valued fields mean the mechanism is not configured on the node.
+type NodePressure struct {
+	Node string `json:"node"`
+
+	// Data-lane mailbox occupancy against its configured capacity.
+	DataDepth     int    `json:"dataDepth"`
+	DataCap       int    `json:"dataCap,omitempty"`
+	DataHighWater int    `json:"dataHighWater,omitempty"`
+	Overflows     uint64 `json:"overflows,omitempty"`
+
+	// Credit state: outputs parked behind exhausted gates, and credits
+	// this node's inbound edges currently hold out (events in flight).
+	CreditQueued       int `json:"creditQueued,omitempty"`
+	CreditsOutstanding int `json:"creditsOutstanding,omitempty"`
+
+	// Speculation throttle position.
+	ThrottleOpen int    `json:"throttleOpen,omitempty"`
+	ThrottleCap  int    `json:"throttleCap,omitempty"`
+	Throttled    uint64 `json:"throttled,omitempty"`
+
+	// Source admission counters.
+	Admitted  uint64  `json:"admitted,omitempty"`
+	Shed      uint64  `json:"shed,omitempty"`
+	AdmitRate float64 `json:"admitRate,omitempty"`
+}
+
+// pressure snapshots one node's flow-control state.
+func (n *node) pressure() NodePressure {
+	p := NodePressure{
+		Node:          n.spec.Name,
+		DataDepth:     n.mailbox.DataDepth(),
+		DataCap:       n.mailbox.DataCap(),
+		DataHighWater: n.mailbox.DataHighWater(),
+		Overflows:     n.mailbox.Overflows(),
+		CreditQueued:  n.creditQueued(),
+		Admitted:      n.admission.Admitted(),
+		Shed:          n.admission.Shedded(),
+		AdmitRate:     n.admission.Rate(),
+	}
+	for _, g := range n.inGates {
+		p.CreditsOutstanding += g.Outstanding()
+	}
+	p.ThrottleOpen, p.ThrottleCap, p.Throttled = n.throttle.Snapshot()
+	return p
+}
+
+// Pressure snapshots flow-control state for every node, in node-ID order.
+// It is cheap enough to serve from a health endpoint.
+func (e *Engine) Pressure() []NodePressure {
+	out := make([]NodePressure, 0, len(e.nodes))
+	for _, n := range e.nodes {
+		out = append(out, n.pressure())
+	}
+	return out
 }

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streammine/internal/event"
+	"streammine/internal/flow"
+	"streammine/internal/operator"
+	"streammine/internal/storage"
+)
+
+// benchPipeline drives the 3-op overload chain end to end (burst emit,
+// wait for every final) once per iteration, so the flow-controlled and
+// unbounded configurations can be compared on the same workload.
+func benchPipeline(b *testing.B, fl *flow.Limits) {
+	const total = 500
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g, src, sinkID := overloadChain(fl, 1)
+		pool := storage.NewPool([]storage.Disk{storage.NewMemDisk()})
+		eng, err := New(g, Options{Seed: 41, Pool: pool})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var finals atomic.Int64
+		if err := eng.Subscribe(sinkID, 0, func(ev event.Event, final bool) {
+			if final {
+				finals.Add(1)
+			}
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Start(); err != nil {
+			b.Fatal(err)
+		}
+		s, err := eng.Source(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for k := 0; k < total; k++ {
+			if _, err := s.Emit(uint64(k), operator.EncodeValue(uint64(k))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for finals.Load() < total {
+			time.Sleep(50 * time.Microsecond)
+		}
+		b.StopTimer()
+		eng.Stop()
+		pool.Close()
+	}
+	b.ReportMetric(total, "events/op")
+}
+
+// BenchmarkPipelineUnbounded is the pre-flow baseline: no mailbox caps,
+// no credits, no speculation throttle.
+func BenchmarkPipelineUnbounded(b *testing.B) { benchPipeline(b, nil) }
+
+// BenchmarkPipelineFlowControlled runs the same burst with bounded
+// mailboxes, credit-gated edges and a speculation cap — the steady-state
+// overhead of the flow subsystem.
+func BenchmarkPipelineFlowControlled(b *testing.B) {
+	benchPipeline(b, &flow.Limits{MailboxCap: 64, MaxOpenSpec: 8})
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"streammine/internal/event"
+	"streammine/internal/flow"
 	"streammine/internal/transport"
 )
 
@@ -96,6 +97,168 @@ func (l *remoteLink) deliver(m transport.Message) {
 }
 
 func (l *remoteLink) buffered() bool { return true }
+
+// linkQueue is a plain unbounded FIFO (no lane split: per-link order is
+// preserved exactly) feeding a creditedLink's sender goroutine.
+type linkQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []transport.Message
+	closed bool
+}
+
+func newLinkQueue() *linkQueue {
+	q := &linkQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *linkQueue) push(m transport.Message) {
+	q.mu.Lock()
+	if !q.closed {
+		q.items = append(q.items, m)
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+func (q *linkQueue) pop() (transport.Message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return transport.Message{}, false
+	}
+	m := q.items[0]
+	q.items = q.items[1:]
+	return m, true
+}
+
+func (q *linkQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+func (q *linkQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// creditedLink wraps another link with credit-based flow control. Callers
+// never block: deliver enqueues onto an unbounded per-link FIFO and a
+// dedicated sender goroutine alone pays the credit wait. Only EVENT
+// messages consume a credit; control messages ride the same queue (so
+// per-link ordering is preserved) but pass the gate for free, keeping
+// FINALIZE/REVOKE progress independent of data congestion.
+//
+// The caller must never block here because the dispatcher that delivers
+// events is the same goroutine that processes inbound CREDIT grants on
+// the reverse path — blocking it on a credit would deadlock the cycle.
+type creditedLink struct {
+	inner link
+	gate  *flow.CreditGate
+	q     *linkQueue
+	done  chan struct{}
+	once  sync.Once
+}
+
+var _ link = (*creditedLink)(nil)
+
+// newCreditedLink wraps inner behind gate and starts the sender.
+func newCreditedLink(inner link, gate *flow.CreditGate) *creditedLink {
+	l := &creditedLink{inner: inner, gate: gate, q: newLinkQueue(), done: make(chan struct{})}
+	go l.sender()
+	return l
+}
+
+func (l *creditedLink) deliver(m transport.Message) { l.q.push(m) }
+
+func (l *creditedLink) buffered() bool { return l.inner.buffered() }
+
+// queued reports messages waiting for transmission (quiescence and
+// pressure accounting: these are in flight even though no mailbox holds
+// them yet).
+func (l *creditedLink) queued() int { return l.q.len() }
+
+// sender forwards queued messages, acquiring one credit per data event.
+func (l *creditedLink) sender() {
+	defer close(l.done)
+	for {
+		m, ok := l.q.pop()
+		if !ok {
+			return
+		}
+		if m.Type == transport.MsgEvent && !l.gate.Acquire() {
+			// Gate closed: shutdown. Remaining data events are dropped;
+			// they are either retained in the output buffer for replay or
+			// moot because the engine is stopping.
+			continue
+		}
+		l.inner.deliver(m)
+	}
+}
+
+// close stops the sender and releases any credit wait. Idempotent.
+func (l *creditedLink) close() {
+	l.once.Do(func() {
+		l.q.close()
+		l.gate.Close()
+	})
+	<-l.done
+}
+
+// creditGranter returns credits to the upstream side of an edge when an
+// event leaves the receiver's mailbox.
+type creditGranter interface {
+	grant(n int)
+}
+
+// localGranter shares the gate with an in-process creditedLink.
+type localGranter struct{ gate *flow.CreditGate }
+
+func (g localGranter) grant(n int) { g.gate.Grant(n) }
+
+// remoteGranter batches grants and returns them over the input's
+// registered upstream connection as CREDIT frames (count in ID.Seq).
+// Batching caps the control-frame overhead at 1/batch per event; the
+// withheld remainder is at most batch-1 < window credits, so the sender
+// can always make progress and every withheld credit is flushed by the
+// pops of the very events it covers.
+type remoteGranter struct {
+	n     *node
+	input int
+	batch int
+
+	mu      sync.Mutex
+	pending int
+}
+
+func (g *remoteGranter) grant(n int) {
+	g.mu.Lock()
+	g.pending += n
+	if g.pending < g.batch {
+		g.mu.Unlock()
+		return
+	}
+	send := g.pending
+	g.pending = 0
+	g.mu.Unlock()
+	g.n.mu.Lock()
+	up := g.n.upstream[g.input]
+	g.n.mu.Unlock()
+	if up == nil {
+		return
+	}
+	up.send(transport.Message{
+		Type: transport.MsgCredit,
+		ID:   event.ID{Seq: event.Seq(send)},
+	})
+}
 
 // outRecord is one output event retained in a node's output buffer until
 // every buffered downstream link has acknowledged it (paper §2.2: upstream

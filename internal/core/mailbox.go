@@ -1,18 +1,40 @@
 package core
 
-import "sync"
+import (
+	"sync"
 
-// mailbox is an unbounded FIFO queue with blocking Pop. Node mailboxes are
-// unbounded by design: control messages (FINALIZE, ACK, re-execution
-// commands) flow against the data direction, so bounded queues could
-// deadlock a cycle of blocked senders. Data-rate backpressure is the
-// source's responsibility (all experiment workloads are rate-driven, as in
-// the paper).
+	"streammine/internal/transport"
+)
+
+// mailbox is a FIFO queue with blocking Pop, split into two lanes:
+//
+//   - The control lane carries FINALIZE, REVOKE, ACK, REPLAY, re-execution
+//     commands and everything else that flows against the data direction.
+//     It is always unbounded and popped first, so control traffic retains
+//     guaranteed progress no matter how congested the data lane is (the
+//     deadlock a naive bounded mailbox would reintroduce — DESIGN §9).
+//   - The data lane carries EVENT messages and source injections. It has a
+//     configured capacity enforced upstream by credit-based flow control;
+//     the lane itself only accounts (depth, high-water mark, overflow
+//     count) and never rejects, so the bound is soft at the mailbox and
+//     hard at the credit gates. A transient overshoot — e.g. a bridge
+//     reconnect resetting its credit window while replayed events are
+//     still queued — shows up in the overflow counter instead of wedging
+//     the pipeline.
+//
+// Lane separation means a control message can overtake the data event it
+// refers to; the dispatcher's admission path holds early FINALIZE/REVOKE
+// stashes to absorb that reordering (see node.pendFin / node.pendRevoke).
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	items  []any
+	ctl    []any
+	data   []any
 	closed bool
+
+	dataCap  int // 0 = unbounded (no accounting against a bound)
+	dataHigh int
+	overflow uint64
 }
 
 func newMailbox() *mailbox {
@@ -21,38 +43,102 @@ func newMailbox() *mailbox {
 	return m
 }
 
-// Push enqueues an item; it never blocks. Pushing to a closed mailbox is a
-// silent no-op (shutdown races are benign).
+// SetDataCap configures the data-lane capacity (0 = unbounded). Set
+// before the node starts; it is a reporting bound, not an admission gate.
+func (m *mailbox) SetDataCap(c int) {
+	m.mu.Lock()
+	m.dataCap = c
+	m.mu.Unlock()
+}
+
+// isData classifies an item onto the data lane: input events and source
+// injections. Everything else is control.
+func isData(item any) bool {
+	switch v := item.(type) {
+	case transport.Message:
+		return v.Type == transport.MsgEvent
+	case cmdInject:
+		return true
+	}
+	return false
+}
+
+// Push enqueues an item on its lane; it never blocks. Pushing to a closed
+// mailbox is a silent no-op (shutdown races are benign).
 func (m *mailbox) Push(item any) {
 	m.mu.Lock()
 	if !m.closed {
-		m.items = append(m.items, item)
+		if isData(item) {
+			m.data = append(m.data, item)
+			if d := len(m.data); d > m.dataHigh {
+				m.dataHigh = d
+			}
+			if m.dataCap > 0 && len(m.data) > m.dataCap {
+				m.overflow++
+			}
+		} else {
+			m.ctl = append(m.ctl, item)
+		}
 		m.cond.Signal()
 	}
 	m.mu.Unlock()
 }
 
-// Pop dequeues the oldest item, blocking while the mailbox is empty. It
-// returns ok=false once the mailbox is closed and drained.
+// Pop dequeues the oldest control item, or the oldest data item when the
+// control lane is empty, blocking while both lanes are empty. It returns
+// ok=false once the mailbox is closed and drained.
 func (m *mailbox) Pop() (any, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for len(m.items) == 0 && !m.closed {
+	for len(m.ctl) == 0 && len(m.data) == 0 && !m.closed {
 		m.cond.Wait()
 	}
-	if len(m.items) == 0 {
-		return nil, false
+	if len(m.ctl) > 0 {
+		item := m.ctl[0]
+		m.ctl = m.ctl[1:]
+		return item, true
 	}
-	item := m.items[0]
-	m.items = m.items[1:]
-	return item, true
+	if len(m.data) > 0 {
+		item := m.data[0]
+		m.data = m.data[1:]
+		return item, true
+	}
+	return nil, false
 }
 
-// Len reports the queued item count.
+// Len reports the queued item count across both lanes.
 func (m *mailbox) Len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.items)
+	return len(m.ctl) + len(m.data)
+}
+
+// DataDepth reports the data-lane occupancy.
+func (m *mailbox) DataDepth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.data)
+}
+
+// DataCap reports the configured data-lane capacity (0 = unbounded).
+func (m *mailbox) DataCap() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dataCap
+}
+
+// DataHighWater reports the peak data-lane occupancy since (re)open.
+func (m *mailbox) DataHighWater() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dataHigh
+}
+
+// Overflows reports how many pushes exceeded the configured capacity.
+func (m *mailbox) Overflows() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.overflow
 }
 
 // Close wakes all blocked Pops; queued items remain poppable.
@@ -69,7 +155,9 @@ func (m *mailbox) Close() {
 // dropped here are exactly the unacknowledged ones upstream will replay.
 func (m *mailbox) Reopen() {
 	m.mu.Lock()
-	m.items = nil
+	m.ctl = nil
+	m.data = nil
+	m.dataHigh = 0
 	m.closed = false
 	m.mu.Unlock()
 }

@@ -163,6 +163,51 @@ func registerEngineMetrics(e *Engine, reg *metrics.Registry) *engineMetrics {
 			}
 			return float64(total)
 		})
+
+	// Flow control (internal/flow): per-node queue pressure, credit state,
+	// speculation throttling and source admission. Registered per node so
+	// congestion localizes to an operator; all read existing accounting at
+	// scrape time.
+	for _, n := range e.nodes {
+		n := n
+		labels := metrics.Labels{"node": n.spec.Name}
+		reg.GaugeFunc("flow_data_depth",
+			"Data-lane mailbox occupancy.", labels,
+			func() float64 { return float64(n.mailbox.DataDepth()) })
+		reg.GaugeFunc("flow_data_high_water",
+			"Peak data-lane occupancy since start or recovery.", labels,
+			func() float64 { return float64(n.mailbox.DataHighWater()) })
+		reg.GaugeFunc("flow_credit_queued",
+			"Output events parked behind exhausted credit gates.", labels,
+			func() float64 { return float64(n.creditQueued()) })
+		reg.GaugeFunc("flow_credits_outstanding",
+			"Credits held out by this node's inbound edges (events in flight).", labels,
+			func() float64 {
+				total := 0
+				for _, g := range n.inGates {
+					total += g.Outstanding()
+				}
+				return float64(total)
+			})
+		reg.GaugeFunc("flow_throttle_open",
+			"Open speculative tasks holding throttle slots.", labels,
+			func() float64 { open, _, _ := n.throttle.Snapshot(); return float64(open) })
+		reg.GaugeFunc("flow_throttle_cap",
+			"Current adaptive cap on open speculative tasks.", labels,
+			func() float64 { _, cap, _ := n.throttle.Snapshot(); return float64(cap) })
+		reg.CounterFunc("flow_throttled_total",
+			"Executions that had to wait for a speculation slot.", labels,
+			func() uint64 { _, _, th := n.throttle.Snapshot(); return th })
+		reg.CounterFunc("flow_overflow_total",
+			"Data-lane pushes beyond the configured capacity (soft-bound overshoots).", labels,
+			func() uint64 { return n.mailbox.Overflows() })
+		reg.CounterFunc("flow_admitted_total",
+			"Source events admitted by the token bucket.", labels,
+			func() uint64 { return n.admission.Admitted() })
+		reg.CounterFunc("flow_shed_total",
+			"Source events dropped by the shed policy before admission.", labels,
+			func() uint64 { return n.admission.Shedded() })
+	}
 	return m
 }
 

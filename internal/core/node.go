@@ -11,6 +11,7 @@ import (
 	"streammine/internal/checkpoint"
 	"streammine/internal/detrand"
 	"streammine/internal/event"
+	"streammine/internal/flow"
 	"streammine/internal/graph"
 	"streammine/internal/metrics"
 	"streammine/internal/stm"
@@ -45,7 +46,7 @@ type node struct {
 	rng   *detrand.Source
 
 	mailbox *mailbox
-	execQ   *mailbox
+	execQ   *taskQueue
 
 	mu            sync.Mutex
 	tasks         map[event.ID]*task
@@ -72,8 +73,30 @@ type node struct {
 	replay      *replayPlan
 	recoverDrop map[event.ID]bool
 
+	// pendFin and pendRevoke (guarded by mu) absorb control-lane
+	// reordering: with lane-separated mailboxes a FINALIZE or REVOKE can
+	// be processed before its EVENT clears the data lane. Early
+	// finalizations are stashed by version; early revocations are
+	// counted (one REVOKE consumes exactly one queued incarnation of the
+	// event, and incarnations arrive in FIFO order on the data lane).
+	pendFin    map[event.ID]event.Version
+	pendRevoke map[event.ID]int
+
 	links    [][]link
 	upstream map[int]upstreamSender
+
+	// Flow control (all nil/empty when unconfigured — see internal/flow).
+	// granters return credits per input as events leave the mailbox;
+	// inGates are the gates feeding this node (reset on recovery);
+	// credLinks are credit-gated output links (quiescence accounting);
+	// throttle caps open speculative tasks; admission rate-limits a
+	// source node. granters and inGates are wired before start and
+	// immutable afterwards; credLinks appends are wiring-time only.
+	granters  map[int]creditGranter
+	inGates   []*flow.CreditGate
+	credLinks []*creditedLink
+	throttle  *flow.SpecThrottle
+	admission *flow.Admission
 
 	stopFlag atomic.Bool
 	wg       sync.WaitGroup
@@ -121,7 +144,7 @@ func newNode(eng *Engine, spec graph.Node, rng *detrand.Source, log *wal.Log) (*
 		log:           log,
 		rng:           rng,
 		mailbox:       newMailbox(),
-		execQ:         newMailbox(),
+		execQ:         newTaskQueue(),
 		tasks:         make(map[event.ID]*task),
 		bySeq:         make(map[int64]*task),
 		committed:     make(map[event.ID]bool),
@@ -129,7 +152,16 @@ func newNode(eng *Engine, spec graph.Node, rng *detrand.Source, log *wal.Log) (*
 		lastCommitted: make(map[int]event.ID),
 		links:         make([][]link, spec.OutputPorts),
 		upstream:      make(map[int]upstreamSender),
+		pendFin:       make(map[event.ID]event.Version),
+		pendRevoke:    make(map[event.ID]int),
+		granters:      make(map[int]creditGranter),
 		nextSeq:       1,
+	}
+	if f := spec.Flow; f != nil {
+		if f.MailboxCap > 0 {
+			n.mailbox.SetDataCap(f.MailboxCap)
+		}
+		n.throttle = flow.NewSpecThrottle(f)
 	}
 	n.nextCommit.Store(1)
 	n.commitCond = sync.NewCond(&n.commitMu)
@@ -138,6 +170,20 @@ func newNode(eng *Engine, spec graph.Node, rng *detrand.Source, log *wal.Log) (*
 
 func (n *node) addLink(port int, l link) {
 	n.links[port] = append(n.links[port], l)
+	if cl, ok := l.(*creditedLink); ok {
+		n.credLinks = append(n.credLinks, cl)
+	}
+}
+
+// creditQueued sums output events waiting for credits across this node's
+// credit-gated links. They are in flight for quiescence purposes: no
+// mailbox holds them yet, but they will be delivered.
+func (n *node) creditQueued() int {
+	total := 0
+	for _, cl := range n.credLinks {
+		total += cl.queued()
+	}
+	return total
 }
 
 // upstreamSender delivers control messages (ACK, REPLAY) against the data
@@ -209,10 +255,15 @@ func (n *node) stop() {
 	if n.stopFlag.Swap(true) {
 		return
 	}
+	n.admission.Close()
+	n.throttle.Close()
 	n.mailbox.Close()
 	n.execQ.Close()
 	n.notifyCommitter()
 	n.wg.Wait()
+	for _, cl := range n.credLinks {
+		cl.close()
+	}
 	if n.spec.Op != nil {
 		_ = n.spec.Op.Terminate()
 	}
@@ -258,10 +309,12 @@ func (n *node) openCount() int {
 	return len(n.bySeq)
 }
 
-// drain blocks until the node has no queued work and no open tasks.
+// drain blocks until the node has no queued work, no open tasks, and no
+// outputs parked behind credit gates.
 func (n *node) drain() {
 	for !n.stopFlag.Load() {
-		if n.mailbox.Len() == 0 && n.execQ.Len() == 0 && n.openCount() == 0 {
+		if n.mailbox.Len() == 0 && n.execQ.Len() == 0 && n.openCount() == 0 &&
+			n.creditQueued() == 0 {
 			return
 		}
 		time.Sleep(200 * time.Microsecond)
@@ -283,6 +336,13 @@ func (n *node) dispatcher() {
 		}
 		switch v := item.(type) {
 		case transport.Message:
+			if v.Type == transport.MsgEvent {
+				// The event left the data lane: return its credit so the
+				// upstream sender may transmit the next one.
+				if g := n.granters[v.Input]; g != nil {
+					g.grant(1)
+				}
+			}
 			n.handleMessage(v)
 		case cmdReexec:
 			n.handleReexec(v)
@@ -348,6 +408,25 @@ func (n *node) admitEvent(pe plannedEvent) {
 		n.applyReplacement(t, m.Event)
 		return
 	}
+	// Absorb control-lane overtaking: a REVOKE processed before this event
+	// cleared the data lane kills exactly this incarnation; an early
+	// FINALIZE for this version marks it final on arrival. (Stashes are
+	// written and consumed only on the dispatcher goroutine.)
+	if c := n.pendRevoke[id]; c > 0 {
+		if c == 1 {
+			delete(n.pendRevoke, id)
+		} else {
+			n.pendRevoke[id] = c - 1
+		}
+		n.mu.Unlock()
+		return
+	}
+	if v, ok := n.pendFin[id]; ok && v <= m.Event.Version {
+		delete(n.pendFin, id)
+		if v == m.Event.Version {
+			m.Event.Speculative = false
+		}
+	}
 	t := &task{
 		n:         n,
 		seq:       n.nextSeq,
@@ -386,11 +465,34 @@ func (n *node) admitEvent(pe plannedEvent) {
 		}})
 	}
 	n.execQ.Push(t)
+	// Deferred workers must re-pop: the new task may be the commit head.
+	n.throttle.Wake()
 }
 
 // applyReplacement updates a task's input event in place. Identical
 // content only upgrades finality; changed content rolls the task back.
 func (n *node) applyReplacement(t *task, ev event.Event) {
+	// Consume control-lane stashes targeting this incarnation before the
+	// normal replacement logic, so an early FINALIZE/REVOKE lands exactly
+	// as if it had arrived in order.
+	n.mu.Lock()
+	if c := n.pendRevoke[ev.ID]; c > 0 {
+		if c == 1 {
+			delete(n.pendRevoke, ev.ID)
+		} else {
+			n.pendRevoke[ev.ID] = c - 1
+		}
+		n.mu.Unlock()
+		n.cancelTask(t, "revoke")
+		return
+	}
+	if v, ok := n.pendFin[ev.ID]; ok && v <= ev.Version {
+		delete(n.pendFin, ev.ID)
+		if v == ev.Version {
+			ev.Speculative = false
+		}
+	}
+	n.mu.Unlock()
 	t.mu.Lock()
 	if t.state == taskCommitted || t.state == taskCancelled {
 		t.mu.Unlock()
@@ -439,16 +541,34 @@ func (n *node) applyReplacement(t *task, ev event.Event) {
 func (n *node) handleFinalize(m transport.Message) {
 	n.mu.Lock()
 	t := n.tasks[m.ID]
-	n.mu.Unlock()
 	if t == nil {
+		// Control-lane priority: the FINALIZE overtook its event, which is
+		// still in the data lane (or in flight behind a credit gate).
+		// Stash it; admission applies it on arrival.
+		if !n.committed[m.ID] {
+			n.pendFin[m.ID] = m.Version
+		}
+		n.mu.Unlock()
 		return
 	}
+	n.mu.Unlock()
 	t.mu.Lock()
 	if t.ev.Version == m.Version && !t.evFinal {
 		t.evFinal = true
 		t.ev.Speculative = false
 		t.mu.Unlock()
 		n.notifyCommitter()
+		return
+	}
+	if m.Version > t.ev.Version {
+		// FINALIZE for a newer incarnation that is still queued behind it
+		// on the data lane; hold it for the replacement.
+		t.mu.Unlock()
+		n.mu.Lock()
+		if !n.committed[m.ID] {
+			n.pendFin[m.ID] = m.Version
+		}
+		n.mu.Unlock()
 		return
 	}
 	t.mu.Unlock()
@@ -459,10 +579,16 @@ func (n *node) handleFinalize(m transport.Message) {
 func (n *node) handleRevoke(m transport.Message) {
 	n.mu.Lock()
 	t := n.tasks[m.ID]
-	n.mu.Unlock()
 	if t == nil {
+		// The REVOKE overtook its event on the control lane. Count it so
+		// admission drops exactly one queued incarnation on arrival.
+		if !n.committed[m.ID] {
+			n.pendRevoke[m.ID]++
+		}
+		n.mu.Unlock()
 		return
 	}
+	n.mu.Unlock()
 	n.cancelTask(t, "revoke")
 }
 
@@ -483,7 +609,12 @@ func (n *node) cancelTask(t *task, cause string) {
 		t.tainted = false
 		n.openTainted.Add(-1)
 	}
+	throttled := t.throttleHeld
+	t.throttleHeld = false
 	t.mu.Unlock()
+	if throttled {
+		n.throttle.Release(true)
+	}
 	if m := n.eng.met; m != nil {
 		switch cause {
 		case "revoke":
@@ -581,6 +712,9 @@ func (n *node) handleReexec(c cmdReexec) {
 	t.mu.Unlock()
 	n.cReexec.Add(1)
 	n.execQ.Push(t)
+	// Deferred workers must re-pop: the re-queued task may be the commit
+	// head (a re-execution always precedes every younger queued task).
+	n.throttle.Wake()
 }
 
 // handleInject publishes a source event: buffered for replay and sent
@@ -674,13 +808,9 @@ func (n *node) appendRecords(t *task, recs []wal.Record) {
 func (n *node) worker() {
 	defer n.wg.Done()
 	for {
-		item, ok := n.execQ.Pop()
+		t, ok := n.execQ.Pop()
 		if !ok {
 			return
-		}
-		t, ok := item.(*task)
-		if !ok {
-			continue
 		}
 		n.runTask(t)
 	}
@@ -699,6 +829,40 @@ func (n *node) runTask(t *task) {
 	// older transaction is still open.
 	if backoff := n.eng.opts.ConflictBackoff; backoff > 0 && attempts > 0 {
 		time.Sleep(time.Duration(attempts) * backoff)
+	}
+	// Speculation throttle: a task takes one slot for its whole open
+	// lifetime (kept across re-executions, released at commit or cancel).
+	// The commit-head task bypasses the cap — strict in-order commit means
+	// it must always be able to run, or younger slot-holders would
+	// deadlock the pipeline. A worker must never sleep holding a refused
+	// task: with every worker parked on young tasks, the commit head would
+	// sit in the run queue with nobody to execute it. Instead the task is
+	// handed back (the seq-ordered queue resurfaces the oldest work first)
+	// and the worker parks until the throttle changes, then re-pops.
+	if n.throttle != nil {
+		t.mu.Lock()
+		need := !t.throttleHeld && t.state == taskQueued && t.tx == nil
+		t.mu.Unlock()
+		if need {
+			gen := n.throttle.Gen()
+			admitted, closed := n.throttle.TryAdmit(func() bool { return t.seq <= n.nextCommit.Load() })
+			if closed {
+				return // shutting down
+			}
+			if !admitted {
+				n.execQ.Push(t)
+				n.throttle.WaitSince(gen)
+				return
+			}
+			t.mu.Lock()
+			if t.throttleHeld {
+				t.mu.Unlock()
+				n.throttle.Release(false) // lost an acquire race: give back
+			} else {
+				t.throttleHeld = true
+				t.mu.Unlock()
+			}
+		}
 	}
 	t.mu.Lock()
 	if t.state != taskQueued || t.tx != nil {
@@ -738,6 +902,10 @@ func (n *node) runTask(t *task) {
 			if tr := n.eng.tracer; tr != nil {
 				tr.Record(n.spec.Name, ev.ID.String(), metrics.PhaseAbort, "cause=conflict")
 			}
+			// The task keeps its throttle slot across the retry, but the
+			// wasted attempt feeds the abort window so the cap tightens
+			// under heavy conflict churn.
+			n.throttle.Observe(true)
 			tx.Abort()
 			n.mailbox.Push(cmdReexec{t: t, tx: tx})
 			return
@@ -992,7 +1160,17 @@ func (n *node) cleanupHead(t *task) {
 	delete(n.bySeq, t.seq)
 	delete(n.tasks, t.ev.ID)
 	n.mu.Unlock()
+	t.mu.Lock()
+	throttled := t.throttleHeld
+	t.throttleHeld = false
+	t.mu.Unlock()
+	if throttled {
+		n.throttle.Release(true)
+	}
 	n.nextCommit.Add(1)
+	// The head moved: re-evaluate parked tasks' head-bypass even when no
+	// slot was released.
+	n.throttle.Wake()
 }
 
 // finishCommit runs the post-commit protocol: finalize speculative
@@ -1006,6 +1184,8 @@ func (n *node) finishCommit(t *task) {
 		t.tainted = false
 		n.openTainted.Add(-1)
 	}
+	throttled := t.throttleHeld
+	t.throttleHeld = false
 	inputID := t.ev.ID
 	input := t.input
 	maxLSN := t.maxLSN
@@ -1066,6 +1246,8 @@ func (n *node) finishCommit(t *task) {
 	n.committed[inputID] = true
 	delete(n.tasks, inputID)
 	delete(n.bySeq, t.seq)
+	delete(n.pendFin, inputID)
+	delete(n.pendRevoke, inputID)
 	n.lastCommitted[input] = inputID
 	if maxLSN > n.coveredLSN {
 		n.coveredLSN = maxLSN
@@ -1089,7 +1271,11 @@ func (n *node) finishCommit(t *task) {
 		n.takeCheckpoint()
 	}
 
+	if throttled {
+		n.throttle.Release(false)
+	}
 	n.nextCommit.Add(1)
+	n.throttle.Wake() // head moved: re-evaluate parked head-bypass waiters
 	n.cCommitted.Add(1)
 	if m := n.eng.met; m != nil && !t.admitted.IsZero() {
 		m.finalizeLat.Record(time.Since(t.admitted))

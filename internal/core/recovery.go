@@ -51,6 +51,10 @@ func (e *Engine) Recover(id graph.NodeID) error {
 // crash tears down the node and wipes volatile state.
 func (n *node) crash() {
 	n.stopFlag.Store(true)
+	// Close the throttle first: workers parked in WaitSince (deferred
+	// admissions) must unblock for wg.Wait to finish. recover() reopens
+	// it via Reset.
+	n.throttle.Close()
 	n.mailbox.Close()
 	n.execQ.Close()
 	n.notifyCommitter()
@@ -72,6 +76,8 @@ func (n *node) crash() {
 	n.committed = make(map[event.ID]bool)
 	n.outBuf = make(map[event.ID]*outRecord)
 	n.lastCommitted = make(map[int]event.ID)
+	n.pendFin = make(map[event.ID]event.Version)
+	n.pendRevoke = make(map[event.ID]int)
 	n.recoverDrop = nil
 	n.replay = nil
 	n.sinceCkpt = nil
@@ -81,6 +87,8 @@ func (n *node) crash() {
 	n.mem = stm.NewMemory(n.mem.Capacity())
 	n.mu.Unlock()
 	n.nextCommit.Store(1)
+	// All open tasks died with the node; free their speculation slots.
+	n.throttle.Reset()
 }
 
 // replayPlan drives recovery-mode dispatch: logged events are admitted in
@@ -294,6 +302,13 @@ func (n *node) recover() error {
 	n.wg.Add(1)
 	go n.committer()
 
+	// Re-grant inbound credits before asking for replay: the crash wiped
+	// the mailbox, so credits outstanding at the moment of failure refer
+	// to events that no longer occupy memory here. Without the refill the
+	// upstream replay would wedge on credits nobody can return.
+	for _, g := range n.inGates {
+		g.Reset()
+	}
 	n.requestUpstreamReplay()
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"streammine/internal/flow"
 	"streammine/internal/graph"
 	"streammine/internal/transport"
 )
@@ -33,6 +34,13 @@ type ReliableBridge struct {
 	onReconnect func()
 	reconnects  int
 
+	// gate, when non-nil, credit-limits data events over this bridge: the
+	// remote receiver returns CREDIT frames as events leave its mailbox,
+	// and the gate is refilled on every reconnect (the peer's volatile
+	// state — and any credits stranded in flight — died with the link).
+	gate *flow.CreditGate
+	cl   *creditedLink
+
 	stop chan struct{}
 	done chan struct{}
 }
@@ -51,6 +59,11 @@ type BridgeOptions struct {
 	// OnReconnect runs after every successful redial (e.g. to bump a
 	// reconnect counter). It must not block.
 	OnReconnect func()
+	// CreditWindow, when positive, bounds the number of in-flight data
+	// events on the bridge. The receiving engine grants credits back as
+	// CREDIT frames; control traffic is never gated. Zero disables credit
+	// flow control (pre-flow behavior).
+	CreditWindow int
 }
 
 // BridgeOutReliable attaches a reconnecting bridge to a node output port.
@@ -89,7 +102,13 @@ func (e *Engine) BridgeOutReliableOpts(id graph.NodeID, port int, addr string, o
 	if err := b.connect(); err != nil {
 		return nil, fmt.Errorf("bridge to %s: %w", addr, err)
 	}
-	n.addLink(port, &reliableLink{b: b})
+	var l link = &reliableLink{b: b}
+	if o.CreditWindow > 0 {
+		b.gate = flow.NewCreditGate(o.CreditWindow)
+		b.cl = newCreditedLink(l, b.gate)
+		l = b.cl
+	}
+	n.addLink(port, l)
 	go b.supervise()
 	return b, nil
 }
@@ -102,6 +121,13 @@ func (b *ReliableBridge) connect() error {
 	hello := b.hello
 	b.mu.Unlock()
 	conn, err := transport.Dial(addr, func(m transport.Message) {
+		if m.Type == transport.MsgCredit {
+			// Credit grants terminate here; the count rides ID.Seq.
+			if b.gate != nil {
+				b.gate.Grant(int(m.ID.Seq))
+			}
+			return
+		}
 		b.n.mailbox.Push(m) // ACKs and replay requests from downstream
 	})
 	if err != nil {
@@ -181,6 +207,14 @@ func (b *ReliableBridge) supervise() {
 		if onRec != nil {
 			onRec()
 		}
+		// Refill the credit window before replaying: credits consumed by
+		// events that died with the old link (or with the crashed peer)
+		// would otherwise be stranded and wedge the replay. Grants the
+		// restarted receiver sends for replayed events are clamped at the
+		// window, so the refill cannot inflate it.
+		if b.gate != nil {
+			b.gate.Reset()
+		}
 		// Replay everything still unacknowledged over the new link.
 		b.n.mailbox.Push(transport.Message{Type: transport.MsgReplay})
 	}
@@ -239,6 +273,9 @@ func (b *ReliableBridge) Close() error {
 	b.mu.Unlock()
 	close(b.stop)
 	<-b.done
+	if b.cl != nil {
+		b.cl.close() // idempotent with node.stop's close of the same link
+	}
 	if conn != nil {
 		return conn.Close()
 	}

@@ -54,12 +54,13 @@ type task struct {
 	decisions []decision
 	cursor    int
 
-	pendingLogs int  // async log appends not yet stable
-	published   bool // outputs of the current execution handed downstream
-	maxLSN      wal.LSN
-	outs        []pendingOut // outputs of the current execution
-	sent        []*outRecord // outputs already sent downstream, by position
-	tainted     bool         // last published speculative state
+	pendingLogs  int  // async log appends not yet stable
+	published    bool // outputs of the current execution handed downstream
+	maxLSN       wal.LSN
+	outs         []pendingOut // outputs of the current execution
+	sent         []*outRecord // outputs already sent downstream, by position
+	tainted      bool         // last published speculative state
+	throttleHeld bool         // holds a speculation-throttle slot
 }
 
 // pendingOut is one Emit call captured during execution.

@@ -1,0 +1,112 @@
+package core
+
+import "sync"
+
+// taskQueue is the per-node executor queue: a blocking min-heap handing
+// workers the lowest-sequence task first. Arrival order is not good
+// enough — conflict re-executions and speculation-throttle deferrals
+// re-enter the queue behind younger tasks, and strict in-order commit
+// makes the oldest task exactly the one the node cannot progress without.
+// Seq-ordered scheduling guarantees that whenever the commit-head task is
+// queued, the next free worker receives it (and its head-bypass admits it
+// past a saturated throttle), so parked workers can never starve the
+// head. It also happens to be the promptness-optimal policy: executing
+// oldest-first minimizes the speculation depth of everything else.
+type taskQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	heap   []*task
+	closed bool
+}
+
+func newTaskQueue() *taskQueue {
+	q := &taskQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues a task; pushing to a closed queue is a silent no-op
+// (shutdown races are benign, mirroring mailbox semantics).
+func (q *taskQueue) Push(t *task) {
+	q.mu.Lock()
+	if !q.closed {
+		q.heap = append(q.heap, t)
+		q.up(len(q.heap) - 1)
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+// Pop blocks for the lowest-sequence queued task. It returns ok=false
+// once the queue is closed and drained.
+func (q *taskQueue) Pop() (*task, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.heap) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.heap) == 0 {
+		return nil, false
+	}
+	t := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	q.down(0)
+	return t, true
+}
+
+// Len reports the number of queued tasks.
+func (q *taskQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.heap)
+}
+
+// Close wakes all blocked Pops; queued tasks remain poppable.
+func (q *taskQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Reopen clears a closed queue for reuse. Crash recovery discards the
+// queue wholesale: every queued task belonged to the dead incarnation.
+func (q *taskQueue) Reopen() {
+	q.mu.Lock()
+	q.heap = nil
+	q.closed = false
+	q.mu.Unlock()
+}
+
+func (q *taskQueue) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if q.heap[p].seq <= q.heap[i].seq {
+			return
+		}
+		q.heap[p], q.heap[i] = q.heap[i], q.heap[p]
+		i = p
+	}
+}
+
+func (q *taskQueue) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q.heap[l].seq < q.heap[min].seq {
+			min = l
+		}
+		if r < n && q.heap[r].seq < q.heap[min].seq {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		q.heap[i], q.heap[min] = q.heap[min], q.heap[i]
+		i = min
+	}
+}

@@ -28,6 +28,7 @@ type Server struct {
 	ln       net.Listener
 	mu       sync.Mutex
 	degraded func() []string
+	pressure func() string
 }
 
 // New builds a server over reg. health may be nil; when set it is polled
@@ -84,6 +85,17 @@ func (s *Server) SetDegraded(fn func() []string) {
 	s.mu.Unlock()
 }
 
+// SetPressure installs a flow-control snapshot provider: its output (one
+// line per congested element, or a JSON blob — the caller chooses) is
+// appended to the /healthz body after the liveness line, so queue depth
+// and credit state are visible from the same probe orchestrators already
+// hit. Empty output appends nothing.
+func (s *Server) SetPressure(fn func() string) {
+	s.mu.Lock()
+	s.pressure = fn
+	s.mu.Unlock()
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.health != nil {
 		if err := s.health(); err != nil {
@@ -93,13 +105,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	s.mu.Lock()
 	degraded := s.degraded
+	pressure := s.pressure
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	down := []string(nil)
 	if degraded != nil {
-		if down := degraded(); len(down) > 0 {
-			fmt.Fprintf(w, "degraded: %s\n", strings.Join(down, ", "))
-			return
+		down = degraded()
+	}
+	if len(down) > 0 {
+		fmt.Fprintf(w, "degraded: %s\n", strings.Join(down, ", "))
+	} else {
+		fmt.Fprintln(w, "ok")
+	}
+	if pressure != nil {
+		if p := pressure(); p != "" {
+			fmt.Fprintln(w, p)
 		}
 	}
-	fmt.Fprintln(w, "ok")
 }

@@ -80,3 +80,50 @@ func TestServerNilHealth(t *testing.T) {
 		t.Errorf("/healthz with nil health = %d, want 200", code)
 	}
 }
+
+func TestServerHealthzPressure(t *testing.T) {
+	s := New(metrics.NewRegistry(), nil)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// No provider: plain liveness line.
+	_, body, _ := get(t, "http://"+addr+"/healthz")
+	if body != "ok\n" {
+		t.Fatalf("healthz body = %q", body)
+	}
+
+	var mu sync.Mutex
+	snapshot := ""
+	s.SetPressure(func() string {
+		mu.Lock()
+		defer mu.Unlock()
+		return snapshot
+	})
+
+	// Empty snapshot appends nothing.
+	_, body, _ = get(t, "http://"+addr+"/healthz")
+	if body != "ok\n" {
+		t.Fatalf("healthz with empty pressure = %q", body)
+	}
+
+	mu.Lock()
+	snapshot = `pressure: [{"node":"sketch","dataDepth":7,"dataCap":32}]`
+	mu.Unlock()
+	_, body, _ = get(t, "http://"+addr+"/healthz")
+	if !strings.HasPrefix(body, "ok\n") {
+		t.Fatalf("liveness line missing: %q", body)
+	}
+	if !strings.Contains(body, `"dataDepth":7`) || !strings.Contains(body, `"node":"sketch"`) {
+		t.Fatalf("pressure snapshot missing from healthz: %q", body)
+	}
+
+	// Pressure rides along with a degraded report too.
+	s.SetDegraded(func() []string { return []string{"bridge a:0->b:0"} })
+	_, body, _ = get(t, "http://"+addr+"/healthz")
+	if !strings.HasPrefix(body, "degraded: bridge a:0->b:0\n") || !strings.Contains(body, "pressure: ") {
+		t.Fatalf("degraded+pressure body = %q", body)
+	}
+}

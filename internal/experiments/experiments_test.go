@@ -75,19 +75,30 @@ func TestFig3Shape(t *testing.T) {
 }
 
 // TestFig4Shape: the sequential run's peak latency during the burst far
-// exceeds the 2-thread run's peak.
+// exceeds the 2-thread run's peak, and the flow-bounded mode keeps the
+// processor's peak data-lane occupancy within its configured capacity.
 func TestFig4Shape(t *testing.T) {
 	_, results, err := RunFig4(quick)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 2 {
+	if len(results) != 3 {
 		t.Fatalf("modes = %d", len(results))
 	}
-	seq, par := results[0], results[1]
+	seq, par, bounded := results[0], results[1], results[2]
 	if seq.PeakLatency() < par.PeakLatency()*2 {
 		t.Errorf("sequential peak %.2fms not >> parallel peak %.2fms",
 			seq.PeakLatency(), par.PeakLatency())
+	}
+	if bounded.DataCap != 32 {
+		t.Fatalf("bounded mode data cap = %d, want 32", bounded.DataCap)
+	}
+	if bounded.DataHighWater > bounded.DataCap {
+		t.Errorf("peak occupancy %d exceeds cap %d",
+			bounded.DataHighWater, bounded.DataCap)
+	}
+	if seq.DataCap != 0 || par.DataCap != 0 {
+		t.Errorf("unbounded modes report caps %d/%d", seq.DataCap, par.DataCap)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"streammine/internal/core"
 	"streammine/internal/event"
+	"streammine/internal/flow"
 	"streammine/internal/graph"
 	"streammine/internal/metrics"
 	"streammine/internal/operator"
@@ -21,6 +22,10 @@ type Fig4Result struct {
 	Buckets []float64
 	// BucketWidth is the slice duration.
 	BucketWidth time.Duration
+	// DataHighWater and DataCap are the processor's peak data-lane
+	// occupancy and configured bound (zero when flow control is off).
+	DataHighWater int
+	DataCap       int
 }
 
 // PeakLatency returns the largest bucketed latency (ms).
@@ -57,12 +62,18 @@ func RunFig4(cfg Config) (*Table, []Fig4Result, error) {
 	burstEnd := total / 2
 	bucket := total / 25
 
+	// The third mode repeats the 2-thread burst with flow control: the
+	// processor's data lane is bounded (credits hold the excess at the
+	// source edge), so peak occupancy stays ≤ the cap while the burst
+	// exceeds sustained capacity. With shedding off, no event is dropped.
 	modes := []struct {
 		name    string
 		workers int
+		fl      *flow.Limits
 	}{
-		{"sequential (1 thread)", 1},
-		{"speculative 2 threads", 2},
+		{"sequential (1 thread)", 1, nil},
+		{"speculative 2 threads", 2, nil},
+		{"speculative 2 threads, bounded", 2, &flow.Limits{MailboxCap: 32, MaxOpenSpec: 8}},
 	}
 
 	table := &Table{
@@ -73,7 +84,7 @@ func RunFig4(cfg Config) (*Table, []Fig4Result, error) {
 	var results []Fig4Result
 	for _, mode := range modes {
 		table.Header = append(table.Header, mode.name)
-		res, err := runFig4Mode(mode.workers, cost, total, normalPeriod, burstStart, burstEnd, bucket)
+		res, err := runFig4Mode(mode.workers, mode.fl, cost, total, normalPeriod, burstStart, burstEnd, bucket)
 		if err != nil {
 			return nil, nil, fmt.Errorf("fig4 %s: %w", mode.name, err)
 		}
@@ -101,7 +112,7 @@ func RunFig4(cfg Config) (*Table, []Fig4Result, error) {
 	return table, results, nil
 }
 
-func runFig4Mode(workers int, cost, total, normalPeriod, burstStart, burstEnd, bucket time.Duration) (Fig4Result, error) {
+func runFig4Mode(workers int, fl *flow.Limits, cost, total, normalPeriod, burstStart, burstEnd, bucket time.Duration) (Fig4Result, error) {
 	const classes = 512 // plenty of parallelism in the workload
 	g := graph.New()
 	src := g.AddNode(graph.Node{Name: "src"})
@@ -111,6 +122,7 @@ func runFig4Mode(workers int, cost, total, normalPeriod, burstStart, burstEnd, b
 		Traits:      operator.Traits{Stateful: true, Deterministic: true, StateWords: classes},
 		Speculative: true,
 		Workers:     workers,
+		Flow:        fl,
 	})
 	g.Connect(src, 0, proc, 0)
 
@@ -165,5 +177,11 @@ func runFig4Mode(workers int, cost, total, normalPeriod, burstStart, burstEnd, b
 	if err := eng.Err(); err != nil {
 		return Fig4Result{}, err
 	}
-	return Fig4Result{Buckets: series.Buckets(bucket), BucketWidth: bucket}, nil
+	res := Fig4Result{Buckets: series.Buckets(bucket), BucketWidth: bucket}
+	for _, p := range eng.Pressure() {
+		if p.Node == "proc" {
+			res.DataHighWater, res.DataCap = p.DataHighWater, p.DataCap
+		}
+	}
+	return res, nil
 }

@@ -1,0 +1,100 @@
+package flow
+
+import "sync"
+
+// CreditGate bounds the number of in-flight data events on one edge. The
+// sender side acquires one credit per event before transmitting; the
+// receiver grants credits back as events leave its mailbox. When the
+// window is exhausted Acquire blocks, which is what propagates
+// backpressure hop by hop toward the source.
+//
+// Reset refills the window to its full size. It is called after a crash
+// or a bridge reconnect: the receiver's volatile mailbox state is gone (or
+// about to be rebuilt by replay), so outstanding credits refer to events
+// that no longer occupy receiver memory. Without the refill, replay after
+// recovery could wedge on credits that will never be granted back.
+type CreditGate struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	window int
+	avail  int
+	closed bool
+}
+
+// NewCreditGate returns a gate with the given window. Window must be > 0.
+func NewCreditGate(window int) *CreditGate {
+	g := &CreditGate{window: window, avail: window}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Acquire blocks until one credit is available and consumes it. It
+// returns false if the gate was closed, in which case no credit was
+// consumed and the caller must not transmit.
+func (g *CreditGate) Acquire() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.avail <= 0 && !g.closed {
+		g.cond.Wait()
+	}
+	if g.closed {
+		return false
+	}
+	g.avail--
+	return true
+}
+
+// TryAcquire consumes a credit without blocking. It reports whether a
+// credit was consumed.
+func (g *CreditGate) TryAcquire() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed || g.avail <= 0 {
+		return false
+	}
+	g.avail--
+	return true
+}
+
+// Grant returns n credits to the window. Grants beyond the window size
+// are clamped (a duplicate CREDIT frame after a reconnect must not grow
+// the window permanently).
+func (g *CreditGate) Grant(n int) {
+	if n <= 0 {
+		return
+	}
+	g.mu.Lock()
+	g.avail += n
+	if g.avail > g.window {
+		g.avail = g.window
+	}
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// Reset refills the window to full size and wakes all waiters.
+func (g *CreditGate) Reset() {
+	g.mu.Lock()
+	g.avail = g.window
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// Close releases all waiters; subsequent Acquire calls fail fast.
+func (g *CreditGate) Close() {
+	g.mu.Lock()
+	g.closed = true
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// Outstanding returns the number of credits currently consumed (events
+// believed in flight or queued at the receiver).
+func (g *CreditGate) Outstanding() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.window - g.avail
+}
+
+// Window returns the configured window size.
+func (g *CreditGate) Window() int { return g.window }

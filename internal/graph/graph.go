@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"streammine/internal/flow"
 	"streammine/internal/operator"
 )
 
@@ -43,6 +44,9 @@ type Node struct {
 	// so a partition subgraph with a mix of local and remote inputs still
 	// passes the contiguity check.
 	RemoteInputs []int
+	// Flow configures backpressure, admission control and speculation
+	// throttling for this node; nil disables all flow control.
+	Flow *flow.Limits
 }
 
 // Edge connects node From's output port FromPort to node To's input

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"streammine/internal/event"
+	"streammine/internal/flow"
 	"streammine/internal/graph"
 	"streammine/internal/operator"
 )
@@ -30,6 +31,10 @@ type Config struct {
 	// Placement optionally assigns nodes to cluster workers; ignored by
 	// the single-process runner.
 	Placement *Placement `json:"placement"`
+	// Flow is the default flow-control configuration applied to every
+	// node; a node's own flow section overrides it entirely. Nil disables
+	// flow control (the pre-flow unbounded behavior).
+	Flow *flow.Limits `json:"flow"`
 }
 
 // Placement distributes the topology over cluster workers.
@@ -73,6 +78,10 @@ type NodeConfig struct {
 	Checkpoint   int      `json:"checkpointEvery"`
 	Speculative  *bool    `json:"speculative"`
 	Key          string   `json:"key"` // split: "hash" for by-key routing
+
+	// Flow overrides the topology-level flow-control defaults for this
+	// node (whole-section replacement, not field merge).
+	Flow *flow.Limits `json:"flow"`
 }
 
 // Load reads and parses a topology file.
@@ -231,6 +240,54 @@ func splitRef(ref string) (string, int) {
 // resolution as graph building).
 func SplitRef(ref string) (string, int) { return splitRef(ref) }
 
+// FlowFor returns the effective flow limits for the named node: its own
+// flow section when present, else the topology default. Nil when neither
+// configures flow control.
+func (cfg *Config) FlowFor(name string) *flow.Limits {
+	for _, nc := range cfg.Nodes {
+		if nc.Name == name {
+			if nc.Flow != nil {
+				return nc.Flow
+			}
+			break
+		}
+	}
+	return cfg.Flow
+}
+
+// CreditWindowFor derives the per-edge credit window for the named node —
+// the explicit CreditWindow when set, else the mailbox capacity split
+// evenly across the node's inputs. This mirrors the rule the core engine
+// applies to its local edges, so cluster bridges gating a cut edge use the
+// same window the edge would have had in-process. Zero disables gating.
+func (cfg *Config) CreditWindowFor(name string) int {
+	f := cfg.FlowFor(name)
+	if f == nil {
+		return 0
+	}
+	if f.CreditWindow > 0 {
+		return f.CreditWindow
+	}
+	if f.MailboxCap <= 0 {
+		return 0
+	}
+	inputs := 0
+	for _, nc := range cfg.Nodes {
+		if nc.Name == name {
+			inputs = len(nc.Inputs)
+			break
+		}
+	}
+	if inputs < 1 {
+		return 0
+	}
+	w := f.MailboxCap / inputs
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // makeNode translates one NodeConfig into a graph.Node.
 func (cfg *Config) makeNode(nc NodeConfig) (graph.Node, bool, bool, error) {
 	spec := graph.Node{
@@ -238,9 +295,13 @@ func (cfg *Config) makeNode(nc NodeConfig) (graph.Node, bool, bool, error) {
 		Workers:         nc.Workers,
 		CheckpointEvery: nc.Checkpoint,
 		Speculative:     cfg.Speculative,
+		Flow:            cfg.Flow,
 	}
 	if nc.Speculative != nil {
 		spec.Speculative = *nc.Speculative
+	}
+	if nc.Flow != nil {
+		spec.Flow = nc.Flow
 	}
 	cost := time.Duration(nc.CostMicros) * time.Microsecond
 	switch nc.Type {

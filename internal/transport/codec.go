@@ -52,6 +52,9 @@ func DecodeMessage(src []byte) (Message, int, error) {
 	if length > maxFrameSize {
 		return Message{}, 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, length)
 	}
+	if length < 1 { // the length covers at least the type byte
+		return Message{}, 0, event.ErrShortBuffer
+	}
 	if len(src) < 4+int(length) {
 		return Message{}, 0, event.ErrShortBuffer
 	}
@@ -69,7 +72,7 @@ func DecodeMessage(src []byte) (Message, int, error) {
 			m.Payload = make([]byte, len(body)) // detach from the read buffer
 			copy(m.Payload, body)
 		}
-	case MsgFinalize, MsgRevoke, MsgAck, MsgReplay, MsgHeartbeat:
+	case MsgFinalize, MsgRevoke, MsgAck, MsgReplay, MsgHeartbeat, MsgCredit:
 		if len(body) < controlBody {
 			return Message{}, 0, event.ErrShortBuffer
 		}

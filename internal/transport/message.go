@@ -38,7 +38,10 @@ type MsgType uint8
 // MsgHello..MsgStop carry the cluster runtime's opaque control payloads:
 // HELLO names the target edge on a data-plane bridge connection, and
 // REGISTER/ASSIGN/START/STATUS/STOP form the coordinator/worker control
-// plane (internal/cluster defines the payload schemas).
+// plane (internal/cluster defines the payload schemas). MsgCredit is the
+// flow-control grant on a bridged data edge: the receiver returns credits
+// as events leave its mailbox, and the grant count rides ID.Seq (there is
+// no subject event).
 const (
 	MsgEvent MsgType = iota + 1
 	MsgFinalize
@@ -52,10 +55,11 @@ const (
 	MsgStart
 	MsgStatus
 	MsgStop
+	MsgCredit
 )
 
 // maxMsgType is the highest defined message kind (metrics sizing).
-const maxMsgType = MsgStop
+const maxMsgType = MsgCredit
 
 // String names the message type.
 func (t MsgType) String() string {
@@ -84,6 +88,8 @@ func (t MsgType) String() string {
 		return "STATUS"
 	case MsgStop:
 		return "STOP"
+	case MsgCredit:
+		return "CREDIT"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(t))
 	}
