@@ -3,7 +3,7 @@
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 BENCHREV := $(shell git rev-parse --short HEAD 2>/dev/null || date +%s)
 
-.PHONY: check fmt vet test race build bench
+.PHONY: check fmt vet test race build bench trace-e2e
 
 check: fmt vet race
 
@@ -24,6 +24,12 @@ test:
 
 race:
 	go test -race ./...
+
+# trace-e2e runs a traced two-worker cluster as real processes and pipes
+# the merged per-process trace through tracetool -validate
+# (docs/OBSERVABILITY.md). Artifacts land in trace-e2e-out/.
+trace-e2e:
+	scripts/trace_e2e.sh trace-e2e-out
 
 # bench smoke-runs every benchmark once and archives the results as
 # machine-readable BENCH_<rev>.json (docs/FLOW.md, "perf trajectory").

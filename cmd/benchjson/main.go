@@ -28,6 +28,10 @@ type Result struct {
 	BytesPerOp  float64 `json:"bytesPerOp,omitempty"`
 	AllocsPerOp float64 `json:"allocsPerOp,omitempty"`
 	MBPerSec    float64 `json:"mbPerSec,omitempty"`
+	// Latency quantiles reported by benchmarks that measure end-to-end
+	// event latency (b.ReportMetric with "p50-us" / "p99-us" units).
+	LatencyP50Us float64 `json:"latency_p50_us,omitempty"`
+	LatencyP99Us float64 `json:"latency_p99_us,omitempty"`
 }
 
 // Report is the file-level record.
@@ -111,6 +115,10 @@ func parseBench(pkg, line string) (Result, bool) {
 			r.AllocsPerOp = v
 		case "MB/s":
 			r.MBPerSec = v
+		case "p50-us":
+			r.LatencyP50Us = v
+		case "p99-us":
+			r.LatencyP99Us = v
 		}
 	}
 	return r, true

@@ -10,6 +10,7 @@ import (
 
 	"streammine/internal/cluster"
 	"streammine/internal/event"
+	"streammine/internal/metrics"
 )
 
 // runCoordinator serves the cluster control plane: it waits for workers,
@@ -61,6 +62,15 @@ func runWorker(name, join, dataAddr, stateDir string, hbTimeout time.Duration, o
 	if name == "" {
 		name = fmt.Sprintf("worker-%d", os.Getpid())
 	}
+	onSink := printSinkEvent
+	if tr := obs.tracer; tr != nil {
+		// Externalization closes the lineage: it is the only span emitted
+		// outside the engine, from the worker that hosts the sink.
+		onSink = func(sink string, ev event.Event) {
+			tr.RecordTrace(sink, ev.ID.String(), ev.Trace, metrics.PhaseExternalize, "")
+			printSinkEvent(sink, ev)
+		}
+	}
 	w, err := cluster.StartWorker(cluster.WorkerOptions{
 		Name:             name,
 		CoordAddr:        join,
@@ -68,7 +78,8 @@ func runWorker(name, join, dataAddr, stateDir string, hbTimeout time.Duration, o
 		StateDir:         stateDir,
 		HeartbeatTimeout: hbTimeout,
 		Metrics:          obs.registry,
-		OnSinkEvent:      printSinkEvent,
+		Tracer:           obs.tracer,
+		OnSinkEvent:      onSink,
 		Logf:             logfFor(name),
 	})
 	if err != nil {

@@ -10,6 +10,9 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"streammine/internal/metrics"
+	"streammine/internal/tracetool"
 )
 
 // e2eTopo pins the source to one partition and the checkpointing stateful
@@ -122,17 +125,25 @@ func scanLines(t *testing.T, cmd *exec.Cmd, fn func(line string)) {
 
 // runClusterProcesses spawns one coordinator and two worker processes over
 // a shared state directory. With chaos set it SIGKILLs whichever worker
-// externalizes sink output once the run is under way. Returns the distinct
-// sink identity set externalized across all workers.
-func runClusterProcesses(t *testing.T, bin, topo string, chaos bool) map[string]bool {
+// externalizes sink output once the run is under way. With traceDir set,
+// every process writes its lifecycle trace to <traceDir>/<proc>.jsonl.
+// Returns the distinct sink identity set externalized across all workers.
+func runClusterProcesses(t *testing.T, bin, topo string, chaos bool, traceDir string) map[string]bool {
 	t.Helper()
 	dir := t.TempDir()
 	topoPath := filepath.Join(dir, "topo.json")
 	if err := os.WriteFile(topoPath, []byte(topo), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	traceArgs := func(proc string) []string {
+		if traceDir == "" {
+			return nil
+		}
+		return []string{"-trace", filepath.Join(traceDir, proc+".jsonl")}
+	}
 
-	coord := exec.Command(bin, "-coordinator", "127.0.0.1:0", "-topology", topoPath, "-hb-timeout", "500ms")
+	coord := exec.Command(bin, append([]string{"-coordinator", "127.0.0.1:0", "-topology", topoPath, "-hb-timeout", "500ms"},
+		traceArgs("coordinator")...)...)
 	addrCh := make(chan string, 1)
 	scanLines(t, coord, func(line string) {
 		if rest, ok := strings.CutPrefix(line, "coordinator on "); ok {
@@ -161,8 +172,9 @@ func runClusterProcesses(t *testing.T, bin, topo string, chaos bool) map[string]
 	workers := make(map[string]*exec.Cmd, 2)
 	for i := 0; i < 2; i++ {
 		name := fmt.Sprintf("w%d", i+1)
-		wk := exec.Command(bin, "-worker", "-join", addr,
-			"-name", name, "-state-dir", stateDir, "-hb-timeout", "500ms")
+		wk := exec.Command(bin, append([]string{"-worker", "-join", addr,
+			"-name", name, "-state-dir", stateDir, "-hb-timeout", "500ms"},
+			traceArgs(name)...)...)
 		scanLines(t, wk, func(line string) {
 			fields := strings.Fields(line)
 			if len(fields) == 3 && fields[0] == "SINK" {
@@ -227,11 +239,11 @@ func TestClusterProcessesFailover(t *testing.T) {
 		t.Skip("multi-process e2e: builds a binary and runs multi-second failure detection")
 	}
 	bin := buildBinary(t)
-	baseline := runClusterProcesses(t, bin, e2eTopo, false)
+	baseline := runClusterProcesses(t, bin, e2eTopo, false, "")
 	if len(baseline) != 1000 {
 		t.Fatalf("baseline externalized %d distinct events, want 1000", len(baseline))
 	}
-	chaos := runClusterProcesses(t, bin, e2eTopo, true)
+	chaos := runClusterProcesses(t, bin, e2eTopo, true, "")
 	if len(chaos) != len(baseline) {
 		t.Fatalf("chaos run externalized %d distinct events, baseline %d", len(chaos), len(baseline))
 	}
@@ -253,8 +265,82 @@ func TestClusterProcessesFailoverWithFlow(t *testing.T) {
 		t.Skip("multi-process e2e: builds a binary and runs multi-second failure detection")
 	}
 	bin := buildBinary(t)
-	chaos := runClusterProcesses(t, bin, e2eFlowTopo, true)
+	chaos := runClusterProcesses(t, bin, e2eFlowTopo, true, "")
 	if len(chaos) != 1000 {
 		t.Fatalf("flow-controlled chaos run externalized %d distinct events, want 1000", len(chaos))
+	}
+}
+
+// TestClusterTracedFailover is the distributed-latency-attribution chaos
+// drill: the same two-worker SIGKILL failover, run with per-process
+// lifecycle tracing on. The per-process JSONL files — including the
+// killed worker's, which may end in a torn line — must merge into one
+// coherent timeline in which (a) at least 99% of externalized events have
+// a complete reconstructable lineage (trace ids are deterministic, so the
+// replayed incarnation stitches into the original lineage), and (b) no
+// span is attributable to a dead partition epoch.
+func TestClusterTracedFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e: builds a binary and runs multi-second failure detection")
+	}
+	bin := buildBinary(t)
+	traceDir := t.TempDir()
+	ids := runClusterProcesses(t, bin, e2eTopo, true, traceDir)
+	if len(ids) != 1000 {
+		t.Fatalf("traced chaos run externalized %d distinct events, want 1000", len(ids))
+	}
+
+	files, err := filepath.Glob(filepath.Join(traceDir, "*.jsonl"))
+	if err != nil || len(files) < 3 {
+		t.Fatalf("trace files = %v (err %v), want coordinator + 2 workers", files, err)
+	}
+	set, err := tracetool.Load(files...)
+	if err != nil {
+		t.Fatalf("merging traces: %v", err)
+	}
+	t.Logf("merged %d spans from %d files (%d torn tails)", len(set.Spans), len(set.Files), set.TornTails)
+
+	externalized, complete := 0, 0
+	for _, l := range set.Lineages() {
+		if !l.Has(metrics.PhaseExternalize) {
+			continue
+		}
+		externalized++
+		if l.Complete() {
+			complete++
+		}
+	}
+	if externalized < 1000 {
+		t.Errorf("trace shows %d externalized lineages, want >= 1000", externalized)
+	}
+	if float64(complete) < 0.99*float64(externalized) {
+		t.Errorf("only %d of %d externalized lineages are complete, want >= 99%%", complete, externalized)
+	}
+
+	// The epoch invariant must hold outright: a SIGKILLed process cannot
+	// stamp spans after its partitions were reassigned.
+	for _, err := range set.Validate() {
+		if strings.Contains(err.Error(), "zombie") {
+			t.Errorf("dead-epoch violation: %v", err)
+		}
+	}
+
+	// The reassignment must be visible as an epoch bump in the merged
+	// trace: some partition must have records from two different procs.
+	owners := make(map[int]map[string]bool)
+	for _, e := range set.Epochs() {
+		if owners[e.Partition] == nil {
+			owners[e.Partition] = make(map[string]bool)
+		}
+		owners[e.Partition][e.Proc] = true
+	}
+	moved := false
+	for _, procs := range owners {
+		if len(procs) > 1 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("no partition shows epoch records from two processes; failover not captured in trace")
 	}
 }

@@ -55,7 +55,11 @@ type observability struct {
 	traceFile *os.File
 }
 
-func newObservability(debugAddr, tracePath string) (*observability, error) {
+// newObservability configures instrumentation. proc labels every span
+// with the process identity (worker name, "coordinator", or "" for the
+// single-process engine) so tracetool can merge multi-process traces;
+// sample is the head-based keep fraction of traced lineages.
+func newObservability(debugAddr, tracePath, proc string, sample float64) (*observability, error) {
 	o := &observability{addr: debugAddr}
 	if debugAddr != "" {
 		o.registry = metrics.NewRegistry()
@@ -67,7 +71,14 @@ func newObservability(debugAddr, tracePath string) (*observability, error) {
 			return nil, fmt.Errorf("create trace file: %w", err)
 		}
 		o.traceFile = f
-		o.tracer = metrics.NewTracer(f)
+		o.tracer = metrics.NewTracerProc(f, proc)
+		o.tracer.SetSampling(sample)
+		if proc != "" {
+			// Cluster processes die by SIGKILL in failover drills; flush
+			// per-span so a kill loses at most one torn line (which
+			// tracetool tolerates, like the WAL's torn tail).
+			o.tracer.SetAutoFlush(true)
+		}
 	}
 	return o, nil
 }
@@ -103,11 +114,11 @@ func (o *observability) close() {
 // sinkLatency returns the end-to-end latency histogram for a sink: a
 // registered sink_latency{sink=...} series when metrics are on, or a
 // detached histogram otherwise.
-func (o *observability) sinkLatency(name string) *metrics.Histogram {
+func (o *observability) sinkLatency(name string) *metrics.HDR {
 	if o.registry == nil {
-		return metrics.NewHistogram()
+		return metrics.NewHDR()
 	}
-	return o.registry.HistogramWith("sink_latency",
+	return o.registry.HDRWith("sink_latency",
 		"End-to-end latency of finalized sink outputs (source timestamp to externalization).",
 		metrics.Labels{"sink": name})
 }
@@ -120,6 +131,7 @@ func run() error {
 	count := flag.Int("count", 5000, "with -query: events per source")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8090)")
 	tracePath := flag.String("trace", "", "write per-event lifecycle spans (JSONL) to this file")
+	traceSample := flag.Float64("trace-sample", 1.0, "with -trace: fraction of event lineages to keep (head-based, by trace id)")
 	coordAddr := flag.String("coordinator", "", "run as cluster coordinator listening on this address")
 	workers := flag.Int("workers", 0, "with -coordinator: workers to wait for (default: topology placement)")
 	worker := flag.Bool("worker", false, "run as cluster worker")
@@ -134,7 +146,19 @@ func run() error {
 		fmt.Println(topology.Example)
 		return nil
 	}
-	obs, err := newObservability(*debugAddr, *tracePath)
+	// Resolve the span process label before the tracer exists: worker
+	// names default to the pid, and the label must match what the worker
+	// registers as so merged traces attribute spans to the right process.
+	proc := ""
+	if *coordAddr != "" {
+		proc = "coordinator"
+	} else if *worker {
+		if *name == "" {
+			*name = fmt.Sprintf("worker-%d", os.Getpid())
+		}
+		proc = *name
+	}
+	obs, err := newObservability(*debugAddr, *tracePath, proc, *traceSample)
 	if err != nil {
 		return err
 	}
@@ -198,7 +222,7 @@ func run() error {
 	// Sinks: latency histogram + throughput per sink node.
 	type sinkStats struct {
 		name string
-		hist *metrics.Histogram
+		hist *metrics.HDR
 		thr  *metrics.Throughput
 	}
 	var sinks []*sinkStats
@@ -222,7 +246,7 @@ func run() error {
 			}
 			st.thr.Inc()
 			if tr := obs.tracer; tr != nil {
-				tr.Record(st.name, ev.ID.String(), metrics.PhaseExternalize, "")
+				tr.RecordTrace(st.name, ev.ID.String(), ev.Trace, metrics.PhaseExternalize, "")
 			}
 		}); err != nil {
 			return err
@@ -271,7 +295,8 @@ func run() error {
 	for _, st := range sinks {
 		fmt.Printf("sink %-12s events=%d rate=%.0f ev/s latency: mean=%v p50=%v p99=%v max=%v\n",
 			st.name, st.hist.Count(), st.thr.PerSecond(),
-			st.hist.Mean(), st.hist.Percentile(0.5), st.hist.Percentile(0.99), st.hist.Max())
+			time.Duration(st.hist.Mean()), st.hist.QuantileDuration(0.5),
+			st.hist.QuantileDuration(0.99), time.Duration(st.hist.Max()))
 	}
 	return nil
 }

@@ -1,0 +1,73 @@
+// Command tracetool merges the per-process JSONL lifecycle traces written
+// by streammine's -trace flag, prints a per-phase latency breakdown with
+// the critical path of the slowest event, validates trace invariants, and
+// optionally exports Chrome trace-event JSON for Perfetto
+// (docs/OBSERVABILITY.md walks through the workflow).
+//
+// Usage:
+//
+//	tracetool run.jsonl                          # summary table
+//	tracetool w1.jsonl w2.jsonl coord.jsonl      # merged multi-process view
+//	tracetool -chrome trace.json w*.jsonl        # + Perfetto export
+//	tracetool -validate w*.jsonl                 # exit 1 on invariant violations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streammine/internal/tracetool"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracetool:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	chromePath := flag.String("chrome", "", "write Chrome trace-event JSON (Perfetto) to this file")
+	validate := flag.Bool("validate", false, "check trace invariants; non-zero exit on violations")
+	quiet := flag.Bool("q", false, "suppress the summary table")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		return fmt.Errorf("usage: tracetool [-chrome out.json] [-validate] trace.jsonl...")
+	}
+
+	set, err := tracetool.Load(flag.Args()...)
+	if err != nil {
+		return err
+	}
+	if set.TornTails > 0 {
+		fmt.Fprintf(os.Stderr, "tracetool: %d input(s) end in a torn line (crash tear); intact prefixes merged\n", set.TornTails)
+	}
+	if !*quiet {
+		set.Analyze().WriteSummary(os.Stdout)
+	}
+	if *chromePath != "" {
+		f, err := os.Create(*chromePath)
+		if err != nil {
+			return err
+		}
+		if err := set.WriteChrome(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("chrome trace: %s (open in ui.perfetto.dev)\n", *chromePath)
+	}
+	if *validate {
+		if errs := set.Validate(); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintln(os.Stderr, "tracetool: invariant violation:", e)
+			}
+			return fmt.Errorf("%d invariant violation(s)", len(errs))
+		}
+		fmt.Println("trace invariants hold")
+	}
+	return nil
+}

@@ -58,6 +58,9 @@ type Output struct {
 	Key uint64
 	// Version is the event's final version number.
 	Version uint32
+	// Trace is the event's lineage trace id (0 = untraced), preserved so
+	// replayed outputs keep stitching into their original lineage.
+	Trace uint64
 	// Payload is the event payload.
 	Payload []byte
 }
@@ -73,7 +76,7 @@ var ErrNotFound = errors.New("checkpoint: not found")
 func Encode(s *Snapshot) []byte {
 	size := 4 + 8 + 8 + 8 + 8 + 4 + len(s.Memory)*8 + 4 + len(s.InputPositions)*16 + 4
 	for _, o := range s.Outputs {
-		size += 44 + len(o.Payload)
+		size += 52 + len(o.Payload)
 	}
 	buf := make([]byte, 0, size)
 	var w [8]byte
@@ -115,6 +118,7 @@ func Encode(s *Snapshot) []byte {
 		put64(uint64(o.Timestamp))
 		put64(o.Key)
 		put32(o.Version)
+		put64(o.Trace)
 		put32(uint32(len(o.Payload)))
 		buf = append(buf, o.Payload...)
 	}
@@ -185,7 +189,7 @@ func Decode(data []byte) (*Snapshot, error) {
 	}
 	outLen := int(get32())
 	for i := 0; i < outLen; i++ {
-		if err := need(40); err != nil {
+		if err := need(48); err != nil {
 			return nil, err
 		}
 		var o Output
@@ -194,6 +198,7 @@ func Decode(data []byte) (*Snapshot, error) {
 		o.Timestamp = int64(get64())
 		o.Key = get64()
 		o.Version = get32()
+		o.Trace = get64()
 		plen := int(get32())
 		if err := need(plen); err != nil {
 			return nil, err

@@ -21,7 +21,7 @@ func sample() *Snapshot {
 			1: {Source: 2, Seq: 200},
 		},
 		Outputs: []Output{
-			{ID: event.ID{Source: 3, Seq: 50}, Port: 1, Timestamp: 1200, Key: 9, Version: 2, Payload: []byte("abc")},
+			{ID: event.ID{Source: 3, Seq: 50}, Port: 1, Timestamp: 1200, Key: 9, Version: 2, Trace: 0xfeedface, Payload: []byte("abc")},
 			{ID: event.ID{Source: 3, Seq: 51}, Port: 0, Timestamp: 1201, Key: 10, Version: 1},
 		},
 	}
@@ -55,7 +55,8 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	for i, o := range s.Outputs {
 		g := got.Outputs[i]
 		if g.ID != o.ID || g.Port != o.Port || g.Timestamp != o.Timestamp ||
-			g.Key != o.Key || g.Version != o.Version || string(g.Payload) != string(o.Payload) {
+			g.Key != o.Key || g.Version != o.Version || g.Trace != o.Trace ||
+			string(g.Payload) != string(o.Payload) {
 			t.Fatalf("outputs[%d] = %+v, want %+v", i, g, o)
 		}
 	}

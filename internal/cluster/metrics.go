@@ -12,6 +12,7 @@ type clusterMetrics struct {
 	partitions       *metrics.Gauge
 	reassignments    *metrics.Counter
 	bridgeReconnects *metrics.Counter
+	bridgeRTT        *metrics.HDR
 	ctlReceived      map[transport.MsgType]*metrics.Counter
 }
 
@@ -30,6 +31,8 @@ func registerClusterMetrics(r *metrics.Registry) *clusterMetrics {
 			"Partition reassignments triggered by worker failures."),
 		bridgeReconnects: r.Counter("cluster_bridge_reconnects_total",
 			"Cross-worker bridge reconnections (redials after link loss or retarget)."),
+		bridgeRTT: r.HDR("cluster_bridge_rtt",
+			"Bridge dial round-trip (connect + hello) per successful attempt — the network cost a cut edge adds."),
 		ctlReceived: make(map[transport.MsgType]*metrics.Counter),
 	}
 	for _, t := range []transport.MsgType{
@@ -74,4 +77,13 @@ func (m *clusterMetrics) bridgeReconnected() {
 	if m != nil {
 		m.bridgeReconnects.Inc()
 	}
+}
+
+// bridgeRTTHist returns the bridge RTT histogram (nil when unmetered;
+// HDR methods are nil-safe).
+func (m *clusterMetrics) bridgeRTTHist() *metrics.HDR {
+	if m == nil {
+		return nil
+	}
+	return m.bridgeRTT
 }

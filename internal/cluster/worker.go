@@ -45,6 +45,12 @@ type WorkerOptions struct {
 	HeartbeatTimeout time.Duration
 	// Metrics optionally receives the cluster series.
 	Metrics *metrics.Registry
+	// Tracer, when set, records lifecycle spans for every partition engine
+	// hosted by this worker, tagged with the worker's process label. Use
+	// metrics.NewTracerProc(w, Name) so merged multi-worker traces keep
+	// their origin, and Tracer.SetAutoFlush(true) so a SIGKILL loses at
+	// most one torn line.
+	Tracer *metrics.Tracer
 	// OnSinkEvent, when set, observes every finalized event reaching a
 	// sink hosted on this worker.
 	OnSinkEvent func(sink string, ev event.Event)
@@ -386,16 +392,26 @@ func (w *Worker) buildPartition(am AssignMsg) (*workerPart, error) {
 	}
 	// No Metrics here: partition engines would collide on the registry's
 	// fixed engine-series names; cluster-level series cover the runtime.
+	// The tracer is shared: spans are self-describing (proc + node + trace
+	// id), so every partition engine can write to the same stream.
 	eng, err := core.New(built.Graph, core.Options{
 		Pool:               pool,
 		Seed:               cfg.Seed,
 		CheckpointStore:    ckpts,
 		LogScanner:         scan,
 		RestoreFromStorage: true,
+		Tracer:             w.opts.Tracer,
 	})
 	if err != nil {
 		_ = pool.Close()
 		return nil, err
+	}
+	if tr := w.opts.Tracer; tr != nil {
+		// The epoch span fences lineage reconstruction: spans a dead epoch
+		// wrote after its successor's epoch record are attributable to the
+		// stale incarnation and discarded by tracetool.
+		tr.Record(fmt.Sprintf("p%d", am.Partition), "", metrics.PhaseEpoch,
+			fmt.Sprintf("partition=%d epoch=%d worker=%s nodes=%d", am.Partition, am.Epoch, w.opts.Name, len(am.Nodes)))
 	}
 	p := &workerPart{
 		id:      am.Partition,
@@ -477,6 +493,7 @@ func (w *Worker) dialBridge(p *workerPart, e Edge, hello transport.Message) (*co
 	opts := core.BridgeOptions{
 		Hello:       &hello,
 		OnReconnect: w.met.bridgeReconnected,
+		RTT:         w.met.bridgeRTTHist(),
 		// Credit-gate the cut edge with the receiving node's window; the
 		// remote engine returns CREDIT frames as events leave its mailbox.
 		CreditWindow: p.cfg.CreditWindowFor(e.To),

@@ -199,6 +199,7 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 		eng.met = registerEngineMetrics(eng, opts.Metrics)
 		for _, n := range eng.nodes {
 			n.log.SetMetrics(eng.met.walLog)
+			n.mailbox.SetQueueDelay(eng.met.mailboxWait)
 		}
 	}
 	return eng, nil
@@ -410,6 +411,9 @@ func (s *SourceHandle) EmitAt(ts int64, key uint64, payload []byte) (event.Event
 		Key:       key,
 		Payload:   payload,
 	}
+	// The trace id is derived from the ID, so a failover re-emission of
+	// the same sequence joins the original event's lineage.
+	ev.Trace = event.TraceOf(ev.ID)
 	if a := s.n.admission; a != nil {
 		switch a.Admit() {
 		case flow.Shed:

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"streammine/internal/event"
 	"streammine/internal/flow"
@@ -269,11 +270,16 @@ type outRecord struct {
 	ts      int64
 	key     uint64
 	payload []byte
+	trace   uint64 // lineage trace id inherited from the input event
 
 	version     event.Version
 	finalSent   bool
 	pendingAcks int
 	seq         uint64 // emission order within the node, for ordered replay
+	// specAt stamps the first speculative send (zero when the record went
+	// out final), feeding the speculation→finalize window histogram. Only
+	// set when engine metrics are enabled.
+	specAt time.Time
 }
 
 // matches reports whether a newly produced output is identical to the
@@ -291,6 +297,7 @@ func (r *outRecord) toEvent(spec bool) event.Event {
 		Version:     r.version,
 		Speculative: spec,
 		Key:         r.key,
+		Trace:       r.trace,
 		Payload:     r.payload,
 	}
 }

@@ -2,7 +2,9 @@ package core
 
 import (
 	"sync"
+	"time"
 
+	"streammine/internal/metrics"
 	"streammine/internal/transport"
 )
 
@@ -35,6 +37,12 @@ type mailbox struct {
 	dataCap  int // 0 = unbounded (no accounting against a bound)
 	dataHigh int
 	overflow uint64
+
+	// qdelay, when set, observes data-lane queueing delay (push→pop);
+	// dataTS mirrors data with per-item push stamps. nil qdelay keeps the
+	// unmetered path free of clock reads and slice traffic.
+	qdelay *metrics.HDR
+	dataTS []int64
 }
 
 func newMailbox() *mailbox {
@@ -48,6 +56,14 @@ func newMailbox() *mailbox {
 func (m *mailbox) SetDataCap(c int) {
 	m.mu.Lock()
 	m.dataCap = c
+	m.mu.Unlock()
+}
+
+// SetQueueDelay wires the data-lane queueing-delay histogram. Set before
+// the node starts (wiring-time only, like SetDataCap).
+func (m *mailbox) SetQueueDelay(h *metrics.HDR) {
+	m.mu.Lock()
+	m.qdelay = h
 	m.mu.Unlock()
 }
 
@@ -70,6 +86,9 @@ func (m *mailbox) Push(item any) {
 	if !m.closed {
 		if isData(item) {
 			m.data = append(m.data, item)
+			if m.qdelay != nil {
+				m.dataTS = append(m.dataTS, time.Now().UnixNano())
+			}
 			if d := len(m.data); d > m.dataHigh {
 				m.dataHigh = d
 			}
@@ -101,6 +120,10 @@ func (m *mailbox) Pop() (any, bool) {
 	if len(m.data) > 0 {
 		item := m.data[0]
 		m.data = m.data[1:]
+		if m.qdelay != nil && len(m.dataTS) > 0 {
+			m.qdelay.Observe(time.Now().UnixNano() - m.dataTS[0])
+			m.dataTS = m.dataTS[1:]
+		}
 		return item, true
 	}
 	return nil, false
@@ -157,6 +180,7 @@ func (m *mailbox) Reopen() {
 	m.mu.Lock()
 	m.ctl = nil
 	m.data = nil
+	m.dataTS = nil
 	m.dataHigh = 0
 	m.closed = false
 	m.mu.Unlock()

@@ -36,8 +36,22 @@ type engineMetrics struct {
 	replayed *metrics.Counter
 
 	// finalizeLat observes admission→commit per event: the time an input
-	// stays speculative before its effects are final.
-	finalizeLat *metrics.Histogram
+	// stays speculative before its effects are final (per-hop commit
+	// delay).
+	finalizeLat *metrics.HDR
+	// specWindow observes first-speculative-send→finalize per output
+	// record: how long downstream consumers worked on data that could
+	// still have been revoked.
+	specWindow *metrics.HDR
+	// mailboxWait observes data-lane queueing delay (push→pop) per node
+	// mailbox.
+	mailboxWait *metrics.HDR
+	// specDepth samples the number of open tainted (speculative) tasks
+	// at each speculative send — the paper's speculation depth.
+	specDepth *metrics.HDR
+	// cascadeSize samples the number of live downstream outputs revoked
+	// per aborted task (revoke-cascade fan-out).
+	cascadeSize *metrics.HDR
 
 	// walLog is shared by every node's decision log.
 	walLog *wal.LogMetrics
@@ -63,10 +77,18 @@ func registerEngineMetrics(e *Engine, reg *metrics.Registry) *engineMetrics {
 			"REPLAY requests served from output buffers (recovery)."),
 		replayed: reg.Counter("core_replayed_events_total",
 			"Buffered output events re-sent for replay requests."),
-		finalizeLat: reg.Histogram("core_finalize_latency",
-			"Per-event latency from admission at a node to its commit (speculation window)."),
+		finalizeLat: reg.HDR("core_finalize_latency",
+			"Per-event latency from admission at a node to its commit (per-hop commit delay)."),
+		specWindow: reg.HDR("core_spec_window",
+			"Per-output latency from first speculative send to its FINALIZE."),
+		mailboxWait: reg.HDR("core_mailbox_wait",
+			"Data-lane mailbox queueing delay from push to pop."),
+		specDepth: reg.HDRCounts("core_spec_depth",
+			"Open speculative tasks observed at each speculative send (speculation depth)."),
+		cascadeSize: reg.HDRCounts("core_revoke_cascade_size",
+			"Live downstream outputs revoked per aborted task (cascade fan-out)."),
 		walLog: &wal.LogMetrics{
-			AppendLatency: reg.Histogram("wal_append_latency",
+			AppendLatency: reg.HDR("wal_append_latency",
 				"Decision-log batch latency from submission to stable notification."),
 			Appends: reg.Counter("wal_appends_total", "Decision-log batches submitted."),
 			Records: reg.Counter("wal_records_total", "Decision records submitted."),

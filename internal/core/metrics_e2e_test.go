@@ -126,7 +126,17 @@ func TestMetricsEndToEndChaos(t *testing.T) {
 			t.Errorf("no %q spans in trace (got %v)", want, phases)
 		}
 	}
-	if uint64(len(spans)) != tracer.Count() {
-		t.Errorf("parsed %d spans, tracer counted %d", len(spans), tracer.Count())
+	// The file holds Count() spans plus the clock header record.
+	if uint64(len(spans)) != tracer.Count()+1 {
+		t.Errorf("parsed %d spans, tracer counted %d (+1 header)", len(spans), tracer.Count())
+	}
+	if phases[metrics.PhaseClock] != 1 {
+		t.Errorf("trace has %d clock headers, want 1", phases[metrics.PhaseClock])
+	}
+	// Every event-lifecycle span must carry its lineage trace id.
+	for _, sp := range spans {
+		if sp.Phase == metrics.PhaseIngress && sp.Trace == "" {
+			t.Fatalf("ingress span without trace id: %+v", sp)
+		}
 	}
 }

@@ -445,8 +445,8 @@ func (n *node) admitEvent(pe plannedEvent) {
 	n.bySeq[t.seq] = t
 	n.mu.Unlock()
 	n.cDispatched.Add(1)
-	if tr := n.eng.tracer; tr != nil {
-		tr.Record(n.spec.Name, id.String(), metrics.PhaseIngress,
+	if tr := n.eng.tracer; tr != nil && tr.Keeps(m.Event.Trace) {
+		tr.RecordTrace(n.spec.Name, id.String(), m.Event.Trace, metrics.PhaseIngress,
 			fmt.Sprintf("input=%d spec=%t", m.Input, m.Event.Speculative))
 	}
 
@@ -531,7 +531,7 @@ func (n *node) applyReplacement(t *task, ev event.Event) {
 				}
 			}
 			if tr := n.eng.tracer; tr != nil {
-				tr.Record(n.spec.Name, ev.ID.String(), metrics.PhaseAbort, "cause=replacement")
+				tr.RecordTrace(n.spec.Name, ev.ID.String(), ev.Trace, metrics.PhaseAbort, "cause=replacement")
 			}
 			tx.Abort() // OnAbort enqueues the re-execution
 		}
@@ -605,6 +605,7 @@ func (n *node) cancelTask(t *task, cause string) {
 	sent := t.sent
 	t.sent = nil
 	inputID := t.ev.ID
+	inTrace := t.ev.Trace
 	if t.tainted {
 		t.tainted = false
 		n.openTainted.Add(-1)
@@ -625,9 +626,10 @@ func (n *node) cancelTask(t *task, cause string) {
 		if len(sent) > 0 {
 			m.cascadeAborts.Inc()
 		}
+		m.cascadeSize.Observe(int64(len(sent)))
 	}
 	if tr := n.eng.tracer; tr != nil {
-		tr.Record(n.spec.Name, inputID.String(), metrics.PhaseAbort, "cause="+cause)
+		tr.RecordTrace(n.spec.Name, inputID.String(), inTrace, metrics.PhaseAbort, "cause="+cause)
 	}
 	if tx != nil {
 		tx.Abort()
@@ -646,7 +648,7 @@ func (n *node) revokeRecord(rec *outRecord) {
 		m.revokes.Inc()
 	}
 	if tr := n.eng.tracer; tr != nil {
-		tr.Record(n.spec.Name, rec.id.String(), metrics.PhaseRevoke, "")
+		tr.RecordTrace(n.spec.Name, rec.id.String(), rec.trace, metrics.PhaseRevoke, "")
 	}
 	n.deliverToPort(rec.port, transport.Message{
 		Type: transport.MsgRevoke, ID: rec.id, Version: rec.version,
@@ -685,6 +687,13 @@ func (n *node) handleReplay() {
 		}
 	}
 	for _, rec := range recs {
+		if tr := n.eng.tracer; tr != nil {
+			phase := metrics.PhaseFinalOut
+			if !rec.finalSent {
+				phase = metrics.PhaseSpecOut
+			}
+			tr.RecordTrace(n.spec.Name, rec.id.String(), rec.trace, phase, "replay")
+		}
 		n.deliverToPort(rec.port, transport.Message{
 			Type:  transport.MsgEvent,
 			Event: rec.toEvent(!rec.finalSent),
@@ -728,6 +737,7 @@ func (n *node) handleInject(c cmdInject) {
 		ts:          c.ev.Timestamp,
 		key:         c.ev.Key,
 		payload:     c.ev.Payload,
+		trace:       c.ev.Trace,
 		finalSent:   true,
 		pendingAcks: n.bufferedLinks(0),
 		seq:         n.outEmitSeq,
@@ -738,7 +748,7 @@ func (n *node) handleInject(c cmdInject) {
 	n.mu.Unlock()
 	n.cFinalSent.Add(1)
 	if tr := n.eng.tracer; tr != nil {
-		tr.Record(n.spec.Name, c.ev.ID.String(), metrics.PhaseIngress, "source")
+		tr.RecordTrace(n.spec.Name, c.ev.ID.String(), c.ev.Trace, metrics.PhaseIngress, "source")
 	}
 	n.deliverToPort(0, transport.Message{Type: transport.MsgEvent, Event: c.ev})
 }
@@ -900,7 +910,7 @@ func (n *node) runTask(t *task) {
 				m.abortsConflict.Inc()
 			}
 			if tr := n.eng.tracer; tr != nil {
-				tr.Record(n.spec.Name, ev.ID.String(), metrics.PhaseAbort, "cause=conflict")
+				tr.RecordTrace(n.spec.Name, ev.ID.String(), ev.Trace, metrics.PhaseAbort, "cause=conflict")
 			}
 			// The task keeps its throttle slot across the retry, but the
 			// wasted attempt feeds the abort window so the cap tightens
@@ -943,8 +953,8 @@ func (n *node) runTask(t *task) {
 		n.appendRecords(t, recs)
 	}
 	n.cExecuted.Add(1)
-	if tr := n.eng.tracer; tr != nil {
-		tr.Record(n.spec.Name, ev.ID.String(), metrics.PhaseExec,
+	if tr := n.eng.tracer; tr != nil && tr.Keeps(ev.Trace) {
+		tr.RecordTrace(n.spec.Name, ev.ID.String(), ev.Trace, metrics.PhaseExec,
 			fmt.Sprintf("outs=%d", len(ctx.outs)))
 	}
 	if n.spec.Speculative {
@@ -999,6 +1009,7 @@ func (n *node) publishOutputs(t *task) {
 	}
 	spec := n.computeTainted(t)
 	inputID := t.ev.ID
+	inTrace := t.ev.Trace
 	if spec && !t.tainted {
 		t.tainted = true
 		n.openTainted.Add(1)
@@ -1029,6 +1040,7 @@ func (n *node) publishOutputs(t *task) {
 			ts:          out.ts,
 			key:         out.key,
 			payload:     out.payload,
+			trace:       inTrace,
 			pendingAcks: n.bufferedLinks(out.port),
 			seq:         n.outEmitSeq,
 		}
@@ -1052,6 +1064,12 @@ func (n *node) publishOutputs(t *task) {
 	for _, s := range sends {
 		if s.spec {
 			n.cSpecSent.Add(1)
+			if m := n.eng.met; m != nil {
+				if s.rec.specAt.IsZero() {
+					s.rec.specAt = time.Now()
+				}
+				m.specDepth.Observe(n.openTainted.Load())
+			}
 		} else {
 			n.cFinalSent.Add(1)
 		}
@@ -1060,7 +1078,7 @@ func (n *node) publishOutputs(t *task) {
 			if s.spec {
 				phase = metrics.PhaseSpecOut
 			}
-			tr.Record(n.spec.Name, s.rec.id.String(), phase, "from="+inputID.String())
+			tr.RecordTrace(n.spec.Name, s.rec.id.String(), inTrace, phase, "from="+inputID.String())
 		}
 		n.deliverToPort(s.rec.port, transport.Message{
 			Type: transport.MsgEvent, Event: s.rec.toEvent(s.spec),
@@ -1117,6 +1135,7 @@ func (n *node) committer() {
 		ready := state == taskOpen && t.published && t.evFinal && t.pendingLogs == 0
 		tx := t.tx
 		evID := t.ev.ID
+		evTrace := t.ev.Trace
 		t.mu.Unlock()
 		switch {
 		case state == taskCancelled:
@@ -1142,7 +1161,7 @@ func (n *node) committer() {
 				m.abortsConflict.Inc()
 			}
 			if tr := n.eng.tracer; tr != nil {
-				tr.Record(n.spec.Name, evID.String(), metrics.PhaseAbort, "cause=conflict")
+				tr.RecordTrace(n.spec.Name, evID.String(), evTrace, metrics.PhaseAbort, "cause=conflict")
 			}
 			n.mailbox.Push(cmdReexec{t: t, tx: tx})
 			n.waitCommitSignal(gen)
@@ -1187,6 +1206,7 @@ func (n *node) finishCommit(t *task) {
 	throttled := t.throttleHeld
 	t.throttleHeld = false
 	inputID := t.ev.ID
+	inTrace := t.ev.Trace
 	input := t.input
 	maxLSN := t.maxLSN
 
@@ -1210,6 +1230,7 @@ func (n *node) finishCommit(t *task) {
 				ts:          out.ts,
 				key:         out.key,
 				payload:     out.payload,
+				trace:       inTrace,
 				finalSent:   true,
 				pendingAcks: n.bufferedLinks(out.port),
 				seq:         n.outEmitSeq,
@@ -1225,8 +1246,11 @@ func (n *node) finishCommit(t *task) {
 	t.mu.Unlock()
 
 	for _, rec := range finalizes {
+		if m := n.eng.met; m != nil && !rec.specAt.IsZero() {
+			m.specWindow.Record(time.Since(rec.specAt))
+		}
 		if tr := n.eng.tracer; tr != nil {
-			tr.Record(n.spec.Name, rec.id.String(), metrics.PhaseFinalize, "")
+			tr.RecordTrace(n.spec.Name, rec.id.String(), rec.trace, metrics.PhaseFinalize, "")
 		}
 		n.deliverToPort(rec.port, transport.Message{
 			Type: transport.MsgFinalize, ID: rec.id, Version: rec.version,
@@ -1235,7 +1259,7 @@ func (n *node) finishCommit(t *task) {
 	for _, rec := range lateFinals {
 		n.cFinalSent.Add(1)
 		if tr := n.eng.tracer; tr != nil {
-			tr.Record(n.spec.Name, rec.id.String(), metrics.PhaseFinalOut, "from="+inputID.String())
+			tr.RecordTrace(n.spec.Name, rec.id.String(), rec.trace, metrics.PhaseFinalOut, "from="+inputID.String())
 		}
 		n.deliverToPort(rec.port, transport.Message{
 			Type: transport.MsgEvent, Event: rec.toEvent(false),
@@ -1281,7 +1305,7 @@ func (n *node) finishCommit(t *task) {
 		m.finalizeLat.Record(time.Since(t.admitted))
 	}
 	if tr := n.eng.tracer; tr != nil {
-		tr.Record(n.spec.Name, inputID.String(), metrics.PhaseCommit, "")
+		tr.RecordTrace(n.spec.Name, inputID.String(), inTrace, metrics.PhaseCommit, "")
 	}
 }
 
@@ -1320,6 +1344,7 @@ func (n *node) takeCheckpoint() {
 		snap.Outputs = append(snap.Outputs, checkpoint.Output{
 			ID: rec.id, Port: rec.port, Timestamp: rec.ts,
 			Key: rec.key, Version: uint32(rec.version), Payload: rec.payload,
+			Trace: rec.trace,
 		})
 	}
 	acks := n.sinceCkpt

@@ -226,6 +226,7 @@ func (n *node) restoreDurable() error {
 			rec := &outRecord{
 				id: o.ID, port: o.Port, ts: o.Timestamp, key: o.Key,
 				payload:     o.Payload,
+				trace:       o.Trace,
 				version:     event.Version(o.Version),
 				finalSent:   true,
 				pendingAcks: n.bufferedLinks(o.Port),

@@ -314,11 +314,20 @@ func TestRecoveryFromCheckpointSkipsAckedEvents(t *testing.T) {
 	}
 	eng.Drain()
 
-	srcNode, _ := eng.node(src)
-	srcNode.mu.Lock()
-	bufferedBefore := len(srcNode.outBuf)
-	srcNode.mu.Unlock()
 	// 40 events, checkpoint every 8 → the last checkpoint at 40 acked all.
+	// The covering ACK travels source-ward asynchronously after the
+	// checkpoint commits, so poll rather than assert once.
+	srcNode, _ := eng.node(src)
+	bufferedBefore := -1
+	for deadline := time.Now().Add(2 * time.Second); time.Now().Before(deadline); {
+		srcNode.mu.Lock()
+		bufferedBefore = len(srcNode.outBuf)
+		srcNode.mu.Unlock()
+		if bufferedBefore == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
 	if bufferedBefore != 0 {
 		t.Fatalf("source buffer = %d, want 0 after covering checkpoint", bufferedBefore)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"streammine/internal/flow"
 	"streammine/internal/graph"
+	"streammine/internal/metrics"
 	"streammine/internal/transport"
 )
 
@@ -32,6 +33,7 @@ type ReliableBridge struct {
 	closed      bool
 	hello       *transport.Message
 	onReconnect func()
+	rtt         *metrics.HDR
 	reconnects  int
 
 	// gate, when non-nil, credit-limits data events over this bridge: the
@@ -64,6 +66,10 @@ type BridgeOptions struct {
 	// CREDIT frames; control traffic is never gated. Zero disables credit
 	// flow control (pre-flow behavior).
 	CreditWindow int
+	// RTT, when set, observes the dial round-trip (connect + hello) of
+	// every connection attempt that succeeds — a proxy for the network
+	// latency a cut edge adds per hop.
+	RTT *metrics.HDR
 }
 
 // BridgeOutReliable attaches a reconnecting bridge to a node output port.
@@ -94,6 +100,7 @@ func (e *Engine) BridgeOutReliableOpts(id graph.NodeID, port int, addr string, o
 		maxRetry:    o.MaxRetry,
 		hello:       o.Hello,
 		onReconnect: o.OnReconnect,
+		rtt:         o.RTT,
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
 	}
@@ -120,6 +127,7 @@ func (b *ReliableBridge) connect() error {
 	addr := b.addr
 	hello := b.hello
 	b.mu.Unlock()
+	dialStart := time.Now()
 	conn, err := transport.Dial(addr, func(m transport.Message) {
 		if m.Type == transport.MsgCredit {
 			// Credit grants terminate here; the count rides ID.Seq.
@@ -139,6 +147,7 @@ func (b *ReliableBridge) connect() error {
 			return err
 		}
 	}
+	b.rtt.Record(time.Since(dialStart)) // nil-safe
 	b.mu.Lock()
 	if b.closed || b.addr != addr {
 		// Closed or retargeted while dialing: discard and let the

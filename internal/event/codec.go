@@ -12,13 +12,27 @@ import (
 //	seq       uint64
 //	timestamp int64
 //	version   uint32
-//	flags     uint8   (bit 0: speculative)
+//	flags     uint8   (bit 0: speculative, bit 1: traced)
 //	key       uint64
 //	plen      uint32
 //	payload   plen bytes
+//	trace     uint64  (present only when bit 1 of flags is set)
+//
+// The trace trailer is versioned by its flag bit, like the CREDIT message
+// kind: old decoders never see the bit set by old encoders, and new
+// decoders only read the trailer when the bit is present, so mixed-version
+// peers interoperate (an old decoder receiving a traced frame would fail
+// ErrShortBuffer rather than misparse, since the flag gate keeps the
+// trailer out of the payload length).
 const headerSize = 4 + 8 + 8 + 4 + 1 + 8 + 4
 
-const flagSpeculative = 1 << 0
+const (
+	flagSpeculative = 1 << 0
+	flagTraced      = 1 << 1
+)
+
+// traceSize is the length of the optional trace trailer.
+const traceSize = 8
 
 // MaxPayload bounds the payload size accepted by the codec. It protects the
 // transport against corrupt length prefixes.
@@ -34,7 +48,11 @@ var (
 
 // EncodedSize returns the exact number of bytes Encode will produce for e.
 func (e Event) EncodedSize() int {
-	return headerSize + len(e.Payload)
+	n := headerSize + len(e.Payload)
+	if e.Trace != 0 {
+		n += traceSize
+	}
+	return n
 }
 
 // Encode appends the binary form of e to dst and returns the extended
@@ -49,11 +67,20 @@ func (e Event) Encode(dst []byte) []byte {
 	if e.Speculative {
 		flags |= flagSpeculative
 	}
+	if e.Trace != 0 {
+		flags |= flagTraced
+	}
 	hdr[24] = flags
 	binary.LittleEndian.PutUint64(hdr[25:], e.Key)
 	binary.LittleEndian.PutUint32(hdr[33:], uint32(len(e.Payload)))
 	dst = append(dst, hdr[:]...)
-	return append(dst, e.Payload...)
+	dst = append(dst, e.Payload...)
+	if e.Trace != 0 {
+		var tr [traceSize]byte
+		binary.LittleEndian.PutUint64(tr[:], e.Trace)
+		dst = append(dst, tr[:]...)
+	}
+	return dst
 }
 
 // Decode parses one event from the front of src and returns it along with
@@ -68,6 +95,10 @@ func Decode(src []byte) (Event, int, error) {
 		return Event{}, 0, fmt.Errorf("%w: %d bytes", ErrPayloadTooLarge, plen)
 	}
 	total := headerSize + int(plen)
+	traced := src[24]&flagTraced != 0
+	if traced {
+		total += traceSize
+	}
 	if len(src) < total {
 		return Event{}, 0, ErrShortBuffer
 	}
@@ -82,7 +113,10 @@ func Decode(src []byte) (Event, int, error) {
 		Key:         binary.LittleEndian.Uint64(src[25:]),
 	}
 	if plen > 0 {
-		e.Payload = src[headerSize:total]
+		e.Payload = src[headerSize : headerSize+int(plen)]
+	}
+	if traced {
+		e.Trace = binary.LittleEndian.Uint64(src[total-traceSize:])
 	}
 	return e, total, nil
 }

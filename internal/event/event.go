@@ -76,8 +76,30 @@ type Event struct {
 	// Key is an application routing key used by partitioning operators
 	// (Split) and by sketch operators.
 	Key uint64
+	// Trace is the latency-attribution trace id: every output derived from
+	// a source event inherits the source's trace id, so per-process span
+	// logs can be stitched into one cross-process lineage. Zero means
+	// untraced. Trace is derived deterministically from the source event ID
+	// (TraceOf), so a post-crash deterministic re-emission produces the
+	// same trace id and replay spans join the original lineage.
+	Trace uint64
 	// Payload is the opaque application content.
 	Payload []byte
+}
+
+// TraceOf derives the trace id for a source event id. The derivation is a
+// splitmix64 finalizer over the packed (source, seq) pair: well mixed so
+// head-based sampling can threshold on it, deterministic so recovery
+// re-derives the same id, and never zero (zero means untraced).
+func TraceOf(id ID) uint64 {
+	z := uint64(id.Source)<<48 ^ uint64(id.Seq) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
 }
 
 // New returns a final event with the given identity and payload.

@@ -122,6 +122,8 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		New(ID{1, 2}, 3, []byte("payload")),
 		NewSpeculative(ID{9, 100}, -5, nil),
 		{ID: ID{4294967295, 1 << 60}, Timestamp: 1 << 40, Version: 77, Speculative: true, Key: 1 << 50, Payload: bytes.Repeat([]byte{0xAB}, 1000)},
+		{ID: ID{5, 6}, Timestamp: 7, Trace: TraceOf(ID{5, 6}), Payload: []byte("traced")},
+		{ID: ID{5, 7}, Trace: ^uint64(0), Speculative: true},
 	}
 	for i, e := range events {
 		buf := e.Encode(nil)
@@ -143,7 +145,64 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 
 func eventsEqual(a, b Event) bool {
 	return a.ID == b.ID && a.Timestamp == b.Timestamp && a.Version == b.Version &&
-		a.Speculative == b.Speculative && a.Key == b.Key && bytes.Equal(a.Payload, b.Payload)
+		a.Speculative == b.Speculative && a.Key == b.Key && a.Trace == b.Trace &&
+		bytes.Equal(a.Payload, b.Payload)
+}
+
+// TestEncodeUntracedIsLegacyCompatible pins the codec versioning: an
+// untraced event encodes to exactly the pre-trace wire format (no flag
+// bit, no trailer), so old decoders read frames from new encoders as long
+// as tracing is off, and the traced form is strictly additive.
+func TestEncodeUntracedIsLegacyCompatible(t *testing.T) {
+	e := New(ID{1, 2}, 3, []byte("payload"))
+	buf := e.Encode(nil)
+	if len(buf) != headerSize+len(e.Payload) {
+		t.Fatalf("untraced frame is %d bytes, want header %d + payload %d", len(buf), headerSize, len(e.Payload))
+	}
+	if buf[24]&flagTraced != 0 {
+		t.Fatal("untraced frame has the traced flag set")
+	}
+	traced := e
+	traced.Trace = TraceOf(e.ID)
+	tbuf := traced.Encode(nil)
+	if len(tbuf) != len(buf)+traceSize {
+		t.Fatalf("traced frame is %d bytes, want %d + %d trailer", len(tbuf), len(buf), traceSize)
+	}
+	if tbuf[24]&flagTraced == 0 {
+		t.Fatal("traced frame is missing the traced flag")
+	}
+	// The traced frame's prefix is the legacy frame except the flag byte:
+	// a decoder that knows the flag reads the trailer, one event at a time.
+	got, n, err := Decode(tbuf)
+	if err != nil || n != len(tbuf) {
+		t.Fatalf("Decode traced frame: n=%d err=%v", n, err)
+	}
+	if got.Trace != traced.Trace {
+		t.Fatalf("trace = %x, want %x", got.Trace, traced.Trace)
+	}
+}
+
+// TestTraceOf pins the deterministic trace-id derivation: stable across
+// calls (failover re-emission joins the original lineage), never zero
+// (zero means untraced), and well-mixed across adjacent sequences.
+func TestTraceOf(t *testing.T) {
+	id := ID{Source: 3, Seq: 41}
+	if TraceOf(id) != TraceOf(id) {
+		t.Fatal("TraceOf is not deterministic")
+	}
+	seen := make(map[uint64]ID)
+	for src := SourceID(0); src < 8; src++ {
+		for seq := Seq(0); seq < 1000; seq++ {
+			tr := TraceOf(ID{Source: src, Seq: seq})
+			if tr == 0 {
+				t.Fatalf("TraceOf(%d:%d) = 0; zero is reserved for untraced", src, seq)
+			}
+			if prev, dup := seen[tr]; dup {
+				t.Fatalf("trace collision: %v and %v", prev, ID{Source: src, Seq: seq})
+			}
+			seen[tr] = ID{Source: src, Seq: seq}
+		}
+	}
 }
 
 func TestDecodeShortBuffer(t *testing.T) {

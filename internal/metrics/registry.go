@@ -46,6 +46,7 @@ const (
 	kindHistogram
 	kindCounterFunc
 	kindGaugeFunc
+	kindHDR
 )
 
 // exposition type name for the # TYPE line.
@@ -55,6 +56,8 @@ func (k seriesKind) typeName() string {
 		return "counter"
 	case kindGauge, kindGaugeFunc:
 		return "gauge"
+	case kindHDR:
+		return "histogram"
 	default:
 		return "summary"
 	}
@@ -69,6 +72,8 @@ type series struct {
 	counter   *Counter
 	gauge     *Gauge
 	hist      *Histogram
+	hdr       *HDR
+	hdrRaw    bool // raw-unit HDR (counts, depths) vs nanoseconds
 	counterFn func() uint64
 	gaugeFn   func() float64
 }
@@ -191,6 +196,36 @@ func (r *Registry) HistogramWith(name, help string, labels Labels) *Histogram {
 	return s.hist
 }
 
+// HDR registers (or resolves) an unlabeled high-resolution latency
+// histogram, recorded in nanoseconds and exposed as a Prometheus classic
+// histogram (_bucket/_sum/_count, in seconds).
+func (r *Registry) HDR(name, help string) *HDR {
+	return r.HDRWith(name, help, nil)
+}
+
+// HDRWith registers (or resolves) an HDR latency series with labels.
+func (r *Registry) HDRWith(name, help string, labels Labels) *HDR {
+	return r.hdrWith(name, help, labels, false)
+}
+
+// HDRCounts registers (or resolves) an HDR series holding raw (unitless)
+// values — queue depths, cascade sizes — exposed as a Prometheus classic
+// histogram with unscaled bucket bounds.
+func (r *Registry) HDRCounts(name, help string) *HDR {
+	return r.hdrWith(name, help, nil, true)
+}
+
+func (r *Registry) hdrWith(name, help string, labels Labels, raw bool) *HDR {
+	s := r.register(name, help, labels, kindHDR)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.hdr == nil {
+		s.hdr = NewHDR()
+		s.hdrRaw = raw
+	}
+	return s.hdr
+}
+
 // CounterFunc registers a counter whose value is read from fn at
 // exposition time (for counters that already live elsewhere as atomics —
 // zero hot-path cost). Re-registering rebinds the series to fn.
@@ -215,12 +250,18 @@ func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64
 type Point struct {
 	Name   string
 	Labels string // canonical `key="val",...` form, "" when unlabeled
-	Type   string // "counter", "gauge" or "summary"
+	Type   string // "counter", "gauge", "summary" or "histogram"
 	Value  float64
 	// Quantiles maps q in (0,1] to the recorded latency; nil for
 	// counters and gauges.
 	Quantiles map[float64]time.Duration
 	Sum       time.Duration
+	// Buckets holds the occupied cumulative buckets of an HDR series
+	// ("histogram" type); nil otherwise.
+	Buckets []HDRBucket
+	// RawUnit marks HDR series recorded in raw units rather than
+	// nanoseconds (bucket bounds and sum are exposed unscaled).
+	RawUnit bool
 }
 
 // snapshotLocked copies the series slice under the lock; value reads
@@ -257,6 +298,17 @@ func (r *Registry) Snapshot() []Point {
 				0.9:  s.hist.Percentile(0.9),
 				0.99: s.hist.Percentile(0.99),
 				1:    s.hist.Max(),
+			}
+		case kindHDR:
+			p.Value = float64(s.hdr.Count())
+			p.Sum = time.Duration(s.hdr.Sum())
+			p.RawUnit = s.hdrRaw
+			p.Buckets = s.hdr.Snapshot()
+			p.Quantiles = map[float64]time.Duration{
+				0.5:  time.Duration(s.hdr.Quantile(0.5)),
+				0.9:  time.Duration(s.hdr.Quantile(0.9)),
+				0.99: time.Duration(s.hdr.Quantile(0.99)),
+				1:    time.Duration(s.hdr.Max()),
 			}
 		}
 		out = append(out, p)
@@ -317,6 +369,25 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			lastName = p.Name
 		}
 		switch p.Type {
+		case "histogram":
+			scale := func(v int64) string { return secs(time.Duration(v)) }
+			if p.RawUnit {
+				scale = func(v int64) string {
+					return strconv.FormatInt(v, 10)
+				}
+			}
+			for _, bk := range p.Buckets {
+				fmt.Fprintf(&b, "%s_bucket{%sle=\"%s\"} %d\n",
+					p.Name, joinLabels(p.Labels), scale(bk.Upper), bk.Cum)
+			}
+			fmt.Fprintf(&b, "%s_bucket{%sle=\"+Inf\"} %s\n",
+				p.Name, joinLabels(p.Labels), formatValue(p.Value))
+			if p.RawUnit {
+				fmt.Fprintf(&b, "%s_sum%s %d\n", p.Name, wrapLabels(p.Labels), int64(p.Sum))
+			} else {
+				fmt.Fprintf(&b, "%s_sum%s %s\n", p.Name, wrapLabels(p.Labels), secs(p.Sum))
+			}
+			fmt.Fprintf(&b, "%s_count%s %s\n", p.Name, wrapLabels(p.Labels), formatValue(p.Value))
 		case "summary":
 			for _, q := range []float64{0.5, 0.9, 0.99, 1} {
 				fmt.Fprintf(&b, "%s{%squantile=\"%s\"} %s\n",

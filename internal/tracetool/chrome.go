@@ -1,0 +1,108 @@
+package tracetool
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one record in the Chrome trace-event format, the JSON
+// array understood by Perfetto (ui.perfetto.dev) and chrome://tracing.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome exports the merged trace as Chrome trace-event JSON: one
+// process track per tracing process, one thread track per graph node,
+// critical-path steps as duration slices and every span as an instant
+// event. Timestamps are rebased to the earliest span so the viewer opens
+// at t=0.
+func (s *Set) WriteChrome(w io.Writer) error {
+	var base int64
+	for i, sp := range s.Spans {
+		if i == 0 || sp.TS < base {
+			base = sp.TS
+		}
+	}
+	us := func(ns int64) float64 { return float64(ns-base) / 1e3 }
+
+	pids := map[string]int{}
+	tids := map[[2]string]int{}
+	var out chromeTrace
+	out.DisplayTimeUnit = "ms"
+	track := func(proc, node string) (int, int) {
+		if _, ok := pids[proc]; !ok {
+			pids[proc] = len(pids) + 1
+			name := proc
+			if name == "" {
+				name = "engine"
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "process_name", Phase: "M", PID: pids[proc],
+				Args: map[string]any{"name": name},
+			})
+		}
+		key := [2]string{proc, node}
+		if _, ok := tids[key]; !ok {
+			tids[key] = len(tids) + 1
+			name := node
+			if name == "" {
+				name = "(boundary)"
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: pids[proc], TID: tids[key],
+				Args: map[string]any{"name": name},
+			})
+		}
+		return pids[proc], tids[key]
+	}
+
+	// Critical-path steps as slices: the slice for a step starts at the
+	// previous step's timestamp and ends at this one, on the track where
+	// this phase ran — the viewer shows where each event's time went.
+	for _, l := range s.Lineages() {
+		for _, st := range l.CriticalPath() {
+			if st.Delta <= 0 {
+				continue
+			}
+			pid, tid := track(st.Proc, st.Node)
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: st.Phase, Phase: "X",
+				TS: us(st.TS - st.Delta.Nanoseconds()), Dur: float64(st.Delta.Nanoseconds()) / 1e3,
+				PID: pid, TID: tid,
+				Args: map[string]any{"trace": l.Trace},
+			})
+		}
+	}
+	// Every span (including aborts, revokes, epoch records) as an instant.
+	for _, sp := range s.Spans {
+		pid, tid := track(sp.Proc, sp.Node)
+		args := map[string]any{}
+		if sp.Trace != "" {
+			args["trace"] = sp.Trace
+		}
+		if sp.Event != "" {
+			args["event"] = sp.Event
+		}
+		if sp.Info != "" {
+			args["info"] = sp.Info
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: sp.Phase, Phase: "i", TS: us(sp.TS),
+			PID: pid, TID: tid, Scope: "t", Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}

@@ -1,0 +1,202 @@
+package tracetool
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"streammine/internal/metrics"
+)
+
+// forwardPhases are the lifecycle phases that constitute forward progress
+// toward externalization, in canonical order. Abort and revoke spans are
+// not steps on the critical path — but the time speculation wasted on a
+// revoked branch is not hidden either: it surfaces as a longer delta into
+// the next forward span.
+var forwardPhases = map[string]bool{
+	metrics.PhaseIngress:     true,
+	metrics.PhaseExec:        true,
+	metrics.PhaseSpecOut:     true,
+	metrics.PhaseFinalOut:    true,
+	metrics.PhaseFinalize:    true,
+	metrics.PhaseCommit:      true,
+	metrics.PhaseExternalize: true,
+}
+
+// Step is one hop on a lineage's critical path: reaching Phase at Node
+// cost Delta beyond the previous step.
+type Step struct {
+	Phase string
+	Node  string
+	Proc  string
+	Delta time.Duration
+	TS    int64
+}
+
+// CriticalPath reduces a lineage to its forward chain: the timestamp-
+// ordered forward-progress spans from first ingress to last span, each
+// step carrying the latency it added. The result answers "where did this
+// event's latency go" — the sum of deltas is the lineage's span of time.
+func (l *Lineage) CriticalPath() []Step {
+	start := -1
+	for i, sp := range l.Spans {
+		if sp.Phase == metrics.PhaseIngress {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return nil
+	}
+	var steps []Step
+	prev := l.Spans[start].TS
+	for _, sp := range l.Spans[start:] {
+		if !forwardPhases[sp.Phase] {
+			continue
+		}
+		steps = append(steps, Step{
+			Phase: sp.Phase, Node: sp.Node, Proc: sp.Proc,
+			Delta: time.Duration(sp.TS - prev), TS: sp.TS,
+		})
+		prev = sp.TS
+	}
+	return steps
+}
+
+// Latency returns the lineage's end-to-end latency — first ingress to
+// last externalization — and whether it was externalized at all.
+func (l *Lineage) Latency() (time.Duration, bool) {
+	var ingress int64 = -1
+	var extern int64 = -1
+	for _, sp := range l.Spans {
+		switch sp.Phase {
+		case metrics.PhaseIngress:
+			if ingress < 0 {
+				ingress = sp.TS
+			}
+		case metrics.PhaseExternalize:
+			extern = sp.TS
+		}
+	}
+	if ingress < 0 || extern < 0 {
+		return 0, false
+	}
+	return time.Duration(extern - ingress), true
+}
+
+// PhaseStat aggregates the critical-path deltas attributed to one phase.
+type PhaseStat struct {
+	Phase string
+	Count uint64
+	Total time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Report is the aggregate latency analysis of a merged trace.
+type Report struct {
+	// Lineages is the number of event lineages seen.
+	Lineages int
+	// Externalized counts lineages with an externalize span.
+	Externalized int
+	// Complete counts lineages passing Lineage.Complete.
+	Complete int
+	// Phases is the per-phase critical-path breakdown, ordered by total
+	// time attributed (dominant phase first).
+	Phases []PhaseStat
+	// E2E aggregates end-to-end latency over externalized lineages.
+	E2E PhaseStat
+	// Slowest is the critical path of the worst externalized lineage.
+	Slowest []Step
+	// SlowestTrace identifies it.
+	SlowestTrace string
+}
+
+// Analyze builds the latency report for the merged trace.
+func (s *Set) Analyze() *Report {
+	lineages := s.Lineages()
+	rep := &Report{Lineages: len(lineages)}
+	perPhase := make(map[string]*metrics.HDR)
+	e2e := metrics.NewHDR()
+	var worst time.Duration = -1
+	for _, l := range lineages {
+		if l.Complete() {
+			rep.Complete++
+		}
+		for _, st := range l.CriticalPath() {
+			h := perPhase[st.Phase]
+			if h == nil {
+				h = metrics.NewHDR()
+				perPhase[st.Phase] = h
+			}
+			h.Record(st.Delta)
+		}
+		if lat, ok := l.Latency(); ok {
+			rep.Externalized++
+			e2e.Record(lat)
+			if lat > worst {
+				worst = lat
+				rep.Slowest = l.CriticalPath()
+				rep.SlowestTrace = l.Trace
+			}
+		}
+	}
+	for phase, h := range perPhase {
+		rep.Phases = append(rep.Phases, phaseStat(phase, h))
+	}
+	sort.Slice(rep.Phases, func(i, j int) bool { return rep.Phases[i].Total > rep.Phases[j].Total })
+	rep.E2E = phaseStat("end_to_end", e2e)
+	return rep
+}
+
+func phaseStat(name string, h *metrics.HDR) PhaseStat {
+	return PhaseStat{
+		Phase: name,
+		Count: h.Count(),
+		Total: time.Duration(h.Sum()),
+		P50:   h.QuantileDuration(0.5),
+		P95:   h.QuantileDuration(0.95),
+		P99:   h.QuantileDuration(0.99),
+		Max:   time.Duration(h.Max()),
+	}
+}
+
+// WriteSummary renders the report as a human-readable table.
+func (r *Report) WriteSummary(w io.Writer) {
+	fmt.Fprintf(w, "lineages: %d  externalized: %d  complete: %d (%.1f%%)\n",
+		r.Lineages, r.Externalized, r.Complete, pct(r.Complete, r.Lineages))
+	fmt.Fprintf(w, "%-14s %8s %12s %10s %10s %10s %10s\n",
+		"phase", "count", "total", "p50", "p95", "p99", "max")
+	row := func(st PhaseStat) {
+		fmt.Fprintf(w, "%-14s %8d %12v %10v %10v %10v %10v\n",
+			st.Phase, st.Count, st.Total.Round(time.Microsecond),
+			st.P50.Round(time.Microsecond), st.P95.Round(time.Microsecond),
+			st.P99.Round(time.Microsecond), st.Max.Round(time.Microsecond))
+	}
+	for _, st := range r.Phases {
+		row(st)
+	}
+	if r.E2E.Count > 0 {
+		row(r.E2E)
+	}
+	if len(r.Slowest) > 0 {
+		fmt.Fprintf(w, "slowest lineage (trace %s):\n", r.SlowestTrace)
+		for _, st := range r.Slowest {
+			loc := st.Node
+			if st.Proc != "" {
+				loc = st.Proc + "/" + st.Node
+			}
+			fmt.Fprintf(w, "  +%-12v %-12s %s\n", st.Delta.Round(time.Microsecond), st.Phase, loc)
+		}
+	}
+}
+
+func pct(n, of int) float64 {
+	if of == 0 {
+		return 100
+	}
+	return 100 * float64(n) / float64(of)
+}

@@ -184,7 +184,7 @@ func Scan(data []byte) ([]Record, error) {
 // quantity the paper's speculation hides (§2.4).
 type LogMetrics struct {
 	// AppendLatency observes submit→stable per batch.
-	AppendLatency *metrics.Histogram
+	AppendLatency *metrics.HDR
 	// Appends counts submitted batches.
 	Appends *metrics.Counter
 	// Records counts submitted records.

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# trace_e2e.sh — traced end-to-end cluster run, validated by tracetool.
+#
+# Builds streammine and tracetool, runs a coordinator plus two workers as
+# separate OS processes with per-process lifecycle tracing on, waits for
+# the distributed run to complete, then merges the per-process JSONL
+# traces: the summary table prints the per-phase latency breakdown,
+# -validate enforces the trace invariants (complete lineages, no
+# dead-epoch spans), and -chrome emits a Perfetto-loadable trace.
+#
+# Usage: scripts/trace_e2e.sh [output-dir]   (default trace-e2e-out)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-trace-e2e-out}"
+rm -rf "$out"
+mkdir -p "$out"
+
+go build -o "$out/streammine" ./cmd/streammine
+go build -o "$out/tracetool" ./cmd/tracetool
+
+cat > "$out/topo.json" <<'JSON'
+{
+  "speculative": true,
+  "seed": 7,
+  "nodes": [
+    {"name": "src",      "type": "source", "rate": 1500, "count": 600},
+    {"name": "classify", "type": "classifier", "classes": 4, "inputs": ["src"], "checkpointEvery": 32},
+    {"name": "out",      "type": "sink", "inputs": ["classify"]}
+  ],
+  "placement": {
+    "workers": 2,
+    "assign": {"src": 0, "classify": 1, "out": 1}
+  }
+}
+JSON
+
+addr="127.0.0.1:7461"
+"$out/streammine" -coordinator "$addr" -topology "$out/topo.json" \
+  -trace "$out/coordinator.jsonl" >"$out/coordinator.log" 2>&1 &
+coord=$!
+sleep 0.3
+
+for i in 1 2; do
+  "$out/streammine" -worker -join "$addr" -name "w$i" \
+    -state-dir "$out/state" -trace "$out/w$i.jsonl" >"$out/w$i.log" 2>&1 &
+done
+
+if ! wait "$coord"; then
+  echo "trace_e2e: coordinator failed; logs follow" >&2
+  cat "$out"/*.log >&2
+  exit 1
+fi
+wait # workers exit on the coordinator's STOP
+
+echo "--- per-phase latency breakdown ---"
+"$out/tracetool" -validate -chrome "$out/trace.json" "$out"/*.jsonl
+echo "trace_e2e: ok — merged trace in $out/ (open $out/trace.json in ui.perfetto.dev)"
