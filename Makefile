@@ -3,9 +3,9 @@
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 BENCHREV := $(shell git rev-parse --short HEAD 2>/dev/null || date +%s)
 
-.PHONY: check fmt vet test race build bench trace-e2e
+.PHONY: check fmt vet staticcheck test race build bench trace-e2e
 
-check: fmt vet race
+check: fmt vet staticcheck race
 
 build:
 	go build ./...
@@ -18,6 +18,15 @@ fmt:
 
 vet:
 	go vet ./...
+
+# staticcheck is optional locally (the dev container may not ship it) but
+# required in CI, which installs it before make check.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 
 test:
 	go test ./...

@@ -32,6 +32,10 @@ type Result struct {
 	// event latency (b.ReportMetric with "p50-us" / "p99-us" units).
 	LatencyP50Us float64 `json:"latency_p50_us,omitempty"`
 	LatencyP99Us float64 `json:"latency_p99_us,omitempty"`
+	// Speculation-waste metrics reported by benchmarks that run with the
+	// profiler enabled ("waste-cpu-pct" / "aborted-attempts/event" units).
+	WasteCPUPct             float64 `json:"waste_cpu_pct,omitempty"`
+	AbortedAttemptsPerEvent float64 `json:"aborted_attempts_per_event,omitempty"`
 }
 
 // Report is the file-level record.
@@ -119,6 +123,10 @@ func parseBench(pkg, line string) (Result, bool) {
 			r.LatencyP50Us = v
 		case "p99-us":
 			r.LatencyP99Us = v
+		case "waste-cpu-pct":
+			r.WasteCPUPct = v
+		case "aborted-attempts/event":
+			r.AbortedAttemptsPerEvent = v
 		}
 	}
 	return r, true

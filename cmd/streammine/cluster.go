@@ -42,6 +42,15 @@ func runCoordinator(topoPath, addr string, workers int, hbTimeout time.Duration,
 		// /healthz carries the per-partition queue-depth / credit snapshot
 		// folded from worker STATUS reports.
 		obs.server.SetPressure(pressureJSON(func() any { return c.Pressure() }))
+		// /debug/cluster merges membership, partition phases and (when
+		// workers run -profile-speculation) the cluster-wide waste rollup.
+		obs.server.SetCluster(func() any { return c.View() })
+		obs.server.SetSpeculation(func() any {
+			if s := c.Waste(); s != nil {
+				return s
+			}
+			return nil
+		})
 	}
 	fmt.Printf("coordinator on %s, waiting for workers\n", c.Addr())
 	select {
@@ -55,7 +64,7 @@ func runCoordinator(topoPath, addr string, workers int, hbTimeout time.Duration,
 // runWorker joins a coordinator and hosts whatever partitions it assigns.
 // Finalized sink events are printed one per line ("SINK <name> <id>") so
 // callers can collect the externalized output of a distributed run.
-func runWorker(name, join, dataAddr, stateDir string, hbTimeout time.Duration, obs *observability) error {
+func runWorker(name, join, dataAddr, stateDir string, hbTimeout time.Duration, profileSpec bool, obs *observability) error {
 	if join == "" {
 		return fmt.Errorf("usage: streammine -worker -join ADDR [-name N] [-state-dir DIR]")
 	}
@@ -72,15 +81,16 @@ func runWorker(name, join, dataAddr, stateDir string, hbTimeout time.Duration, o
 		}
 	}
 	w, err := cluster.StartWorker(cluster.WorkerOptions{
-		Name:             name,
-		CoordAddr:        join,
-		DataAddr:         dataAddr,
-		StateDir:         stateDir,
-		HeartbeatTimeout: hbTimeout,
-		Metrics:          obs.registry,
-		Tracer:           obs.tracer,
-		OnSinkEvent:      onSink,
-		Logf:             logfFor(name),
+		Name:               name,
+		CoordAddr:          join,
+		DataAddr:           dataAddr,
+		StateDir:           stateDir,
+		HeartbeatTimeout:   hbTimeout,
+		Metrics:            obs.registry,
+		Tracer:             obs.tracer,
+		OnSinkEvent:        onSink,
+		Logf:               logfFor(name),
+		ProfileSpeculation: profileSpec,
 	})
 	if err != nil {
 		return err
@@ -95,6 +105,14 @@ func runWorker(name, join, dataAddr, stateDir string, hbTimeout time.Duration, o
 		// flow-control pressure snapshot of the hosted partitions.
 		obs.server.SetDegraded(w.Degraded)
 		obs.server.SetPressure(pressureJSON(func() any { return w.Pressure() }))
+		if profileSpec {
+			obs.server.SetSpeculation(func() any {
+				if s := w.Waste(); s != nil {
+					return s
+				}
+				return nil
+			})
+		}
 	}
 	fmt.Printf("worker %q joined %s (data %s)\n", name, join, w.DataAddr())
 	select {

@@ -31,6 +31,7 @@ import (
 	"streammine/internal/event"
 	"streammine/internal/metrics"
 	"streammine/internal/operator"
+	"streammine/internal/profiler"
 	"streammine/internal/storage"
 	"streammine/internal/topology"
 	"streammine/internal/transport"
@@ -131,6 +132,7 @@ func run() error {
 	count := flag.Int("count", 5000, "with -query: events per source")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8090)")
 	tracePath := flag.String("trace", "", "write per-event lifecycle spans (JSONL) to this file")
+	profileSpec := flag.Bool("profile-speculation", false, "enable the speculation-waste profiler (served at /debug/speculation; with -worker, waste summaries ride STATUS heartbeats to the coordinator)")
 	traceSample := flag.Float64("trace-sample", 1.0, "with -trace: fraction of event lineages to keep (head-based, by trace id)")
 	coordAddr := flag.String("coordinator", "", "run as cluster coordinator listening on this address")
 	workers := flag.Int("workers", 0, "with -coordinator: workers to wait for (default: topology placement)")
@@ -167,10 +169,10 @@ func run() error {
 		return runCoordinator(*topoPath, *coordAddr, *workers, *hbTimeout, obs)
 	}
 	if *worker {
-		return runWorker(*name, *join, *dataAddr, *stateDir, *hbTimeout, obs)
+		return runWorker(*name, *join, *dataAddr, *stateDir, *hbTimeout, *profileSpec, obs)
 	}
 	if *query != "" {
-		return runQuery(*query, *rate, *count, obs)
+		return runQuery(*query, *rate, *count, *profileSpec, obs)
 	}
 	if *topoPath == "" {
 		return fmt.Errorf("usage: streammine -topology pipeline.json | -query \"SELECT ...\" (or -example)")
@@ -201,9 +203,14 @@ func run() error {
 	defer pool.Close()
 
 	wall := vclock.NewWall()
+	var prof *profiler.Profiler
+	if *profileSpec {
+		prof = profiler.New(profiler.Config{})
+	}
 	eng, err := core.New(built.Graph, core.Options{
 		Pool: pool, Seed: cfg.Seed, Clock: wall,
 		Metrics: obs.registry, Tracer: obs.tracer,
+		Profiler: prof,
 	})
 	if err != nil {
 		return err
@@ -213,6 +220,9 @@ func run() error {
 	}
 	if obs.server != nil {
 		obs.server.SetPressure(pressureJSON(func() any { return eng.Pressure() }))
+		if prof != nil {
+			obs.server.SetSpeculation(func() any { return eng.Waste() })
+		}
 	}
 	if err := eng.Start(); err != nil {
 		return err

@@ -12,13 +12,14 @@ import (
 	"streammine/internal/graph"
 	"streammine/internal/metrics"
 	"streammine/internal/operator"
+	"streammine/internal/profiler"
 	"streammine/internal/storage"
 )
 
 // runQuery compiles a continuous query, drives each FROM stream with a
 // synthetic paced source (random keys over a small space, sequential
 // values), and prints the query's finalized outputs as they arrive.
-func runQuery(text string, rate, count int, obs *observability) error {
+func runQuery(text string, rate, count int, profileSpec bool, obs *observability) error {
 	q, err := cq.Parse(text)
 	if err != nil {
 		return err
@@ -37,15 +38,23 @@ func runQuery(text string, rate, count int, obs *observability) error {
 
 	pool := storage.NewPool([]storage.Disk{storage.NewMemDisk()})
 	defer pool.Close()
+	var prof *profiler.Profiler
+	if profileSpec {
+		prof = profiler.New(profiler.Config{})
+	}
 	eng, err := core.New(g, core.Options{
 		Pool: pool, Seed: 1,
 		Metrics: obs.registry, Tracer: obs.tracer,
+		Profiler: prof,
 	})
 	if err != nil {
 		return err
 	}
 	if err := obs.serve(eng.Err); err != nil {
 		return err
+	}
+	if obs.server != nil && prof != nil {
+		obs.server.SetSpeculation(func() any { return eng.Waste() })
 	}
 	if err := eng.Start(); err != nil {
 		return err

@@ -10,13 +10,17 @@
 //	tracetool w1.jsonl w2.jsonl coord.jsonl      # merged multi-process view
 //	tracetool -chrome trace.json w*.jsonl        # + Perfetto export
 //	tracetool -validate w*.jsonl                 # exit 1 on invariant violations
+//	tracetool waste w*.jsonl                     # per-operator waste + top lineages
+//	tracetool waste -summary waste.json w*.jsonl # joined with /debug/speculation
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"streammine/internal/profiler"
 	"streammine/internal/tracetool"
 )
 
@@ -28,6 +32,9 @@ func main() {
 }
 
 func run() error {
+	if len(os.Args) > 1 && os.Args[1] == "waste" {
+		return runWaste(os.Args[2:])
+	}
 	chromePath := flag.String("chrome", "", "write Chrome trace-event JSON (Perfetto) to this file")
 	validate := flag.Bool("validate", false, "check trace invariants; non-zero exit on violations")
 	quiet := flag.Bool("q", false, "suppress the summary table")
@@ -69,5 +76,42 @@ func run() error {
 		}
 		fmt.Println("trace invariants hold")
 	}
+	return nil
+}
+
+// runWaste implements the "waste" subcommand: per-operator waste
+// breakdowns and the top wasted lineages from the merged trace, joined
+// with a saved /debug/speculation (or /debug/cluster) summary when given.
+func runWaste(args []string) error {
+	fs := flag.NewFlagSet("waste", flag.ContinueOnError)
+	summaryPath := fs.String("summary", "", "join a saved /debug/speculation or /debug/cluster JSON body")
+	top := fs.Int("top", 10, "how many wasted lineages to list")
+	asJSON := fs.Bool("json", false, "emit the report as JSON instead of tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: tracetool waste [-summary waste.json] [-top N] [-json] trace.jsonl...")
+	}
+	set, err := tracetool.Load(fs.Args()...)
+	if err != nil {
+		return err
+	}
+	if set.TornTails > 0 {
+		fmt.Fprintf(os.Stderr, "tracetool: %d input(s) end in a torn line (crash tear); intact prefixes merged\n", set.TornTails)
+	}
+	var sum *profiler.Summary
+	if *summaryPath != "" {
+		if sum, err = tracetool.ReadSummary(*summaryPath); err != nil {
+			return err
+		}
+	}
+	report := set.Waste(sum, *top)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	report.WriteReport(os.Stdout)
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 
 	"streammine/internal/core"
 	"streammine/internal/metrics"
+	"streammine/internal/profiler"
 	"streammine/internal/topology"
 	"streammine/internal/transport"
 )
@@ -84,6 +85,10 @@ type coordPart struct {
 	committed uint64
 	quiesced  bool
 	pressure  []core.NodePressure
+	// waste is the partition's latest cumulative waste summary; each
+	// STATUS report replaces it (summaries are running totals, so adding
+	// them would double-count).
+	waste *profiler.Summary
 }
 
 // NewCoordinator parses the topology and starts listening for workers.
@@ -121,6 +126,9 @@ func NewCoordinator(topoJSON []byte, o CoordinatorOptions) (*Coordinator, error)
 		partOf:  make(map[string]int),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
+	}
+	if o.Metrics != nil {
+		registerCoordWasteMetrics(c, o.Metrics)
 	}
 	c.det = transport.NewDetector(o.HeartbeatTimeout, nil)
 	srv, err := transport.ListenConn(o.Addr, c.handle)
@@ -173,6 +181,66 @@ func (c *Coordinator) Pressure() []PartitionPressure {
 	c.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Partition < out[j].Partition })
 	return out
+}
+
+// Waste merges the latest per-partition speculation-waste summaries from
+// worker STATUS reports into the cluster-wide rollup, or nil when no
+// partition has reported one (profiling off or nothing running yet).
+func (c *Coordinator) Waste() *profiler.Summary {
+	c.mu.Lock()
+	var parts []*profiler.Summary
+	for _, cp := range c.parts {
+		if cp.waste != nil {
+			parts = append(parts, cp.waste)
+		}
+	}
+	c.mu.Unlock()
+	if len(parts) == 0 {
+		return nil
+	}
+	return profiler.Merge(0, parts...)
+}
+
+// PartitionStatus is one partition's last-reported deployment state.
+type PartitionStatus struct {
+	Partition int    `json:"partition"`
+	Worker    string `json:"worker"`
+	Epoch     int    `json:"epoch"`
+	Phase     string `json:"phase"`
+	Committed uint64 `json:"committed"`
+	Quiesced  bool   `json:"quiesced"`
+}
+
+// ClusterView is the /debug/cluster JSON body: membership, per-partition
+// deployment state, flow pressure, and the merged waste rollup.
+type ClusterView struct {
+	Workers    []string            `json:"workers"`
+	Partitions []PartitionStatus   `json:"partitions"`
+	Pressure   []PartitionPressure `json:"pressure,omitempty"`
+	Waste      *profiler.Summary   `json:"waste,omitempty"`
+}
+
+// View snapshots the coordinator's cluster-wide state for /debug/cluster.
+func (c *Coordinator) View() ClusterView {
+	var v ClusterView
+	c.mu.Lock()
+	for name := range c.workers {
+		v.Workers = append(v.Workers, name)
+	}
+	for id, cp := range c.parts {
+		v.Partitions = append(v.Partitions, PartitionStatus{
+			Partition: id, Worker: cp.worker, Epoch: cp.epoch,
+			Phase: cp.phase, Committed: cp.committed, Quiesced: cp.quiesced,
+		})
+	}
+	c.mu.Unlock()
+	sort.Strings(v.Workers)
+	sort.Slice(v.Partitions, func(i, j int) bool {
+		return v.Partitions[i].Partition < v.Partitions[j].Partition
+	})
+	v.Pressure = c.Pressure()
+	v.Waste = c.Waste()
+	return v
 }
 
 // Close tears the coordinator down (workers are stopped first if the run
@@ -377,6 +445,9 @@ func (c *Coordinator) status(st StatusMsg) {
 	cp.quiesced = st.Quiesced
 	if st.Pressure != nil {
 		cp.pressure = st.Pressure
+	}
+	if st.Waste != nil {
+		cp.waste = st.Waste
 	}
 	type send struct {
 		conn transport.Conn

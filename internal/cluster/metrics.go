@@ -87,3 +87,67 @@ func (m *clusterMetrics) bridgeRTTHist() *metrics.HDR {
 	}
 	return m.bridgeRTT
 }
+
+// registerCoordWasteMetrics exports the cluster-wide speculation-waste
+// rollup as func-backed series: each scrape merges the latest per-
+// partition summaries (replaced per STATUS report, so totals never
+// double-count). Registered only when the coordinator has a registry.
+func registerCoordWasteMetrics(c *Coordinator, reg *metrics.Registry) {
+	const abortedHelp = "Aborted attempts across the cluster, by cause (merged worker waste summaries)."
+	const wastedHelp = "CPU nanoseconds wasted in aborted attempts across the cluster, by cause."
+	for _, cause := range []string{"conflict", "revoke", "replace", "error"} {
+		cause := cause
+		reg.CounterFunc("cluster_waste_aborted_attempts_total", abortedHelp,
+			metrics.Labels{"cause": cause},
+			func() uint64 {
+				var n uint64
+				if s := c.Waste(); s != nil {
+					for _, nw := range s.Nodes {
+						n += nw.AbortedAttempts[cause]
+					}
+				}
+				return n
+			})
+		reg.CounterFunc("cluster_waste_cpu_ns_total", wastedHelp,
+			metrics.Labels{"cause": cause},
+			func() uint64 {
+				var ns int64
+				if s := c.Waste(); s != nil {
+					for _, nw := range s.Nodes {
+						ns += nw.WastedCPUNs[cause]
+					}
+				}
+				return uint64(ns)
+			})
+	}
+	reg.CounterFunc("cluster_waste_reexecutions_total",
+		"Re-executions dispatched after aborts across the cluster.", nil,
+		func() uint64 {
+			var n uint64
+			if s := c.Waste(); s != nil {
+				for _, nw := range s.Nodes {
+					n += nw.Reexecutions
+				}
+			}
+			return n
+		})
+	reg.CounterFunc("cluster_waste_revoked_outputs_total",
+		"Outputs revoked because their producing task aborted, across the cluster.", nil,
+		func() uint64 {
+			var n uint64
+			if s := c.Waste(); s != nil {
+				for _, nw := range s.Nodes {
+					n += nw.RevokedOutputs
+				}
+			}
+			return n
+		})
+	reg.GaugeFunc("cluster_waste_cpu_pct",
+		"Wasted CPU as a percentage of all attempt CPU across the cluster.", nil,
+		func() float64 {
+			if s := c.Waste(); s != nil {
+				return s.WastePct()
+			}
+			return 0
+		})
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"streammine/internal/core"
+	"streammine/internal/profiler"
 	"streammine/internal/transport"
 )
 
@@ -100,6 +101,11 @@ type StatusMsg struct {
 	// every node of the partition, in node order. Empty when the
 	// partition is not running.
 	Pressure []core.NodePressure `json:"pressure,omitempty"`
+	// Waste is the partition's cumulative speculation-waste summary
+	// (per-operator ledgers plus conflict heatmap), attached when the
+	// worker profiles speculation. The coordinator replaces its cached
+	// copy per report and merges across partitions.
+	Waste *profiler.Summary `json:"waste,omitempty"`
 }
 
 // StopMsg tears a worker down.

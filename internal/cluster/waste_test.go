@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"streammine/internal/metrics"
+)
+
+// TestClusterWasteRollup runs the two-worker topology with
+// ProfileSpeculation on and asserts the rollup chain: every partition
+// engine profiles, workers attach cumulative waste summaries to STATUS
+// heartbeats, and the coordinator merges them into Waste()/View() plus
+// the aggregated cluster_waste_* series.
+func TestClusterWasteRollup(t *testing.T) {
+	reg := metrics.NewRegistry()
+	coord, err := NewCoordinator([]byte(clusterTopo), CoordinatorOptions{
+		Addr:              "127.0.0.1:0",
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  400 * time.Millisecond,
+		Metrics:           reg,
+		Logf:              t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	stateDir := t.TempDir()
+	sinks := newSinkSet()
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("w%d", i+1)
+		w, err := StartWorker(WorkerOptions{
+			Name:               name,
+			CoordAddr:          coord.Addr(),
+			StateDir:           stateDir,
+			HeartbeatInterval:  50 * time.Millisecond,
+			HeartbeatTimeout:   400 * time.Millisecond,
+			ProfileSpeculation: true,
+			OnSinkEvent:        sinks.observer(name),
+			Logf: func(format string, args ...any) {
+				t.Logf("["+name+"] "+format, args...)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+	}
+
+	select {
+	case <-coord.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("cluster run did not complete")
+	}
+	if err := coord.Err(); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+
+	// The coordinator keeps the last waste summary each partition shipped,
+	// so the merged view survives partition shutdown.
+	sum := coord.Waste()
+	if sum == nil {
+		t.Fatal("coordinator Waste() = nil after a profiled run")
+	}
+	nw := sum.NodeByName("classify")
+	if nw == nil {
+		t.Fatalf("merged summary has no ledger for classify; nodes: %+v", sum.Nodes)
+	}
+	if nw.AttemptCPUNs <= 0 {
+		t.Errorf("classify attempt_cpu_ns = %d, want > 0", nw.AttemptCPUNs)
+	}
+
+	view := coord.View()
+	if view.Waste == nil {
+		t.Fatal("View().Waste = nil after a profiled run")
+	}
+	if len(view.Workers) != 2 {
+		t.Errorf("View().Workers = %v, want 2 workers", view.Workers)
+	}
+	if len(view.Partitions) == 0 {
+		t.Error("View().Partitions is empty")
+	}
+
+	// Aggregated series must be registered and agree with the merged
+	// summary at scrape time.
+	if v, ok := reg.Value("cluster_waste_aborted_attempts_total", metrics.Labels{"cause": "conflict"}); !ok {
+		t.Error("cluster_waste_aborted_attempts_total{cause=conflict} not registered")
+	} else if want := float64(nw.AbortedAttempts["conflict"]); v < want {
+		t.Errorf("cluster_waste_aborted_attempts_total{conflict} = %v, classify ledger alone has %v", v, want)
+	}
+	if _, ok := reg.Value("cluster_waste_cpu_pct", nil); !ok {
+		t.Error("cluster_waste_cpu_pct not registered")
+	}
+
+	// Every cluster_waste_* series must be documented in the
+	// docs/OBSERVABILITY.md inventory table.
+	doc, err := os.ReadFile(filepath.Join("..", "..", "docs", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatalf("read metric inventory doc: %v", err)
+	}
+	seen := make(map[string]bool)
+	for _, p := range reg.Snapshot() {
+		if !strings.HasPrefix(p.Name, "cluster_waste_") || seen[p.Name] {
+			continue
+		}
+		seen[p.Name] = true
+		if !strings.Contains(string(doc), p.Name) {
+			t.Errorf("series %s not documented in docs/OBSERVABILITY.md", p.Name)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"streammine/internal/event"
 	"streammine/internal/graph"
 	"streammine/internal/metrics"
+	"streammine/internal/profiler"
 	"streammine/internal/storage"
 	"streammine/internal/topology"
 	"streammine/internal/transport"
@@ -51,6 +52,11 @@ type WorkerOptions struct {
 	// their origin, and Tracer.SetAutoFlush(true) so a SIGKILL loses at
 	// most one torn line.
 	Tracer *metrics.Tracer
+	// ProfileSpeculation enables the speculation-waste profiler on every
+	// partition engine this worker hosts. Cumulative waste summaries ride
+	// the STATUS heartbeats to the coordinator, which merges them into
+	// the cluster-wide rollup (/debug/cluster).
+	ProfileSpeculation bool
 	// OnSinkEvent, when set, observes every finalized event reaching a
 	// sink hosted on this worker.
 	OnSinkEvent func(sink string, ev event.Event)
@@ -393,7 +399,13 @@ func (w *Worker) buildPartition(am AssignMsg) (*workerPart, error) {
 	// No Metrics here: partition engines would collide on the registry's
 	// fixed engine-series names; cluster-level series cover the runtime.
 	// The tracer is shared: spans are self-describing (proc + node + trace
-	// id), so every partition engine can write to the same stream.
+	// id), so every partition engine can write to the same stream. The
+	// profiler is per partition: its summaries carry node names, so the
+	// coordinator can merge them without collision.
+	var prof *profiler.Profiler
+	if w.opts.ProfileSpeculation {
+		prof = profiler.New(profiler.Config{})
+	}
 	eng, err := core.New(built.Graph, core.Options{
 		Pool:               pool,
 		Seed:               cfg.Seed,
@@ -401,6 +413,7 @@ func (w *Worker) buildPartition(am AssignMsg) (*workerPart, error) {
 		LogScanner:         scan,
 		RestoreFromStorage: true,
 		Tracer:             w.opts.Tracer,
+		Profiler:           prof,
 	})
 	if err != nil {
 		_ = pool.Close()
@@ -562,6 +575,7 @@ func (w *Worker) partStatusLocked(p *workerPart, phase string) StatusMsg {
 	if p.running {
 		st.Committed = p.eng.TotalStats().Committed
 		st.Pressure = p.eng.Pressure()
+		st.Waste = p.eng.Waste()
 		quiesced := p.sourcesLeft == 0 && p.eng.Quiesced()
 		// A disconnected outgoing bridge means a peer still owes us a
 		// replay request (or is mid-recovery); the run cannot be complete
@@ -574,6 +588,27 @@ func (w *Worker) partStatusLocked(p *workerPart, phase string) StatusMsg {
 		st.Quiesced = quiesced
 	}
 	return st
+}
+
+// Waste merges the speculation-waste summaries of every running partition
+// hosted by this worker (the same summaries shipped to the coordinator),
+// or nil when profiling is off or nothing runs yet.
+func (w *Worker) Waste() *profiler.Summary {
+	w.mu.Lock()
+	var parts []*profiler.Summary
+	for _, p := range w.parts {
+		if !p.running {
+			continue
+		}
+		if s := p.eng.Waste(); s != nil {
+			parts = append(parts, s)
+		}
+	}
+	w.mu.Unlock()
+	if len(parts) == 0 {
+		return nil
+	}
+	return profiler.Merge(0, parts...)
 }
 
 // statusLoop periodically reports every partition to the coordinator's

@@ -34,6 +34,7 @@ import (
 	"streammine/internal/flow"
 	"streammine/internal/graph"
 	"streammine/internal/metrics"
+	"streammine/internal/profiler"
 	"streammine/internal/storage"
 	"streammine/internal/vclock"
 	"streammine/internal/wal"
@@ -96,6 +97,14 @@ type Options struct {
 	// abort) as JSONL spans for offline latency breakdown. Tracing is
 	// opt-in and does allocate; leave nil on benchmark runs.
 	Tracer *metrics.Tracer
+	// Profiler, when set, enables the speculation-waste profiler: STM
+	// conflict witnesses resolved to named state buckets, per-operator
+	// waste ledgers (CPU burned in aborted attempts, re-executions,
+	// revoked fan-out) and the top-K conflict heatmap. Recording paths
+	// are allocation-free; witnesses cost one nil check on STM failure
+	// paths only. Nil disables profiling entirely (the STM commit path
+	// is then byte-identical to the unprofiled build).
+	Profiler *profiler.Profiler
 }
 
 // Engine hosts one process's share of the operator graph.
@@ -107,10 +116,11 @@ type Engine struct {
 
 	nodes []*node
 
-	// met and tracer are the observability hooks; both nil when disabled
-	// so hot paths pay a single pointer check.
+	// met, tracer and prof are the observability hooks; all nil when
+	// disabled so hot paths pay a single pointer check.
 	met    *engineMetrics
 	tracer *metrics.Tracer
+	prof   *profiler.Profiler
 
 	mu      sync.Mutex
 	started bool
@@ -195,11 +205,21 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 		n.admission = flow.NewAdmission(n.spec.Flow, eng.pressureProbe(n))
 	}
 	eng.tracer = opts.Tracer
+	if opts.Profiler != nil {
+		eng.prof = opts.Profiler
+		for _, n := range eng.nodes {
+			n.prof = opts.Profiler.Node(n.spec.Name)
+			n.installProfiler()
+		}
+	}
 	if opts.Metrics != nil {
 		eng.met = registerEngineMetrics(eng, opts.Metrics)
 		for _, n := range eng.nodes {
 			n.log.SetMetrics(eng.met.walLog)
 			n.mailbox.SetQueueDelay(eng.met.mailboxWait)
+		}
+		if eng.prof != nil {
+			registerProfilerMetrics(eng, opts.Metrics)
 		}
 	}
 	return eng, nil
@@ -524,4 +544,33 @@ func (e *Engine) Pressure() []NodePressure {
 		out = append(out, n.pressure())
 	}
 	return out
+}
+
+// Waste snapshots the speculation-waste profiler as a mergeable summary
+// (the /debug/speculation body), or nil when profiling is disabled.
+func (e *Engine) Waste() *profiler.Summary {
+	if e.prof == nil {
+		return nil
+	}
+	return e.prof.Summary()
+}
+
+// causedBy charges one aborted attempt to the upstream operator whose
+// revoke or replacement caused it.
+func (e *Engine) causedBy(src event.SourceID) {
+	if e.prof == nil {
+		return
+	}
+	e.prof.CausedBy(e.opName(src), 1)
+}
+
+// opName resolves an event source to an operator name hosted by this
+// engine, or "op<id>" for remote operators the local topology cannot name.
+func (e *Engine) opName(src event.SourceID) string {
+	for _, n := range e.nodes {
+		if event.SourceID(n.opID) == src {
+			return n.spec.Name
+		}
+	}
+	return fmt.Sprintf("op%d", src)
 }

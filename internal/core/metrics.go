@@ -2,6 +2,7 @@ package core
 
 import (
 	"streammine/internal/metrics"
+	"streammine/internal/profiler"
 	"streammine/internal/stm"
 	"streammine/internal/wal"
 )
@@ -52,6 +53,10 @@ type engineMetrics struct {
 	// cascadeSize samples the number of live downstream outputs revoked
 	// per aborted task (revoke-cascade fan-out).
 	cascadeSize *metrics.HDR
+	// abortSpecDepth samples the speculation depth at each aborted
+	// attempt; registered only when the waste profiler is on (nil
+	// otherwise).
+	abortSpecDepth *metrics.HDR
 
 	// walLog is shared by every node's decision log.
 	walLog *wal.LogMetrics
@@ -231,6 +236,54 @@ func registerEngineMetrics(e *Engine, reg *metrics.Registry) *engineMetrics {
 			func() uint64 { return n.admission.Shedded() })
 	}
 	return m
+}
+
+// registerProfilerMetrics exports the speculation-waste ledgers as
+// func-backed series read at scrape time (recording stays allocation-free)
+// and registers the abort-depth histogram. Called only when both
+// Options.Metrics and Options.Profiler are set; the ledger itself runs
+// without a registry too (cluster partition engines profile unmetered, and
+// their summaries surface via STATUS heartbeats instead).
+func registerProfilerMetrics(e *Engine, reg *metrics.Registry) {
+	e.met.abortSpecDepth = reg.HDRCounts("profiler_abort_spec_depth",
+		"Open speculative tasks observed at each aborted attempt.")
+	causes := []profiler.Cause{
+		profiler.CauseConflict, profiler.CauseRevoke,
+		profiler.CauseReplace, profiler.CauseError,
+	}
+	kinds := []stm.ConflictKind{
+		stm.ConflictWriteWrite, stm.ConflictValidation, stm.ConflictCascade,
+	}
+	for _, n := range e.nodes {
+		np := n.prof
+		labels := metrics.Labels{"node": n.spec.Name}
+		for _, c := range causes {
+			c := c
+			cl := metrics.Labels{"node": n.spec.Name, "cause": c.String()}
+			reg.CounterFunc("profiler_aborted_attempts_total",
+				"Aborted execution attempts, by operator and abort cause.", cl,
+				func() uint64 { return np.AbortedAttempts(c) })
+			reg.CounterFunc("profiler_wasted_cpu_ns_total",
+				"CPU nanoseconds burned in attempts that later aborted.", cl,
+				func() uint64 { return uint64(np.WastedNs(c)) })
+		}
+		for _, k := range kinds {
+			k := k
+			reg.CounterFunc("profiler_conflict_witnesses_total",
+				"STM conflict witnesses recorded, by operator and conflict kind.",
+				metrics.Labels{"node": n.spec.Name, "kind": k.String()},
+				func() uint64 { return np.Witnesses(k) })
+		}
+		reg.CounterFunc("profiler_attempt_cpu_ns_total",
+			"CPU nanoseconds across all execution attempts (waste denominator).",
+			labels, func() uint64 { return uint64(np.AttemptNs()) })
+		reg.CounterFunc("profiler_reexecutions_total",
+			"Re-executions dispatched after aborts.", labels,
+			func() uint64 { return np.Reexecs() })
+		reg.CounterFunc("profiler_revoked_outputs_total",
+			"Outputs revoked downstream because their task aborted.", labels,
+			func() uint64 { return np.RevokedOutputCount() })
+	}
 }
 
 // memStats reads the node's STM counters under the node lock (the

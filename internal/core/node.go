@@ -14,6 +14,8 @@ import (
 	"streammine/internal/flow"
 	"streammine/internal/graph"
 	"streammine/internal/metrics"
+	"streammine/internal/profiler"
+	"streammine/internal/state"
 	"streammine/internal/stm"
 	"streammine/internal/transport"
 	"streammine/internal/wal"
@@ -97,6 +99,10 @@ type node struct {
 	credLinks []*creditedLink
 	throttle  *flow.SpecThrottle
 	admission *flow.Admission
+
+	// prof is this node's speculation-waste ledger; nil when profiling is
+	// off, so every recording site pays one pointer check.
+	prof *profiler.NodeProfile
 
 	stopFlag atomic.Bool
 	wg       sync.WaitGroup
@@ -217,6 +223,37 @@ func (n *node) bufferedLinks(port int) int {
 		}
 	}
 	return c
+}
+
+// installProfiler binds the node's profiler hooks to its current STM
+// memory: the conflict sink and the address→state-bucket resolver. Called
+// at wiring time and again after recovery replaces the memory (both
+// single-threaded with respect to the node's workers).
+func (n *node) installProfiler() {
+	if n.prof == nil {
+		return
+	}
+	n.prof.SetResolver(state.Names(n.mem).Describe)
+	n.mem.SetConflictSink(n.prof)
+}
+
+// specDepth reads the node's current speculation depth (open tainted
+// tasks) for waste attribution.
+func (n *node) specDepth() int64 { return n.openTainted.Load() }
+
+// chargeAbort records one aborted attempt in the waste ledger and, when
+// profiler metrics are registered, observes the speculation depth at
+// abort. cpu is the CPU of the wasted attempt (zero when the task never
+// executed, or when profiling is off and nothing was timed).
+func (n *node) chargeAbort(c profiler.Cause, cpu time.Duration) {
+	if n.prof == nil {
+		return
+	}
+	depth := n.specDepth()
+	n.prof.AbortedAttempt(c, cpu, depth)
+	if m := n.eng.met; m != nil && m.abortSpecDepth != nil {
+		m.abortSpecDepth.Observe(depth)
+	}
 }
 
 // initContext adapts the node for operator.Init.
@@ -483,6 +520,9 @@ func (n *node) applyReplacement(t *task, ev event.Event) {
 			n.pendRevoke[ev.ID] = c - 1
 		}
 		n.mu.Unlock()
+		if n.prof != nil {
+			n.eng.causedBy(ev.ID.Source)
+		}
 		n.cancelTask(t, "revoke")
 		return
 	}
@@ -519,16 +559,21 @@ func (n *node) applyReplacement(t *task, ev event.Event) {
 	t.ev = ev.Clone()
 	t.evFinal = !ev.Speculative
 	tx := t.tx
-	state := t.state
+	st := t.state
 	hadSent := len(t.sent) > 0
+	attemptNs := t.attemptNs
 	t.mu.Unlock()
-	if state == taskExecuting || state == taskOpen {
+	if st == taskExecuting || st == taskOpen {
 		if tx != nil {
 			if m := n.eng.met; m != nil {
 				m.abortsReplace.Inc()
 				if hadSent {
 					m.cascadeAborts.Inc()
 				}
+			}
+			n.chargeAbort(profiler.CauseReplace, time.Duration(attemptNs))
+			if n.prof != nil {
+				n.eng.causedBy(ev.ID.Source)
 			}
 			if tr := n.eng.tracer; tr != nil {
 				tr.RecordTrace(n.spec.Name, ev.ID.String(), ev.Trace, metrics.PhaseAbort, "cause=replacement")
@@ -589,6 +634,11 @@ func (n *node) handleRevoke(m transport.Message) {
 		return
 	}
 	n.mu.Unlock()
+	// The revoker (the event's source operator) caused whatever work this
+	// cancellation wastes; charge it on the caused-by side of the ledger.
+	if n.prof != nil {
+		n.eng.causedBy(m.ID.Source)
+	}
 	n.cancelTask(t, "revoke")
 }
 
@@ -606,6 +656,7 @@ func (n *node) cancelTask(t *task, cause string) {
 	t.sent = nil
 	inputID := t.ev.ID
 	inTrace := t.ev.Trace
+	attemptNs := t.attemptNs
 	if t.tainted {
 		t.tainted = false
 		n.openTainted.Add(-1)
@@ -627,6 +678,17 @@ func (n *node) cancelTask(t *task, cause string) {
 			m.cascadeAborts.Inc()
 		}
 		m.cascadeSize.Observe(int64(len(sent)))
+	}
+	// Ledger charges mirror the metric increments above exactly, but are
+	// independent of them: cluster partition engines run without a metrics
+	// registry yet still profile.
+	if np := n.prof; np != nil {
+		c := profiler.CauseError
+		if cause == "revoke" {
+			c = profiler.CauseRevoke
+		}
+		n.chargeAbort(c, time.Duration(attemptNs))
+		np.RevokedOutputs(len(sent))
 	}
 	if tr := n.eng.tracer; tr != nil {
 		tr.RecordTrace(n.spec.Name, inputID.String(), inTrace, metrics.PhaseAbort, "cause="+cause)
@@ -720,6 +782,9 @@ func (n *node) handleReexec(c cmdReexec) {
 	t.published = false
 	t.mu.Unlock()
 	n.cReexec.Add(1)
+	if np := n.prof; np != nil {
+		np.Reexec()
+	}
 	n.execQ.Push(t)
 	// Deferred workers must re-pop: the re-queued task may be the commit
 	// head (a re-execution always precedes every younger queued task).
@@ -891,6 +956,13 @@ func (n *node) runTask(t *task) {
 		n.mailbox.Push(cmdReexec{t: t, tx: tx})
 	})
 
+	// Attempt CPU is only measured when profiling is on; the clock reads
+	// bracket the operator call plus STM completion, the work a later
+	// abort would discard.
+	var attemptStart time.Time
+	if n.prof != nil {
+		attemptStart = time.Now()
+	}
 	ctx := &procCtx{t: t, tx: tx, decisions: decisions, truncateAt: -1}
 	var err error
 	if n.spec.Op != nil {
@@ -898,6 +970,14 @@ func (n *node) runTask(t *task) {
 	}
 	if err == nil {
 		err = tx.Complete()
+	}
+	var attemptDur time.Duration
+	if np := n.prof; np != nil {
+		attemptDur = time.Since(attemptStart)
+		np.AttemptCPU(attemptDur)
+		t.mu.Lock()
+		t.attemptNs = attemptDur.Nanoseconds()
+		t.mu.Unlock()
 	}
 	if err != nil {
 		if errors.Is(err, stm.ErrConflict) {
@@ -909,6 +989,7 @@ func (n *node) runTask(t *task) {
 			if m := n.eng.met; m != nil {
 				m.abortsConflict.Inc()
 			}
+			n.chargeAbort(profiler.CauseConflict, attemptDur)
 			if tr := n.eng.tracer; tr != nil {
 				tr.RecordTrace(n.spec.Name, ev.ID.String(), ev.Trace, metrics.PhaseAbort, "cause=conflict")
 			}
@@ -1136,6 +1217,7 @@ func (n *node) committer() {
 		tx := t.tx
 		evID := t.ev.ID
 		evTrace := t.ev.Trace
+		attemptNs := t.attemptNs
 		t.mu.Unlock()
 		switch {
 		case state == taskCancelled:
@@ -1160,6 +1242,7 @@ func (n *node) committer() {
 			if m := n.eng.met; m != nil {
 				m.abortsConflict.Inc()
 			}
+			n.chargeAbort(profiler.CauseConflict, time.Duration(attemptNs))
 			if tr := n.eng.tracer; tr != nil {
 				tr.RecordTrace(n.spec.Name, evID.String(), evTrace, metrics.PhaseAbort, "cause=conflict")
 			}

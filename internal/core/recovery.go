@@ -86,6 +86,10 @@ func (n *node) crash() {
 	n.commitCount = 0
 	n.mem = stm.NewMemory(n.mem.Capacity())
 	n.mu.Unlock()
+	// Rebind profiling hooks to the fresh memory (workers are joined, so
+	// this is single-threaded); recover() re-runs Op.Init, repopulating
+	// the address map the resolver reads.
+	n.installProfiler()
 	n.nextCommit.Store(1)
 	// All open tasks died with the node; free their speculation slots.
 	n.throttle.Reset()

@@ -54,8 +54,9 @@ type task struct {
 	decisions []decision
 	cursor    int
 
-	pendingLogs  int  // async log appends not yet stable
-	published    bool // outputs of the current execution handed downstream
+	attemptNs    int64 // profiler: CPU-ns of the last completed attempt
+	pendingLogs  int   // async log appends not yet stable
+	published    bool  // outputs of the current execution handed downstream
 	maxLSN       wal.LSN
 	outs         []pendingOut // outputs of the current execution
 	sent         []*outRecord // outputs already sent downstream, by position

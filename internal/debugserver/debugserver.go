@@ -9,6 +9,7 @@
 package debugserver
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -22,13 +23,15 @@ import (
 
 // Server serves /metrics, /healthz and /debug/pprof/* on one listener.
 type Server struct {
-	reg      *metrics.Registry
-	health   func() error
-	srv      *http.Server
-	ln       net.Listener
-	mu       sync.Mutex
-	degraded func() []string
-	pressure func() string
+	reg         *metrics.Registry
+	health      func() error
+	srv         *http.Server
+	ln          net.Listener
+	mu          sync.Mutex
+	degraded    func() []string
+	pressure    func() string
+	speculation func() any
+	cluster     func() any
 }
 
 // New builds a server over reg. health may be nil; when set it is polled
@@ -39,6 +42,8 @@ func New(reg *metrics.Registry, health func() error) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/speculation", s.handleSpeculation)
+	mux.HandleFunc("/debug/cluster", s.handleCluster)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -94,6 +99,55 @@ func (s *Server) SetPressure(fn func() string) {
 	s.mu.Lock()
 	s.pressure = fn
 	s.mu.Unlock()
+}
+
+// SetSpeculation installs the speculation-waste snapshot provider served
+// as JSON at /debug/speculation (typically profiler.Summary — the
+// per-operator waste ledgers plus the conflict heatmap). Unset, the route
+// answers 404 so scrapers can tell "profiling off" from "empty profile".
+func (s *Server) SetSpeculation(fn func() any) {
+	s.mu.Lock()
+	s.speculation = fn
+	s.mu.Unlock()
+}
+
+// SetCluster installs the cluster-wide rollup provider served as JSON at
+// /debug/cluster (the coordinator's merged per-worker waste summaries and
+// membership view). Unset, the route answers 404.
+func (s *Server) SetCluster(fn func() any) {
+	s.mu.Lock()
+	s.cluster = fn
+	s.mu.Unlock()
+}
+
+func (s *Server) handleSpeculation(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	fn := s.speculation
+	s.mu.Unlock()
+	serveJSON(w, r, fn)
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	fn := s.cluster
+	s.mu.Unlock()
+	serveJSON(w, r, fn)
+}
+
+func serveJSON(w http.ResponseWriter, r *http.Request, fn func() any) {
+	if fn == nil {
+		http.NotFound(w, r)
+		return
+	}
+	v := fn()
+	if v == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExpositionEscapingGolden pins the exact escaping of the Prometheus
+// text format: label values escape backslash, double quote and newline —
+// and nothing else (tabs and non-ASCII pass through verbatim, unlike
+// Go's %q) — while HELP escapes backslash and newline only.
+func TestExpositionEscapingGolden(t *testing.T) {
+	r := NewRegistry()
+	r.CounterWith("esc_total", "Line one.\nLine \\two\\ with \"quotes\".", Labels{
+		"quoted":  `say "hi"`,
+		"newline": "a\nb",
+		"slash":   `c:\temp\x`,
+		"tab":     "a\tb",
+		"utf8":    "bücket→7",
+	}).Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`# HELP esc_total Line one.\nLine \\two\\ with "quotes".`,
+		`newline="a\nb"`,
+		`quoted="say \"hi\""`,
+		`slash="c:\\temp\\x"`,
+		"tab=\"a\tb\"",
+		`utf8="bücket→7"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Escaping must keep every sample on one physical line.
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasSuffix(line, " 1") && !strings.Contains(line, "} ") {
+			t.Errorf("torn exposition line: %q", line)
+		}
+	}
+}
+
+// unescapeLabelValue inverts escapeLabelValue for the fuzz round-trip.
+func unescapeLabelValue(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	esc := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if esc {
+			if c == 'n' {
+				b.WriteByte('\n')
+			} else {
+				b.WriteByte(c)
+			}
+			esc = false
+			continue
+		}
+		if c == '\\' {
+			esc = true
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// FuzzLabelValueEscaping checks the escaping invariants for arbitrary
+// values: no raw newline or unescaped quote survives (the sample stays
+// one parseable line), and unescaping restores the original value.
+func FuzzLabelValueEscaping(f *testing.F) {
+	for _, seed := range []string{``, `plain`, `with "quote"`, "multi\nline", `back\slash`, `\"`, "\\\n\"", "\x00\xff", "λ→µ"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, v string) {
+		esc := escapeLabelValue(v)
+		if strings.ContainsRune(esc, '\n') {
+			t.Fatalf("escaped value contains a raw newline: %q", esc)
+		}
+		for i := 0; i < len(esc); i++ {
+			if esc[i] != '"' {
+				continue
+			}
+			// Count the backslash run preceding this quote: even = raw quote.
+			run := 0
+			for j := i - 1; j >= 0 && esc[j] == '\\'; j-- {
+				run++
+			}
+			if run%2 == 0 {
+				t.Fatalf("unescaped quote at %d in %q", i, esc)
+			}
+		}
+		if got := unescapeLabelValue(esc); got != v {
+			t.Fatalf("round-trip mismatch: %q -> %q -> %q", v, esc, got)
+		}
+	})
+}
+
+// FuzzHelpEscaping checks HELP text stays on one line and round-trips.
+func FuzzHelpEscaping(f *testing.F) {
+	for _, seed := range []string{``, `plain help.`, "two\nlines", `tail\`, "mixed \\\n end"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, h string) {
+		esc := escapeHelp(h)
+		if strings.ContainsRune(esc, '\n') {
+			t.Fatalf("escaped help contains a raw newline: %q", esc)
+		}
+		if got := unescapeLabelValue(esc); got != h {
+			t.Fatalf("round-trip mismatch: %q -> %q -> %q", h, esc, got)
+		}
+	})
+}

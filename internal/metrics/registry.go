@@ -119,7 +119,56 @@ func renderLabels(labels Labels) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double quote and newline only. Go's %q
+// would over-escape (\t, non-ASCII, ...), which scrapers then read as
+// literal backslash sequences.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes HELP text: backslash and newline only (quotes are
+// legal in HELP).
+func escapeHelp(h string) string {
+	if !strings.ContainsAny(h, "\\\n") {
+		return h
+	}
+	var b strings.Builder
+	b.Grow(len(h) + 2)
+	for i := 0; i < len(h); i++ {
+		switch h[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(h[i])
+		}
 	}
 	return b.String()
 }
@@ -363,7 +412,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, p := range points {
 		if p.Name != lastName {
 			if h := help[p.Name]; h != "" {
-				fmt.Fprintf(&b, "# HELP %s %s\n", p.Name, h)
+				fmt.Fprintf(&b, "# HELP %s %s\n", p.Name, escapeHelp(h))
 			}
 			fmt.Fprintf(&b, "# TYPE %s %s\n", p.Name, p.Type)
 			lastName = p.Name

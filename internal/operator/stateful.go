@@ -28,12 +28,17 @@ var CountWindowTraits = Traits{Stateful: true, OrderSensitive: true, StateWords:
 
 // Init allocates the running sum and count.
 func (a *CountWindowAvg) Init(ctx InitContext) error {
+	m := ctx.Memory()
 	var err error
-	if a.sum, err = state.NewField(ctx.Memory()); err != nil {
+	if a.sum, err = state.NewField(m); err != nil {
 		return err
 	}
-	a.count, err = state.NewField(ctx.Memory())
-	return err
+	a.sum = a.sum.Named(m, "sum")
+	if a.count, err = state.NewField(m); err != nil {
+		return err
+	}
+	a.count = a.count.Named(m, "count")
+	return nil
 }
 
 // Process accumulates and emits the window average on the boundary.
@@ -83,15 +88,21 @@ var TimeWindowTraits = Traits{Stateful: true, Deterministic: true, StateWords: 3
 
 // Init allocates window bookkeeping.
 func (w *TimeWindowSum) Init(ctx InitContext) error {
+	m := ctx.Memory()
 	var err error
-	if w.winStart, err = state.NewField(ctx.Memory()); err != nil {
+	if w.winStart, err = state.NewField(m); err != nil {
 		return err
 	}
-	if w.sum, err = state.NewField(ctx.Memory()); err != nil {
+	w.winStart = w.winStart.Named(m, "win_start")
+	if w.sum, err = state.NewField(m); err != nil {
 		return err
 	}
-	w.started, err = state.NewField(ctx.Memory())
-	return err
+	w.sum = w.sum.Named(m, "sum")
+	if w.started, err = state.NewField(m); err != nil {
+		return err
+	}
+	w.started = w.started.Named(m, "started")
+	return nil
 }
 
 // Process folds the event into its window, flushing completed windows.
@@ -175,8 +186,11 @@ func (c *Classifier) Init(ctx InitContext) error {
 		return fmt.Errorf("classifier needs classes > 0, got %d", c.Classes)
 	}
 	var err error
-	c.counts, err = state.NewArray(ctx.Memory(), c.Classes)
-	return err
+	if c.counts, err = state.NewArray(ctx.Memory(), c.Classes); err != nil {
+		return err
+	}
+	c.counts = c.counts.Named(ctx.Memory(), "classes")
+	return nil
 }
 
 // Process classifies by key, bumps the class counter, and emits
@@ -217,12 +231,13 @@ func (j *Join) Init(ctx InitContext) error {
 	if j.Buckets <= 0 {
 		return fmt.Errorf("join needs buckets > 0, got %d", j.Buckets)
 	}
+	names := [2]string{"left", "right"}
 	for i := range j.sides {
 		m, err := state.NewMap(ctx.Memory(), j.Buckets)
 		if err != nil {
 			return err
 		}
-		j.sides[i] = m
+		j.sides[i] = m.Named(ctx.Memory(), names[i])
 	}
 	return nil
 }

@@ -228,6 +228,7 @@ func NewTxCountSketch(m *stm.Memory, depth, width int, seed uint64) (*TxCountSke
 	if err != nil {
 		return nil, fmt.Errorf("alloc sketch counters: %w", err)
 	}
+	arr = arr.Named(m, "sketch")
 	return &TxCountSketch{
 		depth:     depth,
 		width:     width,

@@ -1,0 +1,81 @@
+package state
+
+import (
+	"testing"
+
+	"streammine/internal/stm"
+)
+
+func TestAddrMapResolve(t *testing.T) {
+	m := stm.NewMemory(256)
+	f, err := NewField(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f = f.Named(m, "total")
+	arr, err := NewArray(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr = arr.Named(m, "counts")
+	mp, err := NewMap(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp = mp.Named(m, "table")
+	r, err := NewRing(m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r = r.Named(m, "window")
+
+	am := Names(m)
+	cases := []struct {
+		addr   stm.Addr
+		want   string
+		bucket int
+	}{
+		{f.Addr(), "total", 0},
+		{arr.base, "counts[0]", 0},
+		{arr.base + 5, "counts[5]", 5},
+		{mp.base, "table[0]", 0},
+		{mp.base + 4, "table[1]", 1}, // second bucket's key word
+		{r.base, "window", -1},       // head word (header)
+		{r.base + 3, "window[1]", 1}, // second slot
+	}
+	for _, c := range cases {
+		name, bucket, ok := am.Resolve(c.addr)
+		if !ok {
+			t.Fatalf("Resolve(%d): not found", c.addr)
+		}
+		if bucket != c.bucket {
+			t.Errorf("Resolve(%d) bucket = %d, want %d", c.addr, bucket, c.bucket)
+		}
+		if got := am.Describe(c.addr); got != c.want {
+			t.Errorf("Describe(%d) = %q, want %q (name %q)", c.addr, got, c.want, name)
+		}
+	}
+
+	if got := am.Describe(200); got != "word@200" {
+		t.Errorf("unregistered Describe = %q, want word@200", got)
+	}
+}
+
+func TestAddrMapGeneratedNames(t *testing.T) {
+	m := stm.NewMemory(16)
+	a, err := NewField(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewField(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am := Names(m)
+	if got := am.Describe(a.Addr()); got != "field#0" {
+		t.Errorf("first field = %q, want field#0", got)
+	}
+	if got := am.Describe(b.Addr()); got != "field#1" {
+		t.Errorf("second field = %q, want field#1", got)
+	}
+}

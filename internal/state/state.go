@@ -32,7 +32,14 @@ func NewField(m *stm.Memory) (Field, error) {
 	if err != nil {
 		return Field{}, fmt.Errorf("alloc field: %w", err)
 	}
+	Names(m).add("field", addr, 1, 1, 0)
 	return Field{addr: addr}, nil
+}
+
+// Named labels the field in m's address map (conflict attribution).
+func (f Field) Named(m *stm.Memory, name string) Field {
+	Names(m).rename(f.addr, name)
+	return f
 }
 
 // Get reads the field.
@@ -67,6 +74,12 @@ type FloatField struct {
 func NewFloatField(m *stm.Memory) (FloatField, error) {
 	f, err := NewField(m)
 	return FloatField{f: f}, err
+}
+
+// Named labels the field in m's address map (conflict attribution).
+func (f FloatField) Named(m *stm.Memory, name string) FloatField {
+	f.f.Named(m, name)
+	return f
 }
 
 // Get reads the float value.
@@ -105,7 +118,14 @@ func NewArray(m *stm.Memory, n int) (Array, error) {
 	if err != nil {
 		return Array{}, fmt.Errorf("alloc array: %w", err)
 	}
+	Names(m).add("array", base, n, 1, 0)
 	return Array{base: base, n: n}, nil
+}
+
+// Named labels the array in m's address map (conflict attribution).
+func (a Array) Named(m *stm.Memory, name string) Array {
+	Names(m).rename(a.base, name)
+	return a
 }
 
 // Len returns the array length.
@@ -165,7 +185,14 @@ func NewMap(m *stm.Memory, buckets int) (Map, error) {
 	if err != nil {
 		return Map{}, fmt.Errorf("alloc map: %w", err)
 	}
+	Names(m).add("map", base, buckets*bucketWords, bucketWords, 0)
 	return Map{base: base, buckets: buckets}, nil
+}
+
+// Named labels the map in m's address map (conflict attribution).
+func (mp Map) Named(m *stm.Memory, name string) Map {
+	Names(m).rename(mp.base, name)
+	return mp
 }
 
 func (mp Map) slot(i int) stm.Addr {
@@ -324,7 +351,14 @@ func NewRing(m *stm.Memory, capacity int) (Ring, error) {
 	if err != nil {
 		return Ring{}, fmt.Errorf("alloc ring: %w", err)
 	}
+	Names(m).add("ring", base, capacity+2, 1, 2)
 	return Ring{base: base, cap: capacity}, nil
+}
+
+// Named labels the ring in m's address map (conflict attribution).
+func (r Ring) Named(m *stm.Memory, name string) Ring {
+	Names(m).rename(r.base, name)
+	return r
 }
 
 // Cap returns the ring capacity.

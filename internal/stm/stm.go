@@ -92,6 +92,52 @@ const (
 	AbortOldest
 )
 
+// ConflictKind classifies how a conflict witness was produced.
+type ConflictKind uint8
+
+// Witness kinds. WriteWrite witnesses come from two writers colliding on a
+// lock-array entry, Validation ones from a failed read-set revalidation,
+// Cascade ones from a dependency abort propagating to a dependent.
+const (
+	ConflictWriteWrite ConflictKind = iota + 1
+	ConflictValidation
+	ConflictCascade
+)
+
+// String names the kind for diagnostics and metric labels.
+func (k ConflictKind) String() string {
+	switch k {
+	case ConflictWriteWrite:
+		return "write-write"
+	case ConflictValidation:
+		return "validation"
+	case ConflictCascade:
+		return "cascade"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ConflictWitness is one attribution record: which address conflicted and
+// which transactions were involved. Victim is the transaction that dies (or
+// is doomed); Owner is the surviving or causing party, zero when unknown
+// (e.g. a version change observed after the writer already unchained).
+type ConflictWitness struct {
+	Kind     ConflictKind
+	Addr     Addr
+	VictimID uint64
+	OwnerID  uint64
+	VictimTS int64
+	OwnerTS  int64
+}
+
+// ConflictSink receives conflict witnesses. Implementations must be safe
+// for concurrent use and must not block or allocate: they run on STM
+// conflict/abort paths (internal/profiler's ring buffer qualifies).
+type ConflictSink interface {
+	RecordConflict(w ConflictWitness)
+}
+
 // lockState is one immutable snapshot of a lock-array entry. Entries are
 // replaced wholesale via CAS, so readers always observe a consistent
 // (version, owners) pair.
@@ -130,6 +176,17 @@ type Memory struct {
 
 	policy ConflictPolicy
 
+	// sink, when non-nil, receives conflict witnesses. It is consulted only
+	// on conflict/abort paths, guarded by a single nil check, so profiling
+	// off costs nothing on the conflict-free hot path. It must be installed
+	// before the Memory is shared between goroutines.
+	sink ConflictSink
+
+	// labelSpace is an opaque attachment used by layered packages
+	// (internal/state) to annotate address ranges with human-readable
+	// names. The STM itself never inspects it.
+	labelSpace atomic.Value
+
 	// commitGate excludes commits (read side) from checkpoints (write
 	// side) so Snapshot sees a transaction-consistent state.
 	commitGate sync.RWMutex
@@ -146,6 +203,34 @@ type Option func(*Memory)
 // WithConflictPolicy overrides the default AbortNewest policy.
 func WithConflictPolicy(p ConflictPolicy) Option {
 	return func(m *Memory) { m.policy = p }
+}
+
+// WithConflictSink installs a conflict witness sink at construction.
+func WithConflictSink(s ConflictSink) Option {
+	return func(m *Memory) { m.sink = s }
+}
+
+// SetConflictSink installs (or clears) the conflict witness sink. Like
+// WithConflictSink it must run before the Memory is shared between
+// goroutines — the engine calls it at node construction and again after a
+// recovery memory swap, both single-threaded.
+func (m *Memory) SetConflictSink(s ConflictSink) { m.sink = s }
+
+// SetLabelSpace attaches an opaque per-Memory label space (see labelSpace).
+func (m *Memory) SetLabelSpace(v any) { m.labelSpace.Store(v) }
+
+// LabelSpace returns the attachment stored by SetLabelSpace, or nil.
+func (m *Memory) LabelSpace() any { return m.labelSpace.Load() }
+
+// witness emits a conflict witness. Callers guard with m.sink != nil so
+// the profiling-off cost is one predictable branch on the conflict paths.
+func (m *Memory) witness(kind ConflictKind, addr Addr, victim, owner *Tx) {
+	w := ConflictWitness{Kind: kind, Addr: addr, VictimID: victim.id, VictimTS: victim.ts}
+	if owner != nil {
+		w.OwnerID = owner.id
+		w.OwnerTS = owner.ts
+	}
+	m.sink.RecordConflict(w)
 }
 
 // NewMemory creates a heap with room for capacity words. It panics if
@@ -276,7 +361,7 @@ func (m *Memory) Begin(ts int64) *Tx {
 		reads:    make(map[Addr]readEntry),
 		writes:   make(map[Addr]uint64),
 		entries:  make(map[uint32]bool),
-		deps:     make(map[*Tx]struct{}),
+		deps:     make(map[*Tx]Addr),
 	}
 	tx.status.Store(int32(StatusActive))
 	return tx

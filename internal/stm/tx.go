@@ -34,11 +34,14 @@ type Tx struct {
 	// mu guards writes, entries, deps, dependents and onAbort. reads is
 	// only touched by the executing goroutine while Active (validation
 	// happens after the Completed transition, which synchronizes).
+	// deps maps each dependency to the address that created it (first
+	// speculative read-from or WAW overwrite), so a cascading abort can be
+	// attributed to a concrete state word.
 	mu         sync.Mutex
 	reads      map[Addr]readEntry
 	writes     map[Addr]uint64
 	entries    map[uint32]bool
-	deps       map[*Tx]struct{}
+	deps       map[*Tx]Addr
 	dependents []*Tx
 	onAbort    func(*Tx)
 
@@ -117,8 +120,9 @@ func (tx *Tx) addDependent(d *Tx) bool {
 }
 
 // dependOn records that tx must commit after o and abort if o aborts.
-// It returns ErrConflict if o has already aborted.
-func (tx *Tx) dependOn(o *Tx) error {
+// addr is the address that created the dependency (kept for conflict
+// attribution). It returns ErrConflict if o has already aborted.
+func (tx *Tx) dependOn(o *Tx, addr Addr) error {
 	if o == tx {
 		return nil
 	}
@@ -127,7 +131,7 @@ func (tx *Tx) dependOn(o *Tx) error {
 		tx.mu.Unlock()
 		return nil
 	}
-	tx.deps[o] = struct{}{}
+	tx.deps[o] = addr
 	tx.mu.Unlock()
 	if !o.addDependent(tx) {
 		return ErrConflict
@@ -136,18 +140,25 @@ func (tx *Tx) dependOn(o *Tx) error {
 }
 
 // resolve handles a conflict with another transaction that is actively
-// writing. Under AbortNewest the transaction of the later event is killed
-// (the paper's policy: abort the transaction of the event that arrived
-// last). It returns ErrConflict if tx itself is the victim; nil if the
-// other transaction was targeted (the caller retries its operation).
-func (tx *Tx) resolve(other *Tx) error {
+// writing to addr's lock entry. Under AbortNewest the transaction of the
+// later event is killed (the paper's policy: abort the transaction of the
+// event that arrived last). It returns ErrConflict if tx itself is the
+// victim; nil if the other transaction was targeted (the caller retries
+// its operation).
+func (tx *Tx) resolve(other *Tx, addr Addr) error {
 	tx.mem.conflicts.Add(1)
 	victimIsSelf := tx.newerThan(other)
 	if tx.mem.policy == AbortOldest {
 		victimIsSelf = !victimIsSelf
 	}
 	if victimIsSelf {
+		if tx.mem.sink != nil {
+			tx.mem.witness(ConflictWriteWrite, addr, tx, other)
+		}
 		return ErrConflict
+	}
+	if tx.mem.sink != nil {
+		tx.mem.witness(ConflictWriteWrite, addr, other, tx)
 	}
 	other.kill()
 	return nil
@@ -239,14 +250,14 @@ func (tx *Tx) readFromChain(ls *lockState, addr Addr) (v uint64, done, retry boo
 		}
 		switch st {
 		case StatusActive, StatusKilled:
-			if rerr := tx.resolve(o); rerr != nil {
+			if rerr := tx.resolve(o, addr); rerr != nil {
 				return 0, false, false, rerr
 			}
 			return 0, false, true, nil
 		case StatusCompleted:
 			// Speculative read-from: register the dependency before using
 			// the value so a concurrent abort of o cascades to us.
-			if derr := tx.dependOn(o); derr != nil {
+			if derr := tx.dependOn(o, addr); derr != nil {
 				return 0, false, true, nil
 			}
 			tx.mu.Lock()
@@ -295,7 +306,7 @@ func (tx *Tx) Write(addr Addr, v uint64) error {
 			}
 			switch Status(o.status.Load()) {
 			case StatusActive, StatusKilled:
-				if err := tx.resolve(o); err != nil {
+				if err := tx.resolve(o, addr); err != nil {
 					return err
 				}
 				retry = true
@@ -327,7 +338,7 @@ func (tx *Tx) Write(addr Addr, v uint64) error {
 		tx.entries[slot] = true
 		tx.mu.Unlock()
 		for _, o := range newDeps {
-			if err := tx.dependOn(o); err != nil {
+			if err := tx.dependOn(o, addr); err != nil {
 				return err // a predecessor aborted under us; cascade applies
 			}
 		}
@@ -367,21 +378,32 @@ func (tx *Tx) validateReads() bool {
 	// transition (which synchronizes), on the commit scheduler. Holding
 	// tx.mu here would deadlock against o.buffered taking o.mu while o
 	// validates reads against us.
+	// Witnesses are only recorded at the failure returns, so the all-valid
+	// path is branch-for-branch identical with profiling off and on.
 	for addr, re := range tx.reads {
 		entry := tx.mem.entryFor(addr)
 		ls := entry.Load()
 		if re.from != nil {
 			switch Status(re.from.status.Load()) {
 			case StatusAborted:
+				if tx.mem.sink != nil {
+					tx.mem.witness(ConflictValidation, addr, tx, re.from)
+				}
 				return false
 			case StatusCommitted:
 				if ls.version != re.from.commitVersion {
+					if tx.mem.sink != nil {
+						tx.mem.witness(ConflictValidation, addr, tx, re.from)
+					}
 					return false
 				}
 			}
 			continue
 		}
 		if ls.version != re.version {
+			if tx.mem.sink != nil {
+				tx.mem.witness(ConflictValidation, addr, tx, nil)
+			}
 			return false
 		}
 		for _, o := range ls.owners {
@@ -393,6 +415,9 @@ func (tx *Tx) validateReads() bool {
 			}
 			// A writer that must commit before us makes our read stale.
 			if !o.newerThan(tx) && Status(o.status.Load()) != StatusAborted {
+				if tx.mem.sink != nil {
+					tx.mem.witness(ConflictValidation, addr, tx, o)
+				}
 				return false
 			}
 		}
@@ -578,7 +603,7 @@ func (tx *Tx) finishAbort() {
 			tx.unchain(slot, 0)
 		}
 		for _, d := range dependents {
-			d.cascadeAbort()
+			d.cascadeAbort(tx)
 		}
 		if onAbort != nil {
 			onAbort(tx)
@@ -587,21 +612,27 @@ func (tx *Tx) finishAbort() {
 }
 
 // cascadeAbort is invoked on a dependent when one of its dependencies
-// aborts. Active dependents are killed (their goroutine aborts at its next
-// operation); open dependents abort immediately.
-func (tx *Tx) cascadeAbort() {
+// (culprit) aborts. Active dependents are killed (their goroutine aborts
+// at its next operation); open dependents abort immediately.
+func (tx *Tx) cascadeAbort(culprit *Tx) {
 	for {
 		st := tx.status.Load()
 		switch st {
 		case int32(StatusActive):
 			if tx.status.CompareAndSwap(st, int32(StatusKilled)) {
 				tx.mem.kills.Add(1)
+				if tx.mem.sink != nil {
+					tx.witnessCascade(culprit)
+				}
 				return
 			}
 		case int32(StatusKilled), int32(StatusAborted), int32(StatusCommitted):
 			return
 		case int32(StatusCompleted):
 			if tx.status.CompareAndSwap(st, int32(StatusAborted)) {
+				if tx.mem.sink != nil {
+					tx.witnessCascade(culprit)
+				}
 				tx.finishAbort()
 				return
 			}
@@ -609,6 +640,15 @@ func (tx *Tx) cascadeAbort() {
 			runtime.Gosched()
 		}
 	}
+}
+
+// witnessCascade records a cascade witness attributed to the address that
+// created the dependency on culprit.
+func (tx *Tx) witnessCascade(culprit *Tx) {
+	tx.mu.Lock()
+	addr := tx.deps[culprit]
+	tx.mu.Unlock()
+	tx.mem.witness(ConflictCascade, addr, tx, culprit)
 }
 
 // WritesSnapshot returns a copy of the buffered write set. The engine uses
