@@ -3,9 +3,9 @@
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 BENCHREV := $(shell git rev-parse --short HEAD 2>/dev/null || date +%s)
 
-.PHONY: check fmt vet staticcheck test race build bench trace-e2e
+.PHONY: check fmt vet staticcheck test race build bench trace-e2e doccheck
 
-check: fmt vet staticcheck race
+check: fmt vet staticcheck doccheck race
 
 build:
 	go build ./...
@@ -40,9 +40,20 @@ race:
 trace-e2e:
 	scripts/trace_e2e.sh trace-e2e-out
 
+# doccheck fails on dead intra-repo markdown links and on cmd/ flags that
+# no documentation mentions (docs/PERFORMANCE.md documents the policy).
+doccheck:
+	go run ./cmd/doccheck
+
 # bench smoke-runs every benchmark once and archives the results as
 # machine-readable BENCH_<rev>.json (docs/FLOW.md, "perf trajectory").
+# -require fails the run if the latency/throughput columns vanish from the
+# bench output instead of silently archiving blanks. Set BENCHPREV to a
+# previous BENCH_*.json to also fail on >20% events_per_sec drops or
+# doubled waste_cpu_pct (CI does this against the last archived artifact).
 bench:
 	go test -bench . -benchtime 1x -run '^$$' ./... > bench-raw.txt || (cat bench-raw.txt; rm -f bench-raw.txt; exit 1)
-	go run ./cmd/benchjson -out BENCH_$(BENCHREV).json < bench-raw.txt
+	go run ./cmd/benchjson -require events_per_sec,latency_p99_us \
+		$(if $(BENCHPREV),-prev $(BENCHPREV)) \
+		-out BENCH_$(BENCHREV).json < bench-raw.txt
 	@rm -f bench-raw.txt

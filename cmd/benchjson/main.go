@@ -36,6 +36,24 @@ type Result struct {
 	// profiler enabled ("waste-cpu-pct" / "aborted-attempts/event" units).
 	WasteCPUPct             float64 `json:"waste_cpu_pct,omitempty"`
 	AbortedAttemptsPerEvent float64 `json:"aborted_attempts_per_event,omitempty"`
+	// Sustained throughput reported by open-loop benchmarks
+	// (b.ReportMetric with "events/sec" units).
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// columns maps a -require column name to a probe reporting whether a
+// result carries that column. Keep in sync with parseBench and the JSON
+// field tags above.
+var columns = map[string]func(*Result) bool{
+	"nsPerOp":                    func(r *Result) bool { return r.NsPerOp != 0 },
+	"bytesPerOp":                 func(r *Result) bool { return r.BytesPerOp != 0 },
+	"allocsPerOp":                func(r *Result) bool { return r.AllocsPerOp != 0 },
+	"mbPerSec":                   func(r *Result) bool { return r.MBPerSec != 0 },
+	"latency_p50_us":             func(r *Result) bool { return r.LatencyP50Us != 0 },
+	"latency_p99_us":             func(r *Result) bool { return r.LatencyP99Us != 0 },
+	"waste_cpu_pct":              func(r *Result) bool { return r.WasteCPUPct != 0 },
+	"aborted_attempts_per_event": func(r *Result) bool { return r.AbortedAttemptsPerEvent != 0 },
+	"events_per_sec":             func(r *Result) bool { return r.EventsPerSec != 0 },
 }
 
 // Report is the file-level record.
@@ -48,6 +66,8 @@ type Report struct {
 
 func main() {
 	out := flag.String("out", "", "output JSON path (default stdout)")
+	require := flag.String("require", "", "comma-separated column names that must appear in at least one parsed benchmark (e.g. events_per_sec,latency_p99_us); exit non-zero when a requested column is absent instead of silently emitting blanks")
+	prev := flag.String("prev", "", "previous report JSON to compare against: exit non-zero when a benchmark's events_per_sec drops more than 20% or its waste_cpu_pct more than doubles")
 	flag.Parse()
 
 	var rep Report
@@ -74,6 +94,16 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
 		os.Exit(1)
+	}
+	if err := checkRequired(rep, *require); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *prev != "" {
+		if err := checkRegression(*prev, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -127,7 +157,78 @@ func parseBench(pkg, line string) (Result, bool) {
 			r.WasteCPUPct = v
 		case "aborted-attempts/event":
 			r.AbortedAttemptsPerEvent = v
+		case "events/sec":
+			r.EventsPerSec = v
 		}
 	}
 	return r, true
+}
+
+// checkRequired verifies every -require column appears in at least one
+// parsed benchmark. A typo'd or vanished metric unit used to produce a
+// report full of silent blanks; now it fails the run.
+func checkRequired(rep Report, require string) error {
+	if require == "" {
+		return nil
+	}
+	for _, col := range strings.Split(require, ",") {
+		col = strings.TrimSpace(col)
+		if col == "" {
+			continue
+		}
+		probe, ok := columns[col]
+		if !ok {
+			return fmt.Errorf("-require: unknown column %q", col)
+		}
+		found := false
+		for i := range rep.Benchmarks {
+			if probe(&rep.Benchmarks[i]) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("-require: column %q absent from all %d parsed benchmarks (metric unit missing from bench output?)", col, len(rep.Benchmarks))
+		}
+	}
+	return nil
+}
+
+// checkRegression compares the new report against a previous one by
+// pkg+name: a benchmark whose events_per_sec dropped by more than 20% or
+// whose waste_cpu_pct more than doubled fails the check. Benchmarks
+// present on only one side are ignored (renames and new coverage are not
+// regressions).
+func checkRegression(prevPath string, cur Report) error {
+	data, err := os.ReadFile(prevPath)
+	if err != nil {
+		return fmt.Errorf("-prev: %w", err)
+	}
+	var prev Report
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return fmt.Errorf("-prev: parse %s: %w", prevPath, err)
+	}
+	old := make(map[string]Result, len(prev.Benchmarks))
+	for _, r := range prev.Benchmarks {
+		old[r.Pkg+" "+r.Name] = r
+	}
+	var bad []string
+	for _, r := range cur.Benchmarks {
+		p, ok := old[r.Pkg+" "+r.Name]
+		if !ok {
+			continue
+		}
+		if p.EventsPerSec > 0 && r.EventsPerSec > 0 && r.EventsPerSec < 0.8*p.EventsPerSec {
+			bad = append(bad, fmt.Sprintf("%s: events_per_sec %.0f -> %.0f (-%.0f%%)",
+				r.Name, p.EventsPerSec, r.EventsPerSec, 100*(1-r.EventsPerSec/p.EventsPerSec)))
+		}
+		if p.WasteCPUPct > 0 && r.WasteCPUPct > 2*p.WasteCPUPct {
+			bad = append(bad, fmt.Sprintf("%s: waste_cpu_pct %.2f -> %.2f (more than doubled)",
+				r.Name, p.WasteCPUPct, r.WasteCPUPct))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("regression vs %s:\n  %s", prevPath, strings.Join(bad, "\n  "))
+	}
+	return nil
 }

@@ -11,18 +11,31 @@ import (
 	"streammine/internal/cluster"
 	"streammine/internal/event"
 	"streammine/internal/metrics"
+	"streammine/internal/topology"
 )
 
 // runCoordinator serves the cluster control plane: it waits for workers,
 // deploys the topology across them per its placement section, supervises
-// heartbeats, and reassigns partitions when a worker dies.
-func runCoordinator(topoPath, addr string, workers int, hbTimeout time.Duration, obs *observability) error {
+// heartbeats, and reassigns partitions when a worker dies. -batch /
+// -batch-linger are folded into the topology before deployment so every
+// worker builds its partitions with the same batching configuration.
+func runCoordinator(topoPath, addr string, workers int, hbTimeout time.Duration, batch int, batchLinger time.Duration, obs *observability) error {
 	if topoPath == "" {
 		return fmt.Errorf("usage: streammine -coordinator ADDR -topology pipeline.json")
 	}
 	data, err := os.ReadFile(topoPath)
 	if err != nil {
 		return fmt.Errorf("read topology: %w", err)
+	}
+	if batch > 0 || batchLinger > 0 {
+		cfg, err := topology.Parse(data)
+		if err != nil {
+			return err
+		}
+		cfg.ApplyBatch(batch, batchLinger)
+		if data, err = json.Marshal(cfg); err != nil {
+			return fmt.Errorf("re-encode topology: %w", err)
+		}
 	}
 	c, err := cluster.NewCoordinator(data, cluster.CoordinatorOptions{
 		Addr:             addr,

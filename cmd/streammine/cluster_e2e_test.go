@@ -127,8 +127,10 @@ func scanLines(t *testing.T, cmd *exec.Cmd, fn func(line string)) {
 // a shared state directory. With chaos set it SIGKILLs whichever worker
 // externalizes sink output once the run is under way. With traceDir set,
 // every process writes its lifecycle trace to <traceDir>/<proc>.jsonl.
-// Returns the distinct sink identity set externalized across all workers.
-func runClusterProcesses(t *testing.T, bin, topo string, chaos bool, traceDir string) map[string]bool {
+// extraCoordArgs are appended to the coordinator invocation (engine-wide
+// overrides like -batch ride the ASSIGN payload to the workers). Returns
+// the distinct sink identity set externalized across all workers.
+func runClusterProcesses(t *testing.T, bin, topo string, chaos bool, traceDir string, extraCoordArgs ...string) map[string]bool {
 	t.Helper()
 	dir := t.TempDir()
 	topoPath := filepath.Join(dir, "topo.json")
@@ -142,8 +144,9 @@ func runClusterProcesses(t *testing.T, bin, topo string, chaos bool, traceDir st
 		return []string{"-trace", filepath.Join(traceDir, proc+".jsonl")}
 	}
 
-	coord := exec.Command(bin, append([]string{"-coordinator", "127.0.0.1:0", "-topology", topoPath, "-hb-timeout", "500ms"},
-		traceArgs("coordinator")...)...)
+	coordArgs := []string{"-coordinator", "127.0.0.1:0", "-topology", topoPath, "-hb-timeout", "500ms"}
+	coordArgs = append(coordArgs, extraCoordArgs...)
+	coord := exec.Command(bin, append(coordArgs, traceArgs("coordinator")...)...)
 	addrCh := make(chan string, 1)
 	scanLines(t, coord, func(line string) {
 		if rest, ok := strings.CutPrefix(line, "coordinator on "); ok {
@@ -268,6 +271,34 @@ func TestClusterProcessesFailoverWithFlow(t *testing.T) {
 	chaos := runClusterProcesses(t, bin, e2eFlowTopo, true, "")
 	if len(chaos) != 1000 {
 		t.Fatalf("flow-controlled chaos run externalized %d distinct events, want 1000", len(chaos))
+	}
+}
+
+// TestClusterProcessesFailoverBatched is the SIGKILL chaos drill with
+// hot-path batching forced on for every node (`-batch 8` on the
+// coordinator rides the ASSIGN payload to the workers): events cross the
+// bridged cut edge in EVENT_BATCH frames, admission logs whole runs in
+// one append, and the committer group-commits. Recovery must stay
+// precise — identity-set equality between the batched chaos run and a
+// batched failure-free run, so batching neither loses events nor leaks
+// duplicates past suppression.
+func TestClusterProcessesFailoverBatched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e: builds a binary and runs multi-second failure detection")
+	}
+	bin := buildBinary(t)
+	baseline := runClusterProcesses(t, bin, e2eTopo, false, "", "-batch", "8")
+	if len(baseline) != 1000 {
+		t.Fatalf("batched baseline externalized %d distinct events, want 1000", len(baseline))
+	}
+	chaos := runClusterProcesses(t, bin, e2eTopo, true, "", "-batch", "8")
+	if len(chaos) != len(baseline) {
+		t.Fatalf("batched chaos run externalized %d distinct events, baseline %d", len(chaos), len(baseline))
+	}
+	for id := range baseline {
+		if !chaos[id] {
+			t.Fatalf("event %s missing from batched chaos run", id)
+		}
 	}
 }
 

@@ -142,6 +142,8 @@ func run() error {
 	dataAddr := flag.String("data-addr", "127.0.0.1:0", "with -worker: listen address for peer bridge traffic")
 	stateDir := flag.String("state-dir", "streammine-state", "with -worker: root of durable partition state (shared across workers)")
 	hbTimeout := flag.Duration("hb-timeout", time.Second, "cluster heartbeat timeout before a peer is declared dead")
+	batch := flag.Int("batch", 0, "hot-path batch size: coalesce up to N events per admission charge, commit group and wire frame (0 = use the topology's flow settings; see docs/PERFORMANCE.md)")
+	batchLinger := flag.Duration("batch-linger", 0, "max time an edge sender holds an under-full batch open waiting for more events (e.g. 200us; 0 = send partial batches immediately)")
 	flag.Parse()
 
 	if *example {
@@ -166,7 +168,7 @@ func run() error {
 	}
 	defer obs.close()
 	if *coordAddr != "" {
-		return runCoordinator(*topoPath, *coordAddr, *workers, *hbTimeout, obs)
+		return runCoordinator(*topoPath, *coordAddr, *workers, *hbTimeout, *batch, *batchLinger, obs)
 	}
 	if *worker {
 		return runWorker(*name, *join, *dataAddr, *stateDir, *hbTimeout, *profileSpec, obs)
@@ -181,6 +183,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	cfg.ApplyBatch(*batch, *batchLinger)
 	built, err := cfg.Build()
 	if err != nil {
 		return err
@@ -263,13 +266,16 @@ func run() error {
 		}
 	}
 
-	// Publishers: deficit-paced to each source's rate.
+	// Publishers: deficit-paced to each source's rate. With batching on,
+	// each deficit is flushed through EmitBatch in runs of up to the
+	// source's batch size (one admission charge and one injection per run).
 	var wg sync.WaitGroup
 	for _, src := range built.Sources {
 		handle, err := eng.Source(src.ID)
 		if err != nil {
 			return err
 		}
+		eb := cfg.FlowFor(src.Name).Batch()
 		wg.Add(1)
 		go func(src topology.SourceSpec) {
 			defer wg.Done()
@@ -281,6 +287,20 @@ func run() error {
 					due = src.Count
 				}
 				for emitted < due {
+					if n := due - emitted; eb > 1 && n > 1 {
+						if n > eb {
+							n = eb
+						}
+						items := make([]core.BatchItem, n)
+						for i := range items {
+							items[i] = core.BatchItem{Key: uint64(emitted + i), Payload: operator.EncodeValue(uint64(emitted + i))}
+						}
+						if _, err := handle.EmitBatch(items); err != nil && !errors.Is(err, core.ErrShed) {
+							return
+						}
+						emitted += n
+						continue
+					}
 					payload := operator.EncodeValue(uint64(emitted))
 					if _, err := handle.Emit(uint64(emitted), payload); err != nil {
 						if !errors.Is(err, core.ErrShed) {

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"streammine/internal/event"
+	"streammine/internal/flow"
+	"streammine/internal/graph"
+	"streammine/internal/metrics"
+	"streammine/internal/operator"
+	"streammine/internal/storage"
+	"streammine/internal/transport"
+)
+
+// buildBatchPipeline builds src -> stage0 -> stage1 with the given flow
+// limits on every node and returns the engine, source handle and sink id.
+func buildBatchPipeline(t testing.TB, fl *flow.Limits, reg *metrics.Registry) (*Engine, *SourceHandle, *storage.Pool, graph.NodeID) {
+	g := graph.New()
+	src := g.AddNode(graph.Node{Name: "src", Flow: fl})
+	s1 := g.AddNode(graph.Node{
+		Name: "stage0", Op: &operator.Classifier{Classes: 4},
+		Traits: operator.ClassifierTraits(4), Speculative: true, Flow: fl,
+	})
+	s2 := g.AddNode(graph.Node{
+		Name: "stage1", Op: &operator.Classifier{Classes: 4},
+		Traits: operator.ClassifierTraits(4), Speculative: true, Flow: fl,
+	})
+	g.Connect(src, 0, s1, 0)
+	g.Connect(s1, 0, s2, 0)
+	pool := storage.NewPool([]storage.Disk{storage.NewMemDisk()})
+	eng, err := New(g, Options{Seed: 7, Pool: pool, Metrics: reg})
+	if err != nil {
+		pool.Close()
+		t.Fatal(err)
+	}
+	return eng, nil, pool, s2
+}
+
+// TestBatchMetricInventoryDocumented enforces the batch_* inventory in
+// docs/PERFORMANCE.md the same way the profiler inventory is enforced in
+// docs/OBSERVABILITY.md: every batch_* series the engine registers must
+// appear by name in the handbook's metric table.
+func TestBatchMetricInventoryDocumented(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "docs", "PERFORMANCE.md"))
+	if err != nil {
+		t.Fatalf("read docs/PERFORMANCE.md: %v", err)
+	}
+	reg := metrics.NewRegistry()
+	_, _, pool, _ := buildBatchPipeline(t, &flow.Limits{BatchSize: 8}, reg)
+	defer pool.Close()
+	seen := 0
+	for _, s := range reg.Snapshot() {
+		if !strings.HasPrefix(s.Name, "batch_") {
+			continue
+		}
+		seen++
+		if !strings.Contains(string(doc), s.Name) {
+			t.Errorf("metric %q is registered but not documented in docs/PERFORMANCE.md", s.Name)
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no batch_* series registered; inventory check is vacuous")
+	}
+}
+
+// TestFinalizeBatchZeroAlloc proves the batched finalize path allocates
+// nothing with tracing and profiling off: a FINALIZE_BATCH run reuses the
+// node's scratch, flips each task under its own lock, and signals the
+// committer without touching the heap. The engine is deliberately never
+// started — no background goroutines, so AllocsPerRun sees only this
+// path.
+func TestFinalizeBatchZeroAlloc(t *testing.T) {
+	fl := &flow.Limits{BatchSize: 16}
+	eng, _, pool, sink := buildBatchPipeline(t, fl, nil)
+	defer pool.Close()
+	n := eng.nodes[sink]
+	const batch = 16
+	finals := make([]transport.FinalizeRef, batch)
+	tasks := make([]*task, batch)
+	for i := range finals {
+		id := event.ID{Source: 1, Seq: event.Seq(i)}
+		tk := &task{n: n, ev: event.Event{ID: id, Version: 3, Speculative: true}}
+		n.tasks[id] = tk
+		tasks[i] = tk
+		finals[i] = transport.FinalizeRef{ID: id, Version: 3}
+	}
+	msg := transport.Message{Type: transport.MsgFinalizeBatch, Finals: finals}
+	if allocs := testing.AllocsPerRun(200, func() {
+		for _, tk := range tasks {
+			tk.evFinal = false
+			tk.ev.Speculative = true
+		}
+		n.handleFinalizeBatch(msg)
+	}); allocs != 0 {
+		t.Fatalf("batched finalize allocated %.1f per run, want 0", allocs)
+	}
+}
+
+// TestBatchCommitGrouping drives a batched pipeline open-loop and checks
+// that (a) every event still arrives finalized exactly once, and (b) the
+// committer actually grouped commits: strictly fewer shared version bumps
+// than committed events, visible as batch_commit_groups_total <
+// batch_commit_events_total.
+func TestBatchCommitGrouping(t *testing.T) {
+	const events = 4000
+	reg := metrics.NewRegistry()
+	fl := &flow.Limits{MailboxCap: 1024, CreditWindow: 256, BatchSize: 8}
+	eng, _, pool, sink := buildBatchPipeline(t, fl, reg)
+	defer pool.Close()
+	var finals atomic.Uint64
+	if err := eng.Subscribe(sink, 0, func(ev event.Event, fin bool) {
+		if fin {
+			finals.Add(1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+	s, err := eng.Source(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]BatchItem, 0, 8)
+	for emitted := 0; emitted < events; {
+		n := 8
+		if left := events - emitted; n > left {
+			n = left
+		}
+		items = items[:0]
+		for i := 0; i < n; i++ {
+			items = append(items, BatchItem{Key: uint64(emitted + i), Payload: operator.EncodeValue(uint64(emitted + i))})
+		}
+		if _, err := s.EmitBatch(items); err != nil {
+			t.Fatal(err)
+		}
+		emitted += n
+	}
+	eng.Drain()
+	if err := eng.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := finals.Load(); got != events {
+		t.Fatalf("finalized %d events at the sink, want %d", got, events)
+	}
+	var groups, grouped uint64
+	for _, s := range reg.Snapshot() {
+		switch s.Name {
+		case "batch_commit_groups_total":
+			groups += uint64(s.Value)
+		case "batch_commit_events_total":
+			grouped += uint64(s.Value)
+		}
+	}
+	t.Logf("commit groups=%d grouped events=%d (%.2f events/group)",
+		groups, grouped, float64(grouped)/float64(groups))
+	if groups == 0 || grouped == 0 {
+		t.Fatalf("batched committer never ran: groups=%d events=%d", groups, grouped)
+	}
+	if grouped <= groups {
+		t.Errorf("committer never grouped >1 event per version bump: groups=%d events=%d", groups, grouped)
+	}
+	// Stats must reconcile exactly: grouped commits cover every commit on
+	// the two stages (source nodes have no committer work).
+	total := eng.TotalStats()
+	if grouped != total.Committed {
+		t.Errorf("batch_commit_events_total=%d but Committed=%d", grouped, total.Committed)
+	}
+}

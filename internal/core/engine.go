@@ -185,7 +185,11 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 		inner := &localLink{target: down, input: e.ToInput}
 		if w := creditWindow(g, down.spec); w > 0 {
 			gate := flow.NewCreditGate(w)
-			up.addLink(e.FromPort, newCreditedLink(inner, gate))
+			// Edge batching, like the credit window, is configured by the
+			// receiving node's Limits: the sender coalesces consecutive
+			// queued events into one EVENT_BATCH delivery (one credit
+			// charge, one mailbox push).
+			up.addLink(e.FromPort, newCreditedLink(inner, gate, down.spec.Flow.Batch(), down.spec.Flow.Linger()))
 			down.granters[e.ToInput] = localGranter{gate: gate}
 			down.inGates = append(down.inGates, gate)
 		} else {
@@ -446,6 +450,51 @@ func (s *SourceHandle) EmitAt(ts int64, key uint64, payload []byte) (event.Event
 		return event.Event{}, err
 	}
 	return ev, nil
+}
+
+// BatchItem is one event-to-be in an EmitBatch call.
+type BatchItem struct {
+	Key     uint64
+	Payload []byte
+}
+
+// EmitBatch publishes a run of final events with consecutive sequence
+// numbers and fresh timestamps, charging source admission once for the
+// whole run (one token-bucket transaction instead of len(items)) and
+// injecting them as one batch (one mailbox push, one output-port
+// delivery). With shedding enabled the whole batch is shed together —
+// admitting a prefix would tear the batch's all-or-nothing admission
+// accounting. Each event is still logged and recovered individually;
+// batching changes transfer granularity only, never decision granularity.
+func (s *SourceHandle) EmitBatch(items []BatchItem) ([]event.Event, error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	evs := make([]event.Event, len(items))
+	s.mu.Lock()
+	for i, it := range items {
+		s.seq++
+		evs[i] = event.Event{
+			ID:        event.ID{Source: event.SourceID(s.n.opID), Seq: s.seq},
+			Timestamp: s.tick.Next(),
+			Key:       it.Key,
+			Payload:   it.Payload,
+		}
+		evs[i].Trace = event.TraceOf(evs[i].ID)
+	}
+	s.mu.Unlock()
+	if a := s.n.admission; a != nil {
+		switch a.AdmitN(len(evs)) {
+		case flow.Shed:
+			return evs, ErrShed
+		case flow.Stopped:
+			return nil, ErrStopped
+		}
+	}
+	if err := s.n.publishSourceBatch(evs); err != nil {
+		return nil, err
+	}
+	return evs, nil
 }
 
 // NodeStats aggregates one node's runtime counters.

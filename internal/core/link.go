@@ -48,36 +48,51 @@ var _ link = (*callbackLink)(nil)
 func (l *callbackLink) deliver(m transport.Message) {
 	switch m.Type {
 	case transport.MsgEvent:
-		ev := m.Event
-		if ev.Speculative {
-			l.mu.Lock()
-			if l.pending == nil {
-				l.pending = make(map[event.ID]event.Event)
-			}
-			l.pending[ev.ID] = ev
-			l.mu.Unlock()
-			l.fn(ev, false)
-			return
+		l.deliverEvent(m.Event)
+	case transport.MsgEventBatch:
+		for _, ev := range m.Events {
+			l.deliverEvent(ev)
 		}
-		// A final event supersedes any speculative copy.
-		l.mu.Lock()
-		delete(l.pending, ev.ID)
-		l.mu.Unlock()
-		l.fn(ev, true)
 	case transport.MsgFinalize:
-		l.mu.Lock()
-		ev, ok := l.pending[m.ID]
-		if ok && ev.Version == m.Version {
-			delete(l.pending, m.ID)
-		}
-		l.mu.Unlock()
-		if ok && ev.Version == m.Version {
-			l.fn(ev.AsFinal(), true)
+		l.finalize(m.ID, m.Version)
+	case transport.MsgFinalizeBatch:
+		for _, f := range m.Finals {
+			l.finalize(f.ID, f.Version)
 		}
 	case transport.MsgRevoke:
 		l.mu.Lock()
 		delete(l.pending, m.ID)
 		l.mu.Unlock()
+	}
+}
+
+func (l *callbackLink) deliverEvent(ev event.Event) {
+	if ev.Speculative {
+		l.mu.Lock()
+		if l.pending == nil {
+			l.pending = make(map[event.ID]event.Event)
+		}
+		l.pending[ev.ID] = ev
+		l.mu.Unlock()
+		l.fn(ev, false)
+		return
+	}
+	// A final event supersedes any speculative copy.
+	l.mu.Lock()
+	delete(l.pending, ev.ID)
+	l.mu.Unlock()
+	l.fn(ev, true)
+}
+
+func (l *callbackLink) finalize(id event.ID, version event.Version) {
+	l.mu.Lock()
+	ev, ok := l.pending[id]
+	if ok && ev.Version == version {
+		delete(l.pending, id)
+	}
+	l.mu.Unlock()
+	if ok && ev.Version == version {
+		l.fn(ev.AsFinal(), true)
 	}
 }
 
@@ -100,11 +115,14 @@ func (l *remoteLink) deliver(m transport.Message) {
 func (l *remoteLink) buffered() bool { return true }
 
 // linkQueue is a plain unbounded FIFO (no lane split: per-link order is
-// preserved exactly) feeding a creditedLink's sender goroutine.
+// preserved exactly) feeding a creditedLink's sender goroutine. Popped
+// slots are cleared and the backing array is reused once the queue
+// drains, so steady-state traffic does not reallocate per message.
 type linkQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []transport.Message
+	head   int
 	closed bool
 }
 
@@ -123,24 +141,62 @@ func (q *linkQueue) push(m transport.Message) {
 	q.mu.Unlock()
 }
 
+// resetLocked reclaims the backing array once the queue is empty, or
+// compacts it when the dead head region dominates a large queue.
+func (q *linkQueue) resetLocked() {
+	switch {
+	case q.head == len(q.items):
+		q.items = q.items[:0]
+		q.head = 0
+	case q.head >= 1024 && q.head*2 >= len(q.items):
+		n := copy(q.items, q.items[q.head:])
+		clear(q.items[n:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+}
+
 func (q *linkQueue) pop() (transport.Message, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for q.head == len(q.items) && !q.closed {
 		q.cond.Wait()
 	}
-	if len(q.items) == 0 {
+	if q.head == len(q.items) {
 		return transport.Message{}, false
 	}
-	m := q.items[0]
-	q.items = q.items[1:]
+	m := q.items[q.head]
+	q.items[q.head] = transport.Message{} // release payload references
+	q.head++
+	q.resetLocked()
 	return m, true
+}
+
+// takeEvents pops up to max immediately-following single-EVENT messages
+// from the head of the queue without blocking, appending their events to
+// dst. It stops at the first non-EVENT item (control and batch frames keep
+// their queue position), so per-link ordering is preserved exactly.
+func (q *linkQueue) takeEvents(dst []event.Event, max int) []event.Event {
+	if max <= 0 {
+		return dst
+	}
+	q.mu.Lock()
+	n := 0
+	for n < max && q.head+n < len(q.items) && q.items[q.head+n].Type == transport.MsgEvent {
+		dst = append(dst, q.items[q.head+n].Event)
+		q.items[q.head+n] = transport.Message{}
+		n++
+	}
+	q.head += n
+	q.resetLocked()
+	q.mu.Unlock()
+	return dst
 }
 
 func (q *linkQueue) len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.items)
+	return len(q.items) - q.head
 }
 
 func (q *linkQueue) close() {
@@ -161,18 +217,25 @@ func (q *linkQueue) close() {
 // events is the same goroutine that processes inbound CREDIT grants on
 // the reverse path — blocking it on a credit would deadlock the cycle.
 type creditedLink struct {
-	inner link
-	gate  *flow.CreditGate
-	q     *linkQueue
-	done  chan struct{}
-	once  sync.Once
+	inner  link
+	gate   *flow.CreditGate
+	q      *linkQueue
+	batch  int           // max events coalesced into one EVENT_BATCH frame (<=1 disables)
+	linger time.Duration // optional one-shot wait for a fuller batch (0 = never wait)
+	done   chan struct{}
+	once   sync.Once
 }
 
 var _ link = (*creditedLink)(nil)
 
-// newCreditedLink wraps inner behind gate and starts the sender.
-func newCreditedLink(inner link, gate *flow.CreditGate) *creditedLink {
-	l := &creditedLink{inner: inner, gate: gate, q: newLinkQueue(), done: make(chan struct{})}
+// newCreditedLink wraps inner behind gate and starts the sender. batch > 1
+// makes the sender coalesce consecutive queued EVENT messages into one
+// EVENT_BATCH frame of up to batch events, charging the credit gate once
+// for the whole run. linger bounds a single extra wait for a fuller batch
+// after at least one event is in hand; it never delays a batch that is
+// already full and never applies to control traffic.
+func newCreditedLink(inner link, gate *flow.CreditGate, batch int, linger time.Duration) *creditedLink {
+	l := &creditedLink{inner: inner, gate: gate, q: newLinkQueue(), batch: batch, linger: linger, done: make(chan struct{})}
 	go l.sender()
 	return l
 }
@@ -186,7 +249,8 @@ func (l *creditedLink) buffered() bool { return l.inner.buffered() }
 // them yet).
 func (l *creditedLink) queued() int { return l.q.len() }
 
-// sender forwards queued messages, acquiring one credit per data event.
+// sender forwards queued messages, acquiring one credit per data event
+// (one AcquireN charge per coalesced batch).
 func (l *creditedLink) sender() {
 	defer close(l.done)
 	for {
@@ -194,14 +258,49 @@ func (l *creditedLink) sender() {
 		if !ok {
 			return
 		}
-		if m.Type == transport.MsgEvent && !l.gate.Acquire() {
-			// Gate closed: shutdown. Remaining data events are dropped;
-			// they are either retained in the output buffer for replay or
-			// moot because the engine is stopping.
-			continue
+		switch m.Type {
+		case transport.MsgEvent:
+			if l.batch > 1 {
+				l.sendRun(m.Event)
+				continue
+			}
+			if !l.gate.Acquire() {
+				// Gate closed: shutdown. Remaining data events are dropped;
+				// they are either retained in the output buffer for replay
+				// or moot because the engine is stopping.
+				continue
+			}
+		case transport.MsgEventBatch:
+			// Pre-batched upstream (source injection, late finals): charge
+			// for its full weight as one acquisition.
+			if !l.gate.AcquireN(len(m.Events)) {
+				continue
+			}
 		}
 		l.inner.deliver(m)
 	}
+}
+
+// sendRun coalesces first plus up to batch-1 consecutive queued events
+// into one EVENT_BATCH frame. When the run comes up short and a linger is
+// configured, it waits once for stragglers; a run of one is sent as a
+// plain EVENT frame, byte-identical to the unbatched wire format.
+func (l *creditedLink) sendRun(first event.Event) {
+	run := make([]event.Event, 1, l.batch)
+	run[0] = first
+	run = l.q.takeEvents(run, l.batch-1)
+	if len(run) < l.batch && l.linger > 0 {
+		time.Sleep(l.linger)
+		run = l.q.takeEvents(run, l.batch-len(run))
+	}
+	if !l.gate.AcquireN(len(run)) {
+		return
+	}
+	if len(run) == 1 {
+		l.inner.deliver(transport.Message{Type: transport.MsgEvent, Event: run[0]})
+		return
+	}
+	l.inner.deliver(transport.Message{Type: transport.MsgEventBatch, Events: run})
 }
 
 // close stops the sender and releases any credit wait. Idempotent.

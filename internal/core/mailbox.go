@@ -34,9 +34,10 @@ type mailbox struct {
 	data   []any
 	closed bool
 
-	dataCap  int // 0 = unbounded (no accounting against a bound)
-	dataHigh int
-	overflow uint64
+	dataCap   int // 0 = unbounded (no accounting against a bound)
+	dataDepth int // queued data EVENTS (batch items weigh their event count)
+	dataHigh  int
+	overflow  uint64
 
 	// qdelay, when set, observes data-lane queueing delay (push→pop);
 	// dataTS mirrors data with per-item push stamps. nil qdelay keeps the
@@ -67,16 +68,24 @@ func (m *mailbox) SetQueueDelay(h *metrics.HDR) {
 	m.mu.Unlock()
 }
 
-// isData classifies an item onto the data lane: input events and source
-// injections. Everything else is control.
-func isData(item any) bool {
+// dataWeight classifies an item onto the data lane and reports how many
+// events it carries: input events and source injections weigh 1, batched
+// forms weigh their event count. Control items weigh 0.
+func dataWeight(item any) int {
 	switch v := item.(type) {
 	case transport.Message:
-		return v.Type == transport.MsgEvent
+		switch v.Type {
+		case transport.MsgEvent:
+			return 1
+		case transport.MsgEventBatch:
+			return len(v.Events)
+		}
 	case cmdInject:
-		return true
+		return 1
+	case cmdInjectBatch:
+		return len(v.evs)
 	}
-	return false
+	return 0
 }
 
 // Push enqueues an item on its lane; it never blocks. Pushing to a closed
@@ -84,15 +93,16 @@ func isData(item any) bool {
 func (m *mailbox) Push(item any) {
 	m.mu.Lock()
 	if !m.closed {
-		if isData(item) {
+		if w := dataWeight(item); w > 0 {
 			m.data = append(m.data, item)
+			m.dataDepth += w
 			if m.qdelay != nil {
 				m.dataTS = append(m.dataTS, time.Now().UnixNano())
 			}
-			if d := len(m.data); d > m.dataHigh {
-				m.dataHigh = d
+			if m.dataDepth > m.dataHigh {
+				m.dataHigh = m.dataDepth
 			}
-			if m.dataCap > 0 && len(m.data) > m.dataCap {
+			if m.dataCap > 0 && m.dataDepth > m.dataCap {
 				m.overflow++
 			}
 		} else {
@@ -120,6 +130,7 @@ func (m *mailbox) Pop() (any, bool) {
 	if len(m.data) > 0 {
 		item := m.data[0]
 		m.data = m.data[1:]
+		m.dataDepth -= dataWeight(item)
 		if m.qdelay != nil && len(m.dataTS) > 0 {
 			m.qdelay.Observe(time.Now().UnixNano() - m.dataTS[0])
 			m.dataTS = m.dataTS[1:]
@@ -136,11 +147,12 @@ func (m *mailbox) Len() int {
 	return len(m.ctl) + len(m.data)
 }
 
-// DataDepth reports the data-lane occupancy.
+// DataDepth reports the data-lane occupancy in events (a queued batch
+// counts each event it carries).
 func (m *mailbox) DataDepth() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.data)
+	return m.dataDepth
 }
 
 // DataCap reports the configured data-lane capacity (0 = unbounded).
@@ -181,6 +193,7 @@ func (m *mailbox) Reopen() {
 	m.ctl = nil
 	m.data = nil
 	m.dataTS = nil
+	m.dataDepth = 0
 	m.dataHigh = 0
 	m.closed = false
 	m.mu.Unlock()

@@ -58,6 +58,18 @@ type engineMetrics struct {
 	// otherwise).
 	abortSpecDepth *metrics.HDR
 
+	// Hot-path batching accounting (flow Limits.BatchSize; see
+	// docs/PERFORMANCE.md). batchCommitGroups counts committer turns that
+	// group-committed a ready run; batchCommitEvents counts the events in
+	// those runs; batchOccupancy observes the run length per group (how
+	// full batches actually get). batchSourceBatches/batchSourceEvents
+	// account EmitBatch injections.
+	batchCommitGroups  *metrics.Counter
+	batchCommitEvents  *metrics.Counter
+	batchOccupancy     *metrics.HDR
+	batchSourceBatches *metrics.Counter
+	batchSourceEvents  *metrics.Counter
+
 	// walLog is shared by every node's decision log.
 	walLog *wal.LogMetrics
 }
@@ -92,6 +104,16 @@ func registerEngineMetrics(e *Engine, reg *metrics.Registry) *engineMetrics {
 			"Open speculative tasks observed at each speculative send (speculation depth)."),
 		cascadeSize: reg.HDRCounts("core_revoke_cascade_size",
 			"Live downstream outputs revoked per aborted task (cascade fan-out)."),
+		batchCommitGroups: reg.Counter("batch_commit_groups_total",
+			"Committer turns that group-committed a run of ready tasks (one version-clock bump each)."),
+		batchCommitEvents: reg.Counter("batch_commit_events_total",
+			"Events committed inside batched commit groups."),
+		batchOccupancy: reg.HDRCounts("batch_occupancy",
+			"Events per committed batch group (how full batches actually get)."),
+		batchSourceBatches: reg.Counter("batch_source_batches_total",
+			"EmitBatch injections (one mailbox push and one downstream frame each)."),
+		batchSourceEvents: reg.Counter("batch_source_events_total",
+			"Source events published through batched injections."),
 		walLog: &wal.LogMetrics{
 			AppendLatency: reg.HDR("wal_append_latency",
 				"Decision-log batch latency from submission to stable notification."),

@@ -33,6 +33,13 @@ type cmdInject struct {
 	ev event.Event
 }
 
+// cmdInjectBatch carries a batch of source-node events admitted together
+// by SourceHandle.EmitBatch: one mailbox push, one dispatcher turn, one
+// batched downstream delivery. Events are in emission (sequence) order.
+type cmdInjectBatch struct {
+	evs []event.Event
+}
+
 // node is the runtime for one graph node: a dispatcher goroutine that owns
 // ordering decisions, a worker pool that executes tasks under speculative
 // transactions, and a committer that commits tasks in arrival order once
@@ -67,6 +74,22 @@ type node struct {
 	commitCond *sync.Cond
 	commitGen  uint64
 	nextCommit atomic.Int64
+
+	// commitRun/commitTxs are the batched committer's gather scratch,
+	// touched only by the committer goroutine and reused across groups
+	// (the committer wakes once per notification, far more often than it
+	// commits — fresh slices per wakeup would churn the allocator).
+	commitRun []*task
+	commitTxs []*stm.Tx
+
+	// retirePosts is retireGroup's phase scratch, committer-only like the
+	// gather scratch above.
+	retirePosts []retirePost
+
+	// finHits is handleFinalizeBatch's scratch, dispatcher-only. Reusing
+	// it keeps the batched finalize path allocation-free (guarded by an
+	// AllocsPerRun test).
+	finHits []finHit
 
 	// replay, when non-nil, holds the recovery-mode admission plan;
 	// recoverDrop holds the IDs of logged events the restored snapshot
@@ -112,9 +135,12 @@ type node struct {
 
 	// stableRecs mirrors this node's decision records once stable — the
 	// recovery read path (equivalent to scanning the log disk). Sorted by
-	// LSN on demand.
+	// LSN on demand. Stored in fixed-size chunks so the steady-state
+	// append never reallocates the whole mirror (a contiguous slice costs
+	// an O(history) copy on every growth and keeps the full history hot
+	// for the garbage collector).
 	recMu      sync.Mutex
-	stableRecs []wal.Record
+	stableRecs [][]wal.Record
 
 	cDispatched     atomic.Uint64
 	cExecuted       atomic.Uint64
@@ -373,11 +399,16 @@ func (n *node) dispatcher() {
 		}
 		switch v := item.(type) {
 		case transport.Message:
-			if v.Type == transport.MsgEvent {
-				// The event left the data lane: return its credit so the
-				// upstream sender may transmit the next one.
+			// The event(s) left the data lane: return their credits so the
+			// upstream sender may transmit the next ones.
+			switch v.Type {
+			case transport.MsgEvent:
 				if g := n.granters[v.Input]; g != nil {
 					g.grant(1)
+				}
+			case transport.MsgEventBatch:
+				if g := n.granters[v.Input]; g != nil {
+					g.grant(len(v.Events))
 				}
 			}
 			n.handleMessage(v)
@@ -385,6 +416,8 @@ func (n *node) dispatcher() {
 			n.handleReexec(v)
 		case cmdInject:
 			n.handleInject(v)
+		case cmdInjectBatch:
+			n.handleInjectBatch(v)
 		}
 	}
 }
@@ -393,12 +426,18 @@ func (n *node) handleMessage(m transport.Message) {
 	switch m.Type {
 	case transport.MsgEvent:
 		n.handleEvent(m)
+	case transport.MsgEventBatch:
+		n.handleEventBatch(m)
 	case transport.MsgFinalize:
 		n.handleFinalize(m)
+	case transport.MsgFinalizeBatch:
+		n.handleFinalizeBatch(m)
 	case transport.MsgRevoke:
 		n.handleRevoke(m)
 	case transport.MsgAck:
 		n.handleAck(m)
+	case transport.MsgAckBatch:
+		n.handleAckBatch(m)
 	case transport.MsgReplay:
 		n.handleReplay()
 	}
@@ -421,7 +460,170 @@ func (n *node) handleEvent(m transport.Message) {
 	n.admitEvent(plannedEvent{msg: m})
 }
 
-// admitEvent performs normal (non-replay) admission of one event.
+// handleEventBatch expands a batch frame to per-event admission in order,
+// so the logged decision sequence (and therefore recovery) is identical
+// to the events arriving one frame at a time. Outside replay, the batch's
+// input records are submitted to the decision log as ONE append — one
+// group-commit pool round trip instead of len(Events) — which is where
+// batching earns its keep on the admission hot path.
+func (n *node) handleEventBatch(m transport.Message) {
+	n.mu.Lock()
+	if n.replay != nil {
+		n.mu.Unlock()
+		for _, ev := range m.Events {
+			n.handleEvent(transport.Message{Type: transport.MsgEvent, Event: ev, Input: m.Input})
+		}
+		return
+	}
+	// Admit the whole run under ONE n.mu hold — the batched counterpart of
+	// admitEvent, with identical per-event logic. Rare outcomes that need
+	// the lock released (re-ACKing committed duplicates, replacing a live
+	// task) are deferred past the unlock in arrival order.
+	var (
+		ab       admitBatch
+		fresh    []*task
+		deferred []func()
+	)
+	stateful := n.spec.Traits.Stateful
+	// Batch payloads often alias one wire frame; detach them with a single
+	// arena copy for the whole run instead of one allocation per event.
+	arena := 0
+	for _, ev := range m.Events {
+		arena += len(ev.Payload)
+	}
+	buf := make([]byte, 0, arena)
+	for _, ev := range m.Events {
+		ev := ev
+		id := ev.ID
+		if n.committed[id] || n.recoverDrop[id] {
+			input := m.Input
+			deferred = append(deferred, func() { n.ackUpstream(input, id) })
+			continue
+		}
+		if t, ok := n.tasks[id]; ok {
+			t := t
+			deferred = append(deferred, func() { n.applyReplacement(t, ev) })
+			continue
+		}
+		if c := n.pendRevoke[id]; c > 0 {
+			if c == 1 {
+				delete(n.pendRevoke, id)
+			} else {
+				n.pendRevoke[id] = c - 1
+			}
+			continue
+		}
+		if v, ok := n.pendFin[id]; ok && v <= ev.Version {
+			delete(n.pendFin, id)
+			if v == ev.Version {
+				ev.Speculative = false
+			}
+		}
+		detached := ev
+		if len(ev.Payload) > 0 {
+			start := len(buf)
+			buf = append(buf, ev.Payload...)
+			detached.Payload = buf[start:len(buf):len(buf)]
+		}
+		t := &task{
+			n:       n,
+			seq:     n.nextSeq,
+			input:   m.Input,
+			state:   taskQueued,
+			ev:      detached,
+			evFinal: !ev.Speculative,
+		}
+		if n.eng.met != nil {
+			t.admitted = time.Now()
+		}
+		n.nextSeq++
+		n.tasks[id] = t
+		n.bySeq[t.seq] = t
+		if stateful {
+			// The task is unpublished until n.mu is released, so the fresh
+			// pendingLogs count needs no t.mu.
+			t.pendingLogs++
+			ab.add(t, wal.Record{
+				Kind:     wal.KindInput,
+				Operator: n.opID,
+				Event:    id,
+				Value:    uint64(m.Input),
+			})
+		}
+		fresh = append(fresh, t)
+	}
+	n.mu.Unlock()
+	if len(fresh) > 0 {
+		n.cDispatched.Add(uint64(len(fresh)))
+		if tr := n.eng.tracer; tr != nil {
+			for _, t := range fresh {
+				if tr.Keeps(t.ev.Trace) {
+					tr.RecordTrace(n.spec.Name, t.ev.ID.String(), t.ev.Trace, metrics.PhaseIngress,
+						fmt.Sprintf("input=%d spec=%t", t.input, t.ev.Speculative))
+				}
+			}
+		}
+		n.execQ.PushAll(fresh)
+		// One wake covers the whole run: Wake broadcasts to every parked
+		// worker, so per-task wakes would be redundant.
+		n.throttle.Wake()
+	}
+	for _, f := range deferred {
+		f()
+	}
+	ab.flush(n)
+}
+
+// admitBatch accumulates the KindInput records of one admitted batch so
+// they stabilize through a single log append. Record i belongs to task i;
+// a single Append preserves the admission-order LSN sequence exactly as
+// per-event appends would have produced it.
+type admitBatch struct {
+	tasks []*task
+	recs  []wal.Record
+}
+
+func (ab *admitBatch) add(t *task, rec wal.Record) {
+	ab.tasks = append(ab.tasks, t)
+	ab.recs = append(ab.recs, rec)
+}
+
+// flush submits the accumulated records as one append and fans the
+// stability callback out to every task in the batch.
+func (ab *admitBatch) flush(n *node) {
+	if len(ab.recs) == 0 {
+		return
+	}
+	tasks, recs := ab.tasks, ab.recs
+	_, err := n.log.Append(recs, func(err error) {
+		if err != nil {
+			n.fail(fmt.Errorf("decision log: %w", err))
+			return
+		}
+		n.mirrorStable(recs)
+		for i, t := range tasks {
+			t.mu.Lock()
+			t.pendingLogs--
+			if recs[i].LSN > t.maxLSN {
+				t.maxLSN = recs[i].LSN
+			}
+			t.mu.Unlock()
+		}
+		n.notifyCommitter()
+	})
+	if err != nil {
+		n.fail(fmt.Errorf("submit decision log: %w", err))
+		for _, t := range tasks {
+			t.mu.Lock()
+			t.pendingLogs--
+			t.mu.Unlock()
+		}
+	}
+}
+
+// admitEvent performs normal (non-replay) admission of one event. Batch
+// frames go through handleEventBatch instead, which admits a whole run
+// under one lock hold and one log append.
 func (n *node) admitEvent(pe plannedEvent) {
 	m := pe.msg
 	id := m.Event.ID
@@ -494,7 +696,7 @@ func (n *node) admitEvent(pe plannedEvent) {
 		t.mu.Lock()
 		t.pendingLogs++
 		t.mu.Unlock()
-		n.appendRecords(t, []wal.Record{{
+		n.appendRecords(t, []wal.Record{wal.Record{
 			Kind:     wal.KindInput,
 			Operator: n.opID,
 			Event:    id,
@@ -619,6 +821,62 @@ func (n *node) handleFinalize(m transport.Message) {
 	t.mu.Unlock()
 }
 
+// handleFinalizeBatch applies a run of FINALIZE notices with one n.mu
+// acquisition for all the task lookups and one committer wakeup for the
+// whole run, instead of one of each per notice. Semantically identical to
+// looping handleFinalize: stash-for-later cases (task not yet admitted, or
+// notice for a newer incarnation) land in pendFin exactly as before.
+// finHit pairs a live task with the version a FINALIZE_BATCH run wants
+// finalized (scratch element; see node.finHits).
+type finHit struct {
+	t   *task
+	ver event.Version
+}
+
+func (n *node) handleFinalizeBatch(m transport.Message) {
+	hits := n.finHits[:0]
+	defer func() {
+		clear(hits[:cap(hits)])
+		n.finHits = hits[:0]
+	}()
+	n.mu.Lock()
+	for _, f := range m.Finals {
+		if t := n.tasks[f.ID]; t != nil {
+			hits = append(hits, finHit{t, f.Version})
+		} else if !n.committed[f.ID] {
+			n.pendFin[f.ID] = f.Version
+		}
+	}
+	n.mu.Unlock()
+	finalized := false
+	var stash []transport.FinalizeRef
+	for _, h := range hits {
+		t := h.t
+		t.mu.Lock()
+		switch {
+		case t.ev.Version == h.ver && !t.evFinal:
+			t.evFinal = true
+			t.ev.Speculative = false
+			finalized = true
+		case h.ver > t.ev.Version:
+			stash = append(stash, transport.FinalizeRef{ID: t.ev.ID, Version: h.ver})
+		}
+		t.mu.Unlock()
+	}
+	if len(stash) > 0 {
+		n.mu.Lock()
+		for _, f := range stash {
+			if !n.committed[f.ID] {
+				n.pendFin[f.ID] = f.Version
+			}
+		}
+		n.mu.Unlock()
+	}
+	if finalized {
+		n.notifyCommitter()
+	}
+}
+
 // handleRevoke cancels the task consuming a revoked event and revokes its
 // own outputs (cascading the revocation downstream).
 func (n *node) handleRevoke(m transport.Message) {
@@ -719,13 +977,27 @@ func (n *node) revokeRecord(rec *outRecord) {
 
 func (n *node) handleAck(m transport.Message) {
 	n.mu.Lock()
-	if rec, ok := n.outBuf[m.ID]; ok {
-		rec.pendingAcks--
-		if rec.pendingAcks <= 0 {
-			delete(n.outBuf, m.ID)
-		}
+	n.ackLocked(m.ID)
+	n.mu.Unlock()
+}
+
+// handleAckBatch prunes a whole commit group's worth of output-buffer
+// entries under a single lock acquisition.
+func (n *node) handleAckBatch(m transport.Message) {
+	n.mu.Lock()
+	for _, f := range m.Finals {
+		n.ackLocked(f.ID)
 	}
 	n.mu.Unlock()
+}
+
+func (n *node) ackLocked(id event.ID) {
+	if rec, ok := n.outBuf[id]; ok {
+		rec.pendingAcks--
+		if rec.pendingAcks <= 0 {
+			delete(n.outBuf, id)
+		}
+	}
 }
 
 // handleReplay re-sends every unacknowledged buffered output, oldest
@@ -818,12 +1090,63 @@ func (n *node) handleInject(c cmdInject) {
 	n.deliverToPort(0, transport.Message{Type: transport.MsgEvent, Event: c.ev})
 }
 
+// handleInjectBatch publishes a batch of source events under one lock
+// acquisition and one downstream delivery: the output-buffer records are
+// created together and the whole run travels as a single EVENT_BATCH
+// message. Per-event replay semantics are unchanged — each event gets its
+// own buffered record and is ACKed and pruned individually.
+func (n *node) handleInjectBatch(c cmdInjectBatch) {
+	if len(c.evs) == 0 {
+		return
+	}
+	n.mu.Lock()
+	for _, ev := range c.evs {
+		n.outEmitSeq++
+		rec := &outRecord{
+			id:          ev.ID,
+			port:        0,
+			ts:          ev.Timestamp,
+			key:         ev.Key,
+			payload:     ev.Payload,
+			trace:       ev.Trace,
+			finalSent:   true,
+			pendingAcks: n.bufferedLinks(0),
+			seq:         n.outEmitSeq,
+		}
+		if rec.pendingAcks > 0 {
+			n.outBuf[rec.id] = rec
+		}
+	}
+	n.mu.Unlock()
+	n.cFinalSent.Add(uint64(len(c.evs)))
+	if m := n.eng.met; m != nil {
+		m.batchSourceBatches.Inc()
+		m.batchSourceEvents.Add(uint64(len(c.evs)))
+	}
+	if tr := n.eng.tracer; tr != nil {
+		for _, ev := range c.evs {
+			tr.RecordTrace(n.spec.Name, ev.ID.String(), ev.Trace, metrics.PhaseIngress, "source")
+		}
+	}
+	n.deliverToPort(0, transport.Message{Type: transport.MsgEventBatch, Events: c.evs})
+}
+
 // publishSourceEvent is called by SourceHandle.Emit.
 func (n *node) publishSourceEvent(ev event.Event) error {
 	if n.stopFlag.Load() {
 		return ErrStopped
 	}
 	n.mailbox.Push(cmdInject{ev: ev})
+	return nil
+}
+
+// publishSourceBatch is called by SourceHandle.EmitBatch: one mailbox
+// push for the whole admitted run.
+func (n *node) publishSourceBatch(evs []event.Event) error {
+	if n.stopFlag.Load() {
+		return ErrStopped
+	}
+	n.mailbox.Push(cmdInjectBatch{evs: evs})
 	return nil
 }
 
@@ -1199,11 +1522,19 @@ func (n *node) waitCommitSignal(seen uint64) {
 
 // committer commits tasks strictly in arrival order once authorized:
 // executed, input final, decisions stable, STM dependencies committed
-// (paper §3: "gets the authorization to commit").
+// (paper §3: "gets the authorization to commit"). With flow batching
+// configured it gathers the run of consecutive already-ready head tasks
+// and commits them as one STM group — one version-clock bump, one
+// FINALIZE frame per port — without ever waiting for a batch to fill.
 func (n *node) committer() {
 	defer n.wg.Done()
+	batch := n.spec.Flow.Batch()
 	for !n.stopFlag.Load() {
 		gen := n.commitSignalGen()
+		if batch > 1 {
+			n.commitBatch(gen, batch)
+			continue
+		}
 		n.mu.Lock()
 		t := n.bySeq[n.nextCommit.Load()]
 		n.mu.Unlock()
@@ -1215,9 +1546,6 @@ func (n *node) committer() {
 		state := t.state
 		ready := state == taskOpen && t.published && t.evFinal && t.pendingLogs == 0
 		tx := t.tx
-		evID := t.ev.ID
-		evTrace := t.ev.Trace
-		attemptNs := t.attemptNs
 		t.mu.Unlock()
 		switch {
 		case state == taskCancelled:
@@ -1230,28 +1558,110 @@ func (n *node) committer() {
 		err := tx.Commit()
 		switch {
 		case err == nil:
-			n.finishCommit(t)
+			n.finishCommit(t, nil)
 		case errors.Is(err, stm.ErrDepsOpen):
 			// Dependencies are earlier tasks, which commit first in seq
 			// order; transient — yield and retry.
 			time.Sleep(10 * time.Microsecond)
 		case errors.Is(err, stm.ErrConflict):
-			// Validation failed or a cascade aborted the transaction; a
-			// re-execution is (being) scheduled. Make sure one is queued
-			// and wait for it.
-			if m := n.eng.met; m != nil {
-				m.abortsConflict.Inc()
-			}
-			n.chargeAbort(profiler.CauseConflict, time.Duration(attemptNs))
-			if tr := n.eng.tracer; tr != nil {
-				tr.RecordTrace(n.spec.Name, evID.String(), evTrace, metrics.PhaseAbort, "cause=conflict")
-			}
-			n.mailbox.Push(cmdReexec{t: t, tx: tx})
+			n.commitConflict(t, tx)
 			n.waitCommitSignal(gen)
 		default:
 			n.fail(fmt.Errorf("commit seq %d: %w", t.seq, err))
 			n.cleanupHead(t)
 		}
+	}
+}
+
+// commitConflict records the abort accounting for a head task whose
+// commit-time validation failed (or whose transaction was cascade-aborted)
+// and makes sure a re-execution is queued.
+func (n *node) commitConflict(t *task, tx *stm.Tx) {
+	t.mu.Lock()
+	evID := t.ev.ID
+	evTrace := t.ev.Trace
+	attemptNs := t.attemptNs
+	t.mu.Unlock()
+	if m := n.eng.met; m != nil {
+		m.abortsConflict.Inc()
+	}
+	n.chargeAbort(profiler.CauseConflict, time.Duration(attemptNs))
+	if tr := n.eng.tracer; tr != nil {
+		tr.RecordTrace(n.spec.Name, evID.String(), evTrace, metrics.PhaseAbort, "cause=conflict")
+	}
+	n.mailbox.Push(cmdReexec{t: t, tx: tx})
+}
+
+// commitBatch is one turn of the batched committer: gather the run of
+// consecutive ready head tasks (up to max), group-commit their
+// transactions under one version-clock bump, and run the post-commit
+// protocol with FINALIZE and late-final deliveries coalesced into one
+// frame per port. Readiness is evaluated exactly as on the single-commit
+// path; a lone ready task commits immediately (batching adds no latency,
+// it only amortizes runs that are already ready).
+func (n *node) commitBatch(gen uint64, max int) {
+	head := n.nextCommit.Load()
+	run := n.commitRun[:0]
+	txs := n.commitTxs[:0]
+	defer func() {
+		// Drop the pointers so committed tasks do not linger reachable
+		// until the next gather overwrites their slots.
+		clear(run[:cap(run)])
+		clear(txs[:cap(txs)])
+		n.commitRun, n.commitTxs = run[:0], txs[:0]
+	}()
+	for len(run) < max {
+		n.mu.Lock()
+		t := n.bySeq[head+int64(len(run))]
+		n.mu.Unlock()
+		if t == nil {
+			break
+		}
+		t.mu.Lock()
+		state := t.state
+		ready := state == taskOpen && t.published && t.evFinal && t.pendingLogs == 0
+		tx := t.tx
+		t.mu.Unlock()
+		if state == taskCancelled {
+			if len(run) > 0 {
+				break // commit the gathered prefix first
+			}
+			n.cleanupHead(t)
+			return
+		}
+		if !ready {
+			break
+		}
+		run = append(run, t)
+		txs = append(txs, tx)
+	}
+	if len(run) == 0 {
+		n.waitCommitSignal(gen)
+		return
+	}
+	committed, err := n.mem.CommitGroup(txs)
+	if committed > 0 {
+		if m := n.eng.met; m != nil {
+			m.batchCommitGroups.Inc()
+			m.batchCommitEvents.Add(uint64(committed))
+			m.batchOccupancy.Observe(int64(committed))
+		}
+		var fb finFlush
+		n.retireGroup(run[:committed], &fb)
+		fb.flush(n)
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, stm.ErrDepsOpen):
+		time.Sleep(10 * time.Microsecond)
+	case errors.Is(err, stm.ErrConflict):
+		n.commitConflict(run[committed], txs[committed])
+		if committed == 0 {
+			n.waitCommitSignal(gen)
+		}
+	default:
+		n.fail(fmt.Errorf("commit seq %d: %w", run[committed].seq, err))
+		n.cleanupHead(run[committed])
 	}
 }
 
@@ -1275,120 +1685,229 @@ func (n *node) cleanupHead(t *task) {
 	n.throttle.Wake()
 }
 
-// finishCommit runs the post-commit protocol: finalize speculative
-// outputs (or publish held outputs for non-speculative nodes), ACK the
-// consumed event upstream, advance the commit cursor, and checkpoint if
-// due. Called with commitMu held.
-func (n *node) finishCommit(t *task) {
-	t.mu.Lock()
-	t.state = taskCommitted
-	if t.tainted {
-		t.tainted = false
-		n.openTainted.Add(-1)
-	}
-	throttled := t.throttleHeld
-	t.throttleHeld = false
-	inputID := t.ev.ID
-	inTrace := t.ev.Trace
-	input := t.input
-	maxLSN := t.maxLSN
+// finFlush accumulates the control traffic of a commit group: FINALIZE
+// notices and late-final events per output port, and upstream ACKs per
+// input, delivered as one batched frame each when the group completes.
+// Order within a port is commit order, exactly as with per-task delivery.
+type finFlush struct {
+	finals map[int][]transport.FinalizeRef
+	lates  map[int][]event.Event
+	acks   map[int][]transport.FinalizeRef
+}
 
-	var finalizes []*outRecord
-	var lateFinals []*outRecord
-	if n.spec.Speculative {
-		for _, rec := range t.sent {
-			if !rec.finalSent {
-				rec.finalSent = true
-				finalizes = append(finalizes, rec)
+func (fb *finFlush) addFinal(port int, rec *outRecord) {
+	if fb.finals == nil {
+		fb.finals = make(map[int][]transport.FinalizeRef)
+	}
+	fb.finals[port] = append(fb.finals[port], transport.FinalizeRef{ID: rec.id, Version: rec.version})
+}
+
+func (fb *finFlush) addLate(port int, ev event.Event) {
+	if fb.lates == nil {
+		fb.lates = make(map[int][]event.Event)
+	}
+	fb.lates[port] = append(fb.lates[port], ev)
+}
+
+func (fb *finFlush) addAck(input int, id event.ID) {
+	if fb.acks == nil {
+		fb.acks = make(map[int][]transport.FinalizeRef)
+	}
+	fb.acks[input] = append(fb.acks[input], transport.FinalizeRef{ID: id})
+}
+
+// flush delivers the accumulated batches: one FINALIZE_BATCH and/or one
+// EVENT_BATCH message per port, and one ACK_BATCH per input upstream.
+func (fb *finFlush) flush(n *node) {
+	for port, evs := range fb.lates {
+		n.deliverToPort(port, transport.Message{Type: transport.MsgEventBatch, Events: evs})
+	}
+	for port, refs := range fb.finals {
+		n.deliverToPort(port, transport.Message{Type: transport.MsgFinalizeBatch, Finals: refs})
+	}
+	for input, refs := range fb.acks {
+		n.mu.Lock()
+		up := n.upstream[input]
+		n.mu.Unlock()
+		if up == nil {
+			continue
+		}
+		up.send(transport.Message{Type: transport.MsgAckBatch, Finals: refs})
+	}
+}
+
+// finishCommit runs the post-commit protocol for one task; the group
+// committer calls retireGroup directly to amortize the bookkeeping.
+func (n *node) finishCommit(t *task, fb *finFlush) {
+	one := [1]*task{t}
+	n.retireGroup(one[:], fb)
+}
+
+// retirePost carries one task's retirement state between the phases of
+// retireGroup.
+type retirePost struct {
+	t         *task
+	inputID   event.ID
+	inTrace   uint64
+	input     int
+	maxLSN    wal.LSN
+	throttled bool
+	ckptDue   bool
+}
+
+// retireGroup runs the post-commit protocol for a run of committed
+// tasks: finalize speculative outputs (or publish held outputs for
+// non-speculative nodes), ACK the consumed events upstream, advance the
+// commit cursor, and checkpoint if due. Called with commitMu held. With
+// fb non-nil (batched committer) the FINALIZE, late-final and ACK
+// deliveries are deferred into fb so the whole group ships one frame per
+// port or input. The map bookkeeping for the whole run happens under ONE
+// n.mu hold, and the commit cursor advances once by the run length —
+// per-task effects are otherwise identical to one-at-a-time retirement.
+func (n *node) retireGroup(run []*task, fb *finFlush) {
+	posts := n.retirePosts[:0]
+	defer func() {
+		clear(posts[:cap(posts)]) // drop task pointers held in dead slots
+		n.retirePosts = posts[:0]
+	}()
+	for _, t := range run {
+		t.mu.Lock()
+		t.state = taskCommitted
+		if t.tainted {
+			t.tainted = false
+			n.openTainted.Add(-1)
+		}
+		p := retirePost{
+			t:         t,
+			inputID:   t.ev.ID,
+			inTrace:   t.ev.Trace,
+			input:     t.input,
+			maxLSN:    t.maxLSN,
+			throttled: t.throttleHeld,
+		}
+		t.throttleHeld = false
+
+		var finalizes []*outRecord
+		var lateFinals []*outRecord
+		if n.spec.Speculative {
+			for _, rec := range t.sent {
+				if !rec.finalSent {
+					rec.finalSent = true
+					finalizes = append(finalizes, rec)
+				}
+			}
+		} else {
+			// Baseline path: outputs were held; publish them final now.
+			for k, out := range t.outs {
+				n.mu.Lock()
+				n.outEmitSeq++
+				rec := &outRecord{
+					id:          outputID(n.opID, p.inputID, k),
+					port:        out.port,
+					ts:          out.ts,
+					key:         out.key,
+					payload:     out.payload,
+					trace:       p.inTrace,
+					finalSent:   true,
+					pendingAcks: n.bufferedLinks(out.port),
+					seq:         n.outEmitSeq,
+				}
+				if rec.pendingAcks > 0 {
+					n.outBuf[rec.id] = rec
+				}
+				n.mu.Unlock()
+				t.sent = append(t.sent, rec)
+				lateFinals = append(lateFinals, rec)
 			}
 		}
-	} else {
-		// Baseline path: outputs were held; publish them final now.
-		for k, out := range t.outs {
-			n.mu.Lock()
-			n.outEmitSeq++
-			rec := &outRecord{
-				id:          outputID(n.opID, inputID, k),
-				port:        out.port,
-				ts:          out.ts,
-				key:         out.key,
-				payload:     out.payload,
-				trace:       inTrace,
-				finalSent:   true,
-				pendingAcks: n.bufferedLinks(out.port),
-				seq:         n.outEmitSeq,
-			}
-			if rec.pendingAcks > 0 {
-				n.outBuf[rec.id] = rec
-			}
-			n.mu.Unlock()
-			t.sent = append(t.sent, rec)
-			lateFinals = append(lateFinals, rec)
-		}
-	}
-	t.mu.Unlock()
+		t.mu.Unlock()
 
-	for _, rec := range finalizes {
-		if m := n.eng.met; m != nil && !rec.specAt.IsZero() {
-			m.specWindow.Record(time.Since(rec.specAt))
+		for _, rec := range finalizes {
+			if m := n.eng.met; m != nil && !rec.specAt.IsZero() {
+				m.specWindow.Record(time.Since(rec.specAt))
+			}
+			if tr := n.eng.tracer; tr != nil {
+				tr.RecordTrace(n.spec.Name, rec.id.String(), rec.trace, metrics.PhaseFinalize, "")
+			}
+			if fb != nil {
+				fb.addFinal(rec.port, rec)
+				continue
+			}
+			n.deliverToPort(rec.port, transport.Message{
+				Type: transport.MsgFinalize, ID: rec.id, Version: rec.version,
+			})
 		}
-		if tr := n.eng.tracer; tr != nil {
-			tr.RecordTrace(n.spec.Name, rec.id.String(), rec.trace, metrics.PhaseFinalize, "")
+		for _, rec := range lateFinals {
+			n.cFinalSent.Add(1)
+			if tr := n.eng.tracer; tr != nil {
+				tr.RecordTrace(n.spec.Name, rec.id.String(), rec.trace, metrics.PhaseFinalOut, "from="+p.inputID.String())
+			}
+			if fb != nil {
+				fb.addLate(rec.port, rec.toEvent(false))
+				continue
+			}
+			n.deliverToPort(rec.port, transport.Message{
+				Type: transport.MsgEvent, Event: rec.toEvent(false),
+			})
 		}
-		n.deliverToPort(rec.port, transport.Message{
-			Type: transport.MsgFinalize, ID: rec.id, Version: rec.version,
-		})
-	}
-	for _, rec := range lateFinals {
-		n.cFinalSent.Add(1)
-		if tr := n.eng.tracer; tr != nil {
-			tr.RecordTrace(n.spec.Name, rec.id.String(), rec.trace, metrics.PhaseFinalOut, "from="+inputID.String())
-		}
-		n.deliverToPort(rec.port, transport.Message{
-			Type: transport.MsgEvent, Event: rec.toEvent(false),
-		})
+		posts = append(posts, p)
 	}
 
+	ckpt := n.spec.Traits.Stateful && n.spec.CheckpointEvery > 0
 	n.mu.Lock()
-	n.committed[inputID] = true
-	delete(n.tasks, inputID)
-	delete(n.bySeq, t.seq)
-	delete(n.pendFin, inputID)
-	delete(n.pendRevoke, inputID)
-	n.lastCommitted[input] = inputID
-	if maxLSN > n.coveredLSN {
-		n.coveredLSN = maxLSN
-	}
-	n.commitCount++
-	ckptDue := false
-	if n.spec.Traits.Stateful && n.spec.CheckpointEvery > 0 {
-		n.sinceCkpt = append(n.sinceCkpt, ackTarget{input: input, id: inputID})
-		ckptDue = n.commitCount%uint64(n.spec.CheckpointEvery) == 0
+	for i := range posts {
+		p := &posts[i]
+		n.committed[p.inputID] = true
+		delete(n.tasks, p.inputID)
+		delete(n.bySeq, p.t.seq)
+		delete(n.pendFin, p.inputID)
+		delete(n.pendRevoke, p.inputID)
+		n.lastCommitted[p.input] = p.inputID
+		if p.maxLSN > n.coveredLSN {
+			n.coveredLSN = p.maxLSN
+		}
+		n.commitCount++
+		if ckpt {
+			n.sinceCkpt = append(n.sinceCkpt, ackTarget{input: p.input, id: p.inputID})
+			p.ckptDue = n.commitCount%uint64(n.spec.CheckpointEvery) == 0
+		}
 	}
 	n.mu.Unlock()
 
-	// Stateless nodes (and stateful ones without periodic checkpoints)
-	// ACK at commit; checkpointing stateful nodes batch their ACKs until
-	// the covering checkpoint is stable (paper §2.2: upstream keeps events
-	// processed after the last checkpoint).
-	if !n.spec.Traits.Stateful || n.spec.CheckpointEvery == 0 {
-		n.ackUpstream(input, inputID)
+	for i := range posts {
+		p := &posts[i]
+		// Stateless nodes (and stateful ones without periodic checkpoints)
+		// ACK at commit; checkpointing stateful nodes batch their ACKs until
+		// the covering checkpoint is stable (paper §2.2: upstream keeps
+		// events processed after the last checkpoint).
+		if !ckpt {
+			if fb != nil {
+				fb.addAck(p.input, p.inputID)
+			} else {
+				n.ackUpstream(p.input, p.inputID)
+			}
+		}
+		if p.ckptDue {
+			n.takeCheckpoint()
+		}
+		if p.throttled {
+			n.throttle.Release(false)
+		}
 	}
-	if ckptDue {
-		n.takeCheckpoint()
-	}
-
-	if throttled {
-		n.throttle.Release(false)
-	}
-	n.nextCommit.Add(1)
+	n.nextCommit.Add(int64(len(posts)))
 	n.throttle.Wake() // head moved: re-evaluate parked head-bypass waiters
-	n.cCommitted.Add(1)
-	if m := n.eng.met; m != nil && !t.admitted.IsZero() {
-		m.finalizeLat.Record(time.Since(t.admitted))
+	n.cCommitted.Add(uint64(len(posts)))
+	if m := n.eng.met; m != nil {
+		for i := range posts {
+			if t := posts[i].t; !t.admitted.IsZero() {
+				m.finalizeLat.Record(time.Since(t.admitted))
+			}
+		}
 	}
 	if tr := n.eng.tracer; tr != nil {
-		tr.RecordTrace(n.spec.Name, inputID.String(), inTrace, metrics.PhaseCommit, "")
+		for i := range posts {
+			tr.RecordTrace(n.spec.Name, posts[i].inputID.String(), posts[i].inTrace, metrics.PhaseCommit, "")
+		}
 	}
 }
 
@@ -1465,18 +1984,37 @@ func (n *node) takeCheckpoint() {
 	}
 }
 
+// mirrorChunk is the fixed capacity of one stableRecs chunk.
+const mirrorChunk = 1024
+
 // mirrorStable retains stable decision records for recovery replay.
 func (n *node) mirrorStable(recs []wal.Record) {
 	n.recMu.Lock()
-	n.stableRecs = append(n.stableRecs, recs...)
+	for len(recs) > 0 {
+		last := len(n.stableRecs) - 1
+		if last < 0 || len(n.stableRecs[last]) == mirrorChunk {
+			n.stableRecs = append(n.stableRecs, make([]wal.Record, 0, mirrorChunk))
+			last++
+		}
+		room := mirrorChunk - len(n.stableRecs[last])
+		take := min(room, len(recs))
+		n.stableRecs[last] = append(n.stableRecs[last], recs[:take]...)
+		recs = recs[take:]
+	}
 	n.recMu.Unlock()
 }
 
 // stableRecords returns this node's stable decision records in LSN order.
 func (n *node) stableRecords() []wal.Record {
 	n.recMu.Lock()
-	out := make([]wal.Record, len(n.stableRecs))
-	copy(out, n.stableRecs)
+	total := 0
+	for _, c := range n.stableRecs {
+		total += len(c)
+	}
+	out := make([]wal.Record, 0, total)
+	for _, c := range n.stableRecs {
+		out = append(out, c...)
+	}
 	n.recMu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].LSN < out[j].LSN })
 	return out

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"streammine/internal/flow"
 	"streammine/internal/graph"
 	"streammine/internal/metrics"
 	"streammine/internal/operator"
@@ -32,6 +33,10 @@ func TestProfilerAttributesConflicts(t *testing.T) {
 		Traits:      operator.ClassifierTraits(1),
 		Speculative: true,
 		Workers:     8,
+		// Batched finalize must not disturb the ledger: per-event abort
+		// accounting and conflict witnesses survive group commit, so the
+		// exact equalities below hold with batching on.
+		Flow: &flow.Limits{BatchSize: 8},
 	})
 	g.Connect(src, 0, hot, 0)
 	eng := newTestEngine(t, g, Options{Seed: 91, Metrics: reg, Profiler: prof})

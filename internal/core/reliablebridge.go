@@ -66,6 +66,13 @@ type BridgeOptions struct {
 	// CREDIT frames; control traffic is never gated. Zero disables credit
 	// flow control (pre-flow behavior).
 	CreditWindow int
+	// Batch, when > 1, coalesces up to Batch consecutive data events into
+	// one EVENT_BATCH wire frame (one length prefix, one credit charge,
+	// one syscall). Requires CreditWindow > 0; ignored otherwise.
+	Batch int
+	// BatchLinger bounds a single extra wait for a fuller batch after the
+	// sender already holds at least one event. Zero never waits.
+	BatchLinger time.Duration
 	// RTT, when set, observes the dial round-trip (connect + hello) of
 	// every connection attempt that succeeds — a proxy for the network
 	// latency a cut edge adds per hop.
@@ -112,7 +119,7 @@ func (e *Engine) BridgeOutReliableOpts(id graph.NodeID, port int, addr string, o
 	var l link = &reliableLink{b: b}
 	if o.CreditWindow > 0 {
 		b.gate = flow.NewCreditGate(o.CreditWindow)
-		b.cl = newCreditedLink(l, b.gate)
+		b.cl = newCreditedLink(l, b.gate, o.Batch, o.BatchLinger)
 		l = b.cl
 	}
 	n.addLink(port, l)

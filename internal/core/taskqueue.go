@@ -37,6 +37,27 @@ func (q *taskQueue) Push(t *task) {
 	q.mu.Unlock()
 }
 
+// PushAll enqueues a run of tasks under one lock acquisition — the
+// batched-admission counterpart of Push.
+func (q *taskQueue) PushAll(ts []*task) {
+	if len(ts) == 0 {
+		return
+	}
+	q.mu.Lock()
+	if !q.closed {
+		for _, t := range ts {
+			q.heap = append(q.heap, t)
+			q.up(len(q.heap) - 1)
+		}
+		if len(ts) == 1 {
+			q.cond.Signal()
+		} else {
+			q.cond.Broadcast()
+		}
+	}
+	q.mu.Unlock()
+}
+
 // Pop blocks for the lowest-sequence queued task. It returns ok=false
 // once the queue is closed and drained.
 func (q *taskQueue) Pop() (*task, bool) {

@@ -1,0 +1,32 @@
+package event
+
+import "sync"
+
+// bufPool recycles encode scratch buffers across frame writes, so the
+// transport hot path does not allocate a fresh buffer per frame. Buffers
+// are pooled by pointer (a plain []byte in a sync.Pool re-allocates the
+// slice header on every Put).
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// GetBuffer returns a zero-length scratch buffer with pooled capacity.
+// Callers append into it and must hand it back with PutBuffer once the
+// encoded bytes have been consumed (written to the wire).
+func GetBuffer() []byte {
+	return (*bufPool.Get().(*[]byte))[:0]
+}
+
+// PutBuffer recycles a buffer obtained from GetBuffer. Oversized buffers
+// (past 1 MiB) are dropped so a single jumbo payload does not pin its
+// capacity in the pool forever.
+func PutBuffer(b []byte) {
+	if cap(b) > 1<<20 {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}

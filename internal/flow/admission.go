@@ -29,6 +29,19 @@ func NewTokenBucket(rate float64, burst int) *TokenBucket {
 // returns the duration until a token will be available at the current
 // rate.
 func (b *TokenBucket) Take(now time.Time) (ok bool, wait time.Duration) {
+	return b.TakeN(now, 1)
+}
+
+// TakeN attempts to consume n tokens at once — one bucket charge for a
+// whole batch. A batch larger than the bucket depth is admitted when the
+// bucket is full, driving the level negative; the debt is paid back by
+// future refills, so the sustained rate is still honored. On failure it
+// returns the duration until the batch will fit at the current rate.
+func (b *TokenBucket) TakeN(now time.Time, n int) (ok bool, wait time.Duration) {
+	if n < 1 {
+		n = 1
+	}
+	need := float64(n)
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if !b.last.IsZero() {
@@ -38,15 +51,18 @@ func (b *TokenBucket) Take(now time.Time) (ok bool, wait time.Duration) {
 		}
 	}
 	b.last = now
-	if b.tokens >= 1 {
-		b.tokens--
+	if b.tokens >= need || (need > b.burst && b.tokens >= b.burst) {
+		b.tokens -= need
 		return true, 0
 	}
 	if b.rate <= 0 {
 		return false, time.Second
 	}
-	need := 1 - b.tokens
-	return false, time.Duration(need / b.rate * float64(time.Second))
+	missing := need - b.tokens
+	if need > b.burst {
+		missing = b.burst - b.tokens
+	}
+	return false, time.Duration(missing / b.rate * float64(time.Second))
 }
 
 // SetRate changes the refill rate.
@@ -197,20 +213,32 @@ func sleepInterruptible(d time.Duration, quit <-chan struct{}) bool {
 // never blocks: an event that cannot take a token immediately is Shed.
 // Without shedding it blocks (interruptibly) until a token is available.
 func (a *Admission) Admit() Outcome {
+	return a.AdmitN(1)
+}
+
+// AdmitN decides the fate of a batch of n source events with one bucket
+// charge and at most one pressure sample — the amortized admission path.
+// The outcome applies to the whole batch: admitted together, or (with
+// shedding) shed together. Events in a shed batch were never logged, so
+// recovery semantics are untouched, exactly as for single-event shedding.
+func (a *Admission) AdmitN(n int) Outcome {
+	if n < 1 {
+		n = 1
+	}
 	for {
 		select {
 		case <-a.quit:
 			return Stopped
 		default:
 		}
-		a.adapt()
-		ok, wait := a.bucket.Take(a.now())
+		a.adapt(n)
+		ok, wait := a.bucket.TakeN(a.now(), n)
 		if ok {
-			a.admitted.Add(1)
+			a.admitted.Add(uint64(n))
 			return Admitted
 		}
 		if a.shed {
-			a.shedded.Add(1)
+			a.shedded.Add(uint64(n))
 			return Shed
 		}
 		if !a.sleep(wait, a.quit) {
@@ -219,14 +247,15 @@ func (a *Admission) Admit() Outcome {
 	}
 }
 
-// adapt samples downstream pressure every pressureEvery admissions and
-// retunes the bucket rate through the AIMD controller.
-func (a *Admission) adapt() {
+// adapt samples downstream pressure every pressureEvery admitted events
+// and retunes the bucket rate through the AIMD controller. n is the batch
+// width of the current admission attempt.
+func (a *Admission) adapt(n int) {
 	if a.aimd == nil {
 		return
 	}
 	a.sampleMu.Lock()
-	a.sinceSample++
+	a.sinceSample += n
 	if a.sinceSample < a.pressureEvery {
 		a.sampleMu.Unlock()
 		return

@@ -44,6 +44,32 @@ func (g *CreditGate) Acquire() bool {
 	return true
 }
 
+// AcquireN blocks until n credits are available and consumes them all —
+// one gate charge for a whole batch. Batches wider than the window are
+// granted when the window is fully available (the window then goes
+// negative until the receiver returns the excess), so a batch larger
+// than the window cannot deadlock the edge. It returns false if the gate
+// was closed, in which case no credits were consumed.
+func (g *CreditGate) AcquireN(n int) bool {
+	if n <= 1 {
+		return g.Acquire()
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	need := n
+	if need > g.window {
+		need = g.window
+	}
+	for g.avail < need && !g.closed {
+		g.cond.Wait()
+	}
+	if g.closed {
+		return false
+	}
+	g.avail -= n
+	return true
+}
+
 // TryAcquire consumes a credit without blocking. It reports whether a
 // credit was consumed.
 func (g *CreditGate) TryAcquire() bool {

@@ -22,6 +22,8 @@
 //     paper's promptness-vs-waste knob turned automatically.
 package flow
 
+import "time"
+
 // Limits configures flow control for one node. The zero value disables
 // every mechanism, preserving the unbounded pre-flow behavior.
 type Limits struct {
@@ -64,6 +66,19 @@ type Limits struct {
 	// MinOpenSpec floors the adaptive cap when the abort rate is high.
 	// Defaults to 1.
 	MinOpenSpec int `json:"minOpenSpec,omitempty"`
+
+	// BatchSize enables hot-path batching on the node: source emissions,
+	// credit-gated edge transfers and commit finalization amortize their
+	// per-event costs over runs of up to BatchSize events. Zero or one
+	// disables batching. Batching never delays a lone event on the commit
+	// path — the committer only groups tasks that are already ready.
+	BatchSize int `json:"batchSize,omitempty"`
+
+	// BatchLingerMicros bounds how long a sender may hold an under-full
+	// batch open waiting for more events (microseconds). It applies to
+	// edge senders and source-side emit coalescing only, never to commit
+	// finalization. Zero sends partial batches immediately.
+	BatchLingerMicros int `json:"batchLingerMicros,omitempty"`
 }
 
 // Enabled reports whether any flow mechanism is configured.
@@ -71,5 +86,24 @@ func (l *Limits) Enabled() bool {
 	if l == nil {
 		return false
 	}
-	return l.MailboxCap > 0 || l.CreditWindow > 0 || l.AdmitRate > 0 || l.MaxOpenSpec > 0
+	return l.MailboxCap > 0 || l.CreditWindow > 0 || l.AdmitRate > 0 || l.MaxOpenSpec > 0 ||
+		l.BatchSize > 1
+}
+
+// Batch returns the effective batch size: at least 1, so callers can use
+// it directly as a loop bound.
+func (l *Limits) Batch() int {
+	if l == nil || l.BatchSize < 1 {
+		return 1
+	}
+	return l.BatchSize
+}
+
+// Linger returns the configured batch linger as a duration (zero = send
+// partial batches immediately).
+func (l *Limits) Linger() time.Duration {
+	if l == nil || l.BatchLingerMicros <= 0 {
+		return 0
+	}
+	return time.Duration(l.BatchLingerMicros) * time.Microsecond
 }

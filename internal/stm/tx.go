@@ -473,6 +473,20 @@ func (tx *Tx) DepsOpen() int {
 // ErrConflict if the transaction aborted, a dependency aborted, or
 // validation failed (the caller must Abort and re-execute).
 func (tx *Tx) Commit() error {
+	if err := tx.commitPrepare(); err != nil {
+		return err
+	}
+	tx.mem.commitGate.RLock()
+	version := tx.mem.clock.Add(1)
+	tx.commitApplyLocked(version)
+	tx.mem.commitGate.RUnlock()
+	return nil
+}
+
+// commitPrepare checks dependencies, claims the committing state and
+// revalidates the read set — everything Commit does before touching the
+// commit gate. On ErrConflict the transaction has been aborted.
+func (tx *Tx) commitPrepare() error {
 	// Check dependencies before claiming the committing state.
 	tx.mu.Lock()
 	deps := make([]*Tx, 0, len(tx.deps))
@@ -505,9 +519,13 @@ func (tx *Tx) Commit() error {
 		tx.doAbort()
 		return ErrConflict
 	}
+	return nil
+}
 
-	tx.mem.commitGate.RLock()
-	version := tx.mem.clock.Add(1)
+// commitApplyLocked applies the buffered writes at the given commit
+// version and releases the lock entries. The caller holds the commit gate
+// (read side) and has successfully run commitPrepare.
+func (tx *Tx) commitApplyLocked(version uint64) {
 	tx.commitVersion = version
 	tx.mu.Lock()
 	for addr, v := range tx.writes {
@@ -521,11 +539,8 @@ func (tx *Tx) Commit() error {
 	for _, slot := range slots {
 		tx.unchain(slot, version)
 	}
-	tx.mem.commitGate.RUnlock()
-
 	tx.status.Store(int32(StatusCommitted))
 	tx.mem.commits.Add(1)
-	return nil
 }
 
 // unchain removes tx from a lock-array slot, setting the slot's version if

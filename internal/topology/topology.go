@@ -255,6 +255,36 @@ func (cfg *Config) FlowFor(name string) *flow.Limits {
 	return cfg.Flow
 }
 
+// ApplyBatch overrides the hot-path batch size and linger across the
+// whole topology: on the flow default and on every per-node flow section
+// (a node's section replaces the default entirely, so it must carry the
+// batch setting too, or the override would silently disable batching on
+// that node). size <= 0 leaves sizes untouched; linger <= 0 leaves
+// lingers untouched. The streammine -batch/-batch-linger flags call this
+// before the graph (or the cluster deployment payload) is built.
+func (cfg *Config) ApplyBatch(size int, linger time.Duration) {
+	if size <= 0 && linger <= 0 {
+		return
+	}
+	apply := func(l *flow.Limits) {
+		if size > 0 {
+			l.BatchSize = size
+		}
+		if linger > 0 {
+			l.BatchLingerMicros = int(linger / time.Microsecond)
+		}
+	}
+	if cfg.Flow == nil {
+		cfg.Flow = &flow.Limits{}
+	}
+	apply(cfg.Flow)
+	for i := range cfg.Nodes {
+		if cfg.Nodes[i].Flow != nil {
+			apply(cfg.Nodes[i].Flow)
+		}
+	}
+}
+
 // CreditWindowFor derives the per-edge credit window for the named node —
 // the explicit CreditWindow when set, else the mailbox capacity split
 // evenly across the node's inputs. This mirrors the rule the core engine

@@ -15,8 +15,11 @@ import (
 //	type   uint8
 //	body   (event encoding for MsgEvent; fixed control tuple otherwise)
 const (
-	controlBody  = 4 + 8 + 4 // source, seq, version
-	maxFrameSize = 4 + 1 + event.MaxPayload + 64
+	controlBody = 4 + 8 + 4 // source, seq, version
+	// maxFrameSize is the sanity cap on a frame length prefix. Batch
+	// frames carry several events, so the cap leaves room for a few
+	// maximum-size payloads rather than exactly one.
+	maxFrameSize = 4 + 1 + 4 + 4*(event.MaxPayload+64)
 )
 
 // ErrFrameTooLarge reports a frame length prefix exceeding the sanity cap.
@@ -29,6 +32,19 @@ func EncodeMessage(dst []byte, m Message) []byte {
 	switch m.Type {
 	case MsgEvent:
 		dst = m.Event.Encode(dst)
+	case MsgEventBatch:
+		dst = event.EncodeBatch(dst, m.Events)
+	case MsgFinalizeBatch, MsgAckBatch:
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(m.Finals)))
+		dst = append(dst, n[:]...)
+		for _, f := range m.Finals {
+			var b [controlBody]byte
+			binary.LittleEndian.PutUint32(b[0:], uint32(f.ID.Source))
+			binary.LittleEndian.PutUint64(b[4:], uint64(f.ID.Seq))
+			binary.LittleEndian.PutUint32(b[12:], uint32(f.Version))
+			dst = append(dst, b[:]...)
+		}
 	case MsgHello, MsgRegister, MsgAssign, MsgStart, MsgStatus, MsgStop:
 		dst = append(dst, m.Payload...)
 	default:
@@ -43,7 +59,12 @@ func EncodeMessage(dst []byte, m Message) []byte {
 }
 
 // DecodeMessage parses one frame from src, returning the message and bytes
-// consumed. Event payloads are copied (frames outlive read buffers).
+// consumed. Single-event payloads are copied (frames outlive read
+// buffers). Batched event payloads are NOT copied: they alias src — the
+// zero-copy path. ReadMessage allocates a fresh buffer per frame and
+// never reuses it, so batch events decoded through it own their backing
+// array collectively; callers decoding from a reused buffer must clone
+// batch events before the next frame overwrites it.
 func DecodeMessage(src []byte) (Message, int, error) {
 	if len(src) < 5 {
 		return Message{}, 0, event.ErrShortBuffer
@@ -67,6 +88,34 @@ func DecodeMessage(src []byte) (Message, int, error) {
 			return Message{}, 0, fmt.Errorf("decode event frame: %w", err)
 		}
 		m.Event = e.Clone() // detach from the read buffer
+	case MsgEventBatch:
+		evs, n, err := event.DecodeBatch(body)
+		if err != nil {
+			return Message{}, 0, fmt.Errorf("decode batch frame: %w", err)
+		}
+		if n != len(body) {
+			return Message{}, 0, fmt.Errorf("decode batch frame: %d trailing bytes", len(body)-n)
+		}
+		m.Events = evs // zero-copy: payloads alias the frame buffer
+	case MsgFinalizeBatch, MsgAckBatch:
+		if len(body) < 4 {
+			return Message{}, 0, event.ErrShortBuffer
+		}
+		count := binary.LittleEndian.Uint32(body)
+		if int(count)*controlBody != len(body)-4 {
+			return Message{}, 0, event.ErrShortBuffer
+		}
+		m.Finals = make([]FinalizeRef, count)
+		for i := range m.Finals {
+			rec := body[4+i*controlBody:]
+			m.Finals[i] = FinalizeRef{
+				ID: event.ID{
+					Source: event.SourceID(binary.LittleEndian.Uint32(rec[0:])),
+					Seq:    event.Seq(binary.LittleEndian.Uint64(rec[4:])),
+				},
+				Version: event.Version(binary.LittleEndian.Uint32(rec[12:])),
+			}
+		}
 	case MsgHello, MsgRegister, MsgAssign, MsgStart, MsgStatus, MsgStop:
 		if len(body) > 0 {
 			m.Payload = make([]byte, len(body)) // detach from the read buffer
@@ -87,10 +136,14 @@ func DecodeMessage(src []byte) (Message, int, error) {
 	return m, 4 + int(length), nil
 }
 
-// WriteMessage writes one frame to w.
+// WriteMessage writes one frame to w, encoding through a pooled scratch
+// buffer so steady-state sends do not allocate per frame.
 func WriteMessage(w io.Writer, m Message) error {
-	buf := EncodeMessage(nil, m)
-	if _, err := w.Write(buf); err != nil {
+	buf := event.GetBuffer()
+	buf = EncodeMessage(buf, m)
+	_, err := w.Write(buf)
+	event.PutBuffer(buf)
+	if err != nil {
 		return fmt.Errorf("write frame: %w", err)
 	}
 	return nil

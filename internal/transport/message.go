@@ -29,6 +29,15 @@ type Message struct {
 	Version event.Version // version finalized / revoked
 	Input   int           // receiving input index (set by the receiver side)
 	Payload []byte        // opaque body for control-plane messages (MsgHello..MsgStop)
+	Events  []event.Event // payload for MsgEventBatch (same edge, admission order)
+	Finals  []FinalizeRef // payload for MsgFinalizeBatch / MsgAckBatch (commit order)
+}
+
+// FinalizeRef identifies one finalized output inside a MsgFinalizeBatch:
+// the event and the version whose content became final.
+type FinalizeRef struct {
+	ID      event.ID
+	Version event.Version
 }
 
 // MsgType discriminates message kinds on the wire.
@@ -42,6 +51,14 @@ type MsgType uint8
 // flow-control grant on a bridged data edge: the receiver returns credits
 // as events leave its mailbox, and the grant count rides ID.Seq (there is
 // no subject event).
+//
+// MsgEventBatch, MsgFinalizeBatch and MsgAckBatch are the amortized
+// hot-path frames: a run of same-edge events (or FINALIZE notices, or
+// upstream ACKs) travels as one frame, one mailbox push, and — on
+// credit-gated edges — one batched credit charge. They are versioned by
+// their type byte, like the CREDIT kind before them: old encoders never
+// emit the new types, so unbatched frames stay byte-identical to the
+// legacy wire format.
 const (
 	MsgEvent MsgType = iota + 1
 	MsgFinalize
@@ -56,10 +73,13 @@ const (
 	MsgStatus
 	MsgStop
 	MsgCredit
+	MsgEventBatch
+	MsgFinalizeBatch
+	MsgAckBatch
 )
 
 // maxMsgType is the highest defined message kind (metrics sizing).
-const maxMsgType = MsgCredit
+const maxMsgType = MsgAckBatch
 
 // String names the message type.
 func (t MsgType) String() string {
@@ -90,6 +110,12 @@ func (t MsgType) String() string {
 		return "STOP"
 	case MsgCredit:
 		return "CREDIT"
+	case MsgEventBatch:
+		return "EVENT_BATCH"
+	case MsgFinalizeBatch:
+		return "FINALIZE_BATCH"
+	case MsgAckBatch:
+		return "ACK_BATCH"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(t))
 	}
