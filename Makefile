@@ -53,7 +53,7 @@ doccheck:
 # doubled waste_cpu_pct (CI does this against the last archived artifact).
 bench:
 	go test -bench . -benchtime 1x -run '^$$' ./... > bench-raw.txt || (cat bench-raw.txt; rm -f bench-raw.txt; exit 1)
-	go run ./cmd/benchjson -require events_per_sec,latency_p99_us \
+	go run ./cmd/benchjson -require events_per_sec,latency_p99_us,ingest_admit_p99_ms,ingest_shed_pct \
 		$(if $(BENCHPREV),-prev $(BENCHPREV)) \
 		-out BENCH_$(BENCHREV).json < bench-raw.txt
 	@rm -f bench-raw.txt

@@ -39,6 +39,10 @@ type Result struct {
 	// Sustained throughput reported by open-loop benchmarks
 	// (b.ReportMetric with "events/sec" units).
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// Ingest-gateway edge metrics reported by the network ingest
+	// benchmark ("ingest-admit-p99-ms" / "ingest-shed-pct" units).
+	IngestAdmitP99Ms float64 `json:"ingest_admit_p99_ms,omitempty"`
+	IngestShedPct    float64 `json:"ingest_shed_pct,omitempty"`
 }
 
 // columns maps a -require column name to a probe reporting whether a
@@ -54,6 +58,8 @@ var columns = map[string]func(*Result) bool{
 	"waste_cpu_pct":              func(r *Result) bool { return r.WasteCPUPct != 0 },
 	"aborted_attempts_per_event": func(r *Result) bool { return r.AbortedAttemptsPerEvent != 0 },
 	"events_per_sec":             func(r *Result) bool { return r.EventsPerSec != 0 },
+	"ingest_admit_p99_ms":        func(r *Result) bool { return r.IngestAdmitP99Ms != 0 },
+	"ingest_shed_pct":            func(r *Result) bool { return r.IngestShedPct != 0 },
 }
 
 // Report is the file-level record.
@@ -159,6 +165,10 @@ func parseBench(pkg, line string) (Result, bool) {
 			r.AbortedAttemptsPerEvent = v
 		case "events/sec":
 			r.EventsPerSec = v
+		case "ingest-admit-p99-ms":
+			r.IngestAdmitP99Ms = v
+		case "ingest-shed-pct":
+			r.IngestShedPct = v
 		}
 	}
 	return r, true

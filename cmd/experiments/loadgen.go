@@ -1,0 +1,165 @@
+package main
+
+import (
+	"crypto/tls"
+	"flag"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"streammine/internal/ingest"
+	"streammine/internal/metrics"
+)
+
+// loadgen drives an ingest gateway with open-loop, deficit-paced traffic
+// from N concurrent clients — the tool behind the ingest throughput and
+// backpressure numbers in docs/INGEST.md. Each client owns one tenant
+// sequence space (its own connection), paces to rate/clients records per
+// second modulated by the selected curve, and reports batch-ACK latency
+// quantiles plus the retry/dedup counts its at-least-once resends
+// produced.
+
+type loadgenCfg struct {
+	on      *bool
+	addr    *string
+	stream  *string
+	token   *string
+	rate    *int
+	count   *int
+	clients *int
+	batch   *int
+	payload *int
+	curve   *string
+	tlsSkip *bool
+}
+
+func loadgenFlags() *loadgenCfg {
+	return &loadgenCfg{
+		on:      flag.Bool("loadgen", false, "run the ingest load generator instead of the paper experiments"),
+		addr:    flag.String("addr", "127.0.0.1:9200", "with -loadgen: ingest gateway address"),
+		stream:  flag.String("stream", "src", "with -loadgen: target stream (topology source name)"),
+		token:   flag.String("token", "", "with -loadgen: tenant bearer token, or a comma-separated list assigned to clients round-robin; empty gives each client its own token (open gateways map each to its own tenant)"),
+		rate:    flag.Int("rate", 5000, "with -loadgen: offered records/second across all clients"),
+		count:   flag.Int("count", 50000, "with -loadgen: records per client"),
+		clients: flag.Int("clients", 4, "with -loadgen: concurrent client connections"),
+		batch:   flag.Int("batch", 64, "with -loadgen: records per BATCH frame"),
+		payload: flag.Int("payload", 64, "with -loadgen: payload bytes per record"),
+		curve:   flag.String("curve", "steady", "with -loadgen: offered-load shape: steady, burst or diurnal"),
+		tlsSkip: flag.Bool("tls-insecure", false, "with -loadgen: dial TLS without certificate verification"),
+	}
+}
+
+func (c *loadgenCfg) enabled() bool { return *c.on }
+
+// curveFactor modulates the offered rate at time t: steady holds 1.0,
+// burst alternates 2 s of 2x with 2 s of nearly idle, diurnal sweeps a
+// 20 s sinusoid between 0.2x and 1.8x.
+func curveFactor(curve string, t time.Duration) float64 {
+	switch curve {
+	case "burst":
+		if int(t.Seconds())%4 < 2 {
+			return 2.0
+		}
+		return 0.05
+	case "diurnal":
+		return 1.0 + 0.8*math.Sin(2*math.Pi*t.Seconds()/20)
+	default:
+		return 1.0
+	}
+}
+
+func (c *loadgenCfg) run() error {
+	if *c.clients < 1 {
+		*c.clients = 1
+	}
+	perClient := float64(*c.rate) / float64(*c.clients)
+	payload := make([]byte, *c.payload)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	// Each client needs its own tenant sequence space: clients sharing a
+	// tenant interleave in one space and dedup each other. Empty -token
+	// synthesizes one token per client (an open gateway maps each to its
+	// own tenant); a comma-separated list is assigned round-robin so a
+	// tenant-configured gateway can spread clients across real tenants.
+	tokens := strings.Split(*c.token, ",")
+	tokenFor := func(ci int) string {
+		if *c.token == "" {
+			return fmt.Sprintf("loadgen-%d", ci)
+		}
+		return tokens[ci%len(tokens)]
+	}
+	var tlsCfg *tls.Config
+	if *c.tlsSkip {
+		tlsCfg = &tls.Config{InsecureSkipVerify: true}
+	}
+	fmt.Printf("loadgen: %d clients → %s stream %q, %d rec/s offered (%s curve), %d records each\n",
+		*c.clients, *c.addr, *c.stream, *c.rate, *c.curve, *c.count)
+
+	ackHist := metrics.NewHDR()
+	var mu sync.Mutex
+	var totalAcked, totalDups, totalRetries uint64
+	var firstErr error
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci := 0; ci < *c.clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			cl := ingest.NewClient(*c.addr, *c.stream, ingest.ClientOptions{Token: tokenFor(ci), TLS: tlsCfg})
+			defer cl.Close()
+			sent := 0
+			for sent < *c.count {
+				// Open-loop deficit pacing: emit whatever the modulated
+				// rate says is due, sleep a tick, repeat.
+				due := int(time.Since(start).Seconds()*perClient*curveFactor(*c.curve, time.Since(start))) + 1
+				if due > *c.count {
+					due = *c.count
+				}
+				for sent < due {
+					n := due - sent
+					if n > *c.batch {
+						n = *c.batch
+					}
+					recs := make([]ingest.Record, n)
+					for i := range recs {
+						recs[i] = ingest.Record{Key: uint64(ci)<<32 | uint64(sent+i), Payload: payload}
+					}
+					t0 := time.Now()
+					if err := cl.Send(recs); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("client %d: %w", ci, err)
+						}
+						mu.Unlock()
+						return
+					}
+					ackHist.Record(time.Since(t0))
+					sent += n
+				}
+				time.Sleep(time.Millisecond)
+			}
+			mu.Lock()
+			totalAcked += cl.Acked()
+			totalDups += cl.Dups()
+			totalRetries += cl.Retries()
+			mu.Unlock()
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	fmt.Printf("loadgen: acked=%d dups=%d retries=%d elapsed=%v achieved=%.0f rec/s\n",
+		totalAcked, totalDups, totalRetries, elapsed.Round(time.Millisecond),
+		float64(totalAcked)/elapsed.Seconds())
+	fmt.Printf("loadgen: batch ack latency p50=%v p99=%v max=%v\n",
+		ackHist.QuantileDuration(0.5), ackHist.QuantileDuration(0.99),
+		time.Duration(ackHist.Max()))
+	return nil
+}

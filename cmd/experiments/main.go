@@ -9,6 +9,10 @@
 //	experiments -fig 3        # a single experiment (2,3,4,5,6,8,
 //	                          # external, recovery, related, ablation)
 //	experiments -list         # list available experiments
+//
+// It also hosts the ingest load generator (docs/INGEST.md):
+//
+//	experiments -loadgen -addr HOST:PORT -stream src -rate 5000 -count 100000
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"streammine/internal/autolimit"
 	"streammine/internal/debugserver"
 	"streammine/internal/experiments"
 	"streammine/internal/metrics"
@@ -34,7 +39,13 @@ func run() error {
 	fig := flag.String("fig", "", "run a single experiment by id")
 	list := flag.Bool("list", false, "list experiments and exit")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address while experiments run")
+	lg := loadgenFlags()
 	flag.Parse()
+	autolimit.Apply(func(format string, args ...any) { fmt.Printf(format+"\n", args...) })
+
+	if lg.enabled() {
+		return lg.run()
+	}
 
 	if *debugAddr != "" {
 		reg := metrics.NewRegistry()

@@ -10,9 +10,31 @@ import (
 
 	"streammine/internal/cluster"
 	"streammine/internal/event"
+	"streammine/internal/ingest"
 	"streammine/internal/metrics"
 	"streammine/internal/topology"
 )
+
+// ingestFlagsConfig folds the -ingest-* flags into a gateway config.
+// Addr stays empty here; the caller sets it so "no -ingest-addr" keeps
+// the gateway off in every mode.
+func ingestFlagsConfig(addr, stateDir, tenantsPath, tlsCert, tlsKey string) (ingest.Config, error) {
+	cfg := ingest.Config{StateDir: stateDir, TLSCert: tlsCert, TLSKey: tlsKey}
+	if (tlsCert == "") != (tlsKey == "") {
+		return cfg, fmt.Errorf("-ingest-tls-cert and -ingest-tls-key must be given together")
+	}
+	if tenantsPath != "" {
+		tenants, err := ingest.LoadTenants(tenantsPath)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Tenants = tenants
+	}
+	if addr == "" && (stateDir != "" || tenantsPath != "" || tlsCert != "") {
+		return cfg, fmt.Errorf("-ingest-state-dir, -ingest-tenants and -ingest-tls-* require -ingest-addr")
+	}
+	return cfg, nil
+}
 
 // runCoordinator serves the cluster control plane: it waits for workers,
 // deploys the topology across them per its placement section, supervises
@@ -77,7 +99,7 @@ func runCoordinator(topoPath, addr string, workers int, hbTimeout time.Duration,
 // runWorker joins a coordinator and hosts whatever partitions it assigns.
 // Finalized sink events are printed one per line ("SINK <name> <id>") so
 // callers can collect the externalized output of a distributed run.
-func runWorker(name, join, dataAddr, stateDir string, hbTimeout time.Duration, profileSpec bool, obs *observability) error {
+func runWorker(name, join, dataAddr, stateDir string, hbTimeout time.Duration, profileSpec bool, icfg ingest.Config, obs *observability) error {
 	if join == "" {
 		return fmt.Errorf("usage: streammine -worker -join ADDR [-name N] [-state-dir DIR]")
 	}
@@ -102,6 +124,7 @@ func runWorker(name, join, dataAddr, stateDir string, hbTimeout time.Duration, p
 		Metrics:            obs.registry,
 		Tracer:             obs.tracer,
 		OnSinkEvent:        onSink,
+		Ingest:             icfg,
 		Logf:               logfFor(name),
 		ProfileSpeculation: profileSpec,
 	})
@@ -109,10 +132,17 @@ func runWorker(name, join, dataAddr, stateDir string, hbTimeout time.Duration, p
 		return err
 	}
 	defer w.Close()
+	if gw := w.Ingest(); gw != nil {
+		fmt.Printf("INGEST %s\n", gw.Addr())
+	}
 	if err := obs.serve(w.Err); err != nil {
 		return err
 	}
 	if obs.server != nil {
+		obs.server.SetDraining(func() bool {
+			gw := w.Ingest()
+			return gw != nil && gw.Draining()
+		})
 		// /healthz answers "degraded: coordinator" / "degraded: bridge ..."
 		// while a peer this worker depends on is unreachable, plus the
 		// flow-control pressure snapshot of the hosted partitions.
@@ -131,6 +161,10 @@ func runWorker(name, join, dataAddr, stateDir string, hbTimeout time.Duration, p
 	select {
 	case <-w.Done():
 	case <-interrupted():
+		if gw := w.Ingest(); gw != nil {
+			fmt.Println("interrupted; draining ingest gateway")
+			gw.Drain(3 * time.Second)
+		}
 		fmt.Println("interrupted; shutting down")
 	}
 	return w.Err()

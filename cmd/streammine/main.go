@@ -26,9 +26,11 @@ import (
 	"sync"
 	"time"
 
+	"streammine/internal/autolimit"
 	"streammine/internal/core"
 	"streammine/internal/debugserver"
 	"streammine/internal/event"
+	"streammine/internal/ingest"
 	"streammine/internal/metrics"
 	"streammine/internal/operator"
 	"streammine/internal/profiler"
@@ -144,7 +146,13 @@ func run() error {
 	hbTimeout := flag.Duration("hb-timeout", time.Second, "cluster heartbeat timeout before a peer is declared dead")
 	batch := flag.Int("batch", 0, "hot-path batch size: coalesce up to N events per admission charge, commit group and wire frame (0 = use the topology's flow settings; see docs/PERFORMANCE.md)")
 	batchLinger := flag.Duration("batch-linger", 0, "max time an edge sender holds an under-full batch open waiting for more events (e.g. 200us; 0 = send partial batches immediately)")
+	ingestAddr := flag.String("ingest-addr", "", "serve the multi-tenant network ingest gateway on this address; topology sources marked \"ingest\" accept records here (docs/INGEST.md)")
+	ingestStateDir := flag.String("ingest-state-dir", "", "root of the per-stream ingest admission logs (default: streammine-ingest, or <state-dir>/ingest with -worker)")
+	ingestTenants := flag.String("ingest-tenants", "", "JSON file declaring ingest tenants (name, token, rate, burst, maxBatch); empty runs the gateway open")
+	ingestTLSCert := flag.String("ingest-tls-cert", "", "serve the ingest gateway over TLS with this certificate (PEM)")
+	ingestTLSKey := flag.String("ingest-tls-key", "", "private key (PEM) for -ingest-tls-cert")
 	flag.Parse()
+	autolimit.Apply(logfFor("autolimit"))
 
 	if *example {
 		fmt.Println(topology.Example)
@@ -167,11 +175,16 @@ func run() error {
 		return err
 	}
 	defer obs.close()
+	icfg, err := ingestFlagsConfig(*ingestAddr, *ingestStateDir, *ingestTenants, *ingestTLSCert, *ingestTLSKey)
+	if err != nil {
+		return err
+	}
+	icfg.Addr = *ingestAddr
 	if *coordAddr != "" {
 		return runCoordinator(*topoPath, *coordAddr, *workers, *hbTimeout, *batch, *batchLinger, obs)
 	}
 	if *worker {
-		return runWorker(*name, *join, *dataAddr, *stateDir, *hbTimeout, *profileSpec, obs)
+		return runWorker(*name, *join, *dataAddr, *stateDir, *hbTimeout, *profileSpec, icfg, obs)
 	}
 	if *query != "" {
 		return runQuery(*query, *rate, *count, *profileSpec, obs)
@@ -232,6 +245,49 @@ func run() error {
 	}
 	defer eng.Stop()
 
+	// Network ingest: start the gateway and hand it every topology source
+	// marked "ingest" — the admission decision moves in front of the
+	// gateway's durable admission log, and previously logged records are
+	// replayed into the fresh engine before network batches are accepted.
+	var gw *ingest.Server
+	if icfg.Addr != "" {
+		if icfg.StateDir == "" {
+			icfg.StateDir = "streammine-ingest"
+		}
+		icfg.Registry = obs.registry
+		icfg.Logf = logfFor("ingest")
+		if gw, err = ingest.Start(icfg); err != nil {
+			return err
+		}
+		defer gw.Close()
+		if obs.server != nil {
+			obs.server.SetDraining(gw.Draining)
+		}
+		fmt.Printf("ingest gateway on %s\n", gw.Addr())
+	}
+	for _, src := range built.Sources {
+		if !src.Ingest {
+			continue
+		}
+		if gw == nil {
+			return fmt.Errorf("topology marks source %q as ingest; run with -ingest-addr", src.Name)
+		}
+		adm, _, err := eng.DetachSourceAdmission(src.ID)
+		if err != nil {
+			return err
+		}
+		handle, err := eng.Source(src.ID)
+		if err != nil {
+			adm.Close()
+			return err
+		}
+		if err := gw.RegisterSource(src.Name, handle, adm); err != nil {
+			adm.Close()
+			return err
+		}
+		fmt.Printf("source %-10s accepting network records as stream %q\n", src.Name, src.Name)
+	}
+
 	// Sinks: latency histogram + throughput per sink node.
 	type sinkStats struct {
 		name string
@@ -271,6 +327,9 @@ func run() error {
 	// source's batch size (one admission charge and one injection per run).
 	var wg sync.WaitGroup
 	for _, src := range built.Sources {
+		if src.Ingest {
+			continue
+		}
 		handle, err := eng.Source(src.ID)
 		if err != nil {
 			return err
@@ -317,6 +376,17 @@ func run() error {
 		fmt.Printf("source %-10s publishing %d events at %d ev/s\n", src.Name, src.Count, src.Rate)
 	}
 	wg.Wait()
+	if gw != nil {
+		// Network-fed streams are open-ended: stay up until interrupted,
+		// then drain the gateway (new batches get retryable "draining"
+		// verdicts, in-flight ones finish their log writes and ACKs)
+		// before quiescing the engine.
+		fmt.Println("ingest gateway serving; interrupt to drain and exit")
+		<-interrupted()
+		fmt.Println("interrupted; draining ingest gateway")
+		gw.Drain(5 * time.Second)
+		_ = gw.Close()
+	}
 	eng.Drain()
 	if err := eng.Err(); err != nil {
 		return err

@@ -1,0 +1,154 @@
+// Package autolimit sizes the Go runtime to the container it runs in:
+// GOMAXPROCS from the cgroup CPU quota and GOMEMLIMIT from the cgroup
+// memory limit. Without it, a gateway granted 2 CPUs on a 64-core host
+// runs 64 OS threads fighting over 2 cores' worth of quota (latency
+// spikes every throttling period), and the GC lets the heap grow toward
+// host memory until the cgroup OOM-killer fires — the opposite of the
+// predictable tail latency the ingest path is built for.
+//
+// Both cgroup v2 (cpu.max, memory.max) and v1 (cpu.cfs_quota_us /
+// cpu.cfs_period_us, memory.limit_in_bytes) layouts are understood.
+// Explicit GOMAXPROCS / GOMEMLIMIT environment variables always win.
+package autolimit
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+)
+
+// Limits is what detection found; zero fields mean "no limit found".
+type Limits struct {
+	// CPUQuota is the fractional CPU allowance (e.g. 2.5 cores).
+	CPUQuota float64
+	// MemoryBytes is the memory limit in bytes.
+	MemoryBytes int64
+}
+
+// memHeadroomDivisor reserves 1/10th of the cgroup memory limit as
+// headroom below GOMEMLIMIT, leaving room for non-heap memory (stacks,
+// mmapped log segments, kernel socket buffers) before the OOM-killer's
+// threshold.
+const memHeadroomDivisor = 10
+
+// Detect reads the cgroup limits for the current process under root
+// (normally "/"; tests point it at a fixture tree).
+func Detect(root string) Limits {
+	var l Limits
+	// cgroup v2: one unified hierarchy at <root>/sys/fs/cgroup.
+	base := filepath.Join(root, "sys", "fs", "cgroup")
+	if quota, period, ok := parseCPUMax(readTrim(filepath.Join(base, "cpu.max"))); ok && period > 0 {
+		l.CPUQuota = float64(quota) / float64(period)
+	}
+	if v, ok := parseBytes(readTrim(filepath.Join(base, "memory.max"))); ok {
+		l.MemoryBytes = v
+	}
+	if l.CPUQuota > 0 && l.MemoryBytes > 0 {
+		return l
+	}
+	// cgroup v1: per-controller hierarchies.
+	if l.CPUQuota == 0 {
+		quota, okQ := parseBytes(readTrim(filepath.Join(base, "cpu", "cpu.cfs_quota_us")))
+		period, okP := parseBytes(readTrim(filepath.Join(base, "cpu", "cpu.cfs_period_us")))
+		if okQ && okP && quota > 0 && period > 0 {
+			l.CPUQuota = float64(quota) / float64(period)
+		}
+	}
+	if l.MemoryBytes == 0 {
+		if v, ok := parseBytes(readTrim(filepath.Join(base, "memory", "memory.limit_in_bytes"))); ok {
+			// v1 reports "no limit" as a huge page-rounded number.
+			if v < int64(1)<<60 {
+				l.MemoryBytes = v
+			}
+		}
+	}
+	return l
+}
+
+func readTrim(path string) string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(data))
+}
+
+// parseCPUMax parses the v2 "quota period" form; "max" means unlimited.
+func parseCPUMax(s string) (quota, period int64, ok bool) {
+	fields := strings.Fields(s)
+	if len(fields) != 2 || fields[0] == "max" {
+		return 0, 0, false
+	}
+	q, err1 := strconv.ParseInt(fields[0], 10, 64)
+	p, err2 := strconv.ParseInt(fields[1], 10, 64)
+	if err1 != nil || err2 != nil || q <= 0 {
+		return 0, 0, false
+	}
+	return q, p, true
+}
+
+func parseBytes(s string) (int64, bool) {
+	if s == "" || s == "max" {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v <= 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// Plan computes the runtime settings Apply would make, given detected
+// limits and the current environment/host. Split out for testability.
+type Plan struct {
+	// Procs is the GOMAXPROCS to set; 0 means leave untouched.
+	Procs int
+	// MemLimit is the GOMEMLIMIT to set in bytes; 0 means leave untouched.
+	MemLimit int64
+}
+
+func plan(l Limits, numCPU int, envProcs, envMem bool) Plan {
+	var p Plan
+	if !envProcs && l.CPUQuota > 0 {
+		procs := int(l.CPUQuota + 0.5)
+		if procs < 1 {
+			procs = 1
+		}
+		// Only ever lower GOMAXPROCS: a quota above the core count gains
+		// nothing from extra OS threads.
+		if procs < numCPU {
+			p.Procs = procs
+		}
+	}
+	if !envMem && l.MemoryBytes > 0 {
+		p.MemLimit = l.MemoryBytes - l.MemoryBytes/memHeadroomDivisor
+	}
+	return p
+}
+
+// Apply detects the container limits and applies them to the runtime,
+// reporting what it did through logf (one line per applied setting,
+// nothing when unlimited). Returns the detected limits.
+func Apply(logf func(format string, args ...any)) Limits {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	l := Detect("/")
+	_, envProcs := os.LookupEnv("GOMAXPROCS")
+	_, envMem := os.LookupEnv("GOMEMLIMIT")
+	p := plan(l, runtime.NumCPU(), envProcs, envMem)
+	if p.Procs > 0 {
+		runtime.GOMAXPROCS(p.Procs)
+		logf("autolimit: GOMAXPROCS=%d (cgroup cpu quota %.2f, host has %d cores)",
+			p.Procs, l.CPUQuota, runtime.NumCPU())
+	}
+	if p.MemLimit > 0 {
+		debug.SetMemoryLimit(p.MemLimit)
+		logf("autolimit: GOMEMLIMIT=%d bytes (cgroup limit %d, 10%% headroom)",
+			p.MemLimit, l.MemoryBytes)
+	}
+	return l
+}

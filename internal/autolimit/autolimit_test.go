@@ -1,0 +1,102 @@
+package autolimit
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFixture(t *testing.T, root, rel, content string) {
+	t.Helper()
+	path := filepath.Join(root, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectV2(t *testing.T) {
+	root := t.TempDir()
+	writeFixture(t, root, "sys/fs/cgroup/cpu.max", "250000 100000\n")
+	writeFixture(t, root, "sys/fs/cgroup/memory.max", "1073741824\n")
+	l := Detect(root)
+	if l.CPUQuota != 2.5 {
+		t.Errorf("CPUQuota = %v, want 2.5", l.CPUQuota)
+	}
+	if l.MemoryBytes != 1<<30 {
+		t.Errorf("MemoryBytes = %d, want %d", l.MemoryBytes, 1<<30)
+	}
+}
+
+func TestDetectV2Unlimited(t *testing.T) {
+	root := t.TempDir()
+	writeFixture(t, root, "sys/fs/cgroup/cpu.max", "max 100000\n")
+	writeFixture(t, root, "sys/fs/cgroup/memory.max", "max\n")
+	l := Detect(root)
+	if l.CPUQuota != 0 || l.MemoryBytes != 0 {
+		t.Errorf("unlimited cgroup detected as %+v", l)
+	}
+}
+
+func TestDetectV1(t *testing.T) {
+	root := t.TempDir()
+	writeFixture(t, root, "sys/fs/cgroup/cpu/cpu.cfs_quota_us", "150000\n")
+	writeFixture(t, root, "sys/fs/cgroup/cpu/cpu.cfs_period_us", "100000\n")
+	writeFixture(t, root, "sys/fs/cgroup/memory/memory.limit_in_bytes", "536870912\n")
+	l := Detect(root)
+	if l.CPUQuota != 1.5 {
+		t.Errorf("CPUQuota = %v, want 1.5", l.CPUQuota)
+	}
+	if l.MemoryBytes != 512<<20 {
+		t.Errorf("MemoryBytes = %d, want %d", l.MemoryBytes, 512<<20)
+	}
+}
+
+func TestDetectV1NoLimitSentinel(t *testing.T) {
+	root := t.TempDir()
+	// v1 reports "unlimited" as a huge page-rounded value.
+	writeFixture(t, root, "sys/fs/cgroup/memory/memory.limit_in_bytes", "9223372036854771712\n")
+	l := Detect(root)
+	if l.MemoryBytes != 0 {
+		t.Errorf("v1 no-limit sentinel detected as %d", l.MemoryBytes)
+	}
+}
+
+func TestDetectMissing(t *testing.T) {
+	l := Detect(t.TempDir())
+	if l.CPUQuota != 0 || l.MemoryBytes != 0 {
+		t.Errorf("empty root detected as %+v", l)
+	}
+}
+
+func TestPlan(t *testing.T) {
+	cases := []struct {
+		name             string
+		l                Limits
+		numCPU           int
+		envProcs, envMem bool
+		wantProcs        int
+		wantMem          int64
+	}{
+		{name: "quota below cores", l: Limits{CPUQuota: 2.5, MemoryBytes: 1 << 30}, numCPU: 8,
+			wantProcs: 3, wantMem: (1 << 30) - (1<<30)/10},
+		{name: "quota above cores leaves procs alone", l: Limits{CPUQuota: 16}, numCPU: 8},
+		{name: "tiny quota floors at one", l: Limits{CPUQuota: 0.2}, numCPU: 8, wantProcs: 1},
+		{name: "env overrides win", l: Limits{CPUQuota: 2, MemoryBytes: 1 << 30}, numCPU: 8,
+			envProcs: true, envMem: true},
+		{name: "no limits no plan", numCPU: 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := plan(tc.l, tc.numCPU, tc.envProcs, tc.envMem)
+			if p.Procs != tc.wantProcs {
+				t.Errorf("Procs = %d, want %d", p.Procs, tc.wantProcs)
+			}
+			if p.MemLimit != tc.wantMem {
+				t.Errorf("MemLimit = %d, want %d", p.MemLimit, tc.wantMem)
+			}
+		})
+	}
+}

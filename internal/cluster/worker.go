@@ -12,6 +12,7 @@ import (
 	"streammine/internal/core"
 	"streammine/internal/event"
 	"streammine/internal/graph"
+	"streammine/internal/ingest"
 	"streammine/internal/metrics"
 	"streammine/internal/profiler"
 	"streammine/internal/storage"
@@ -60,6 +61,13 @@ type WorkerOptions struct {
 	// OnSinkEvent, when set, observes every finalized event reaching a
 	// sink hosted on this worker.
 	OnSinkEvent func(sink string, ev event.Event)
+	// Ingest, when its Addr is set, runs a network ingest gateway on this
+	// worker. Sources marked "ingest" in the topology register with it
+	// (stream name = source name) when their partition starts here. The
+	// gateway's StateDir defaults to StateDir/ingest, so its admission
+	// logs live on the same shared stable storage as partition state and
+	// follow a partition across reassignment.
+	Ingest ingest.Config
 	// Logf optionally receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -74,6 +82,7 @@ type Worker struct {
 	coord   transport.Conn
 	hb      *transport.Heartbeater
 	dataSrv *transport.Server
+	gw      *ingest.Server
 
 	mu     sync.Mutex
 	edges  map[string]transport.ConnHandler // edge key → partition input
@@ -101,6 +110,7 @@ type workerPart struct {
 
 	running     bool
 	sourcesLeft int
+	ingestSrcs  int
 }
 
 // StartWorker connects to the coordinator and registers. Partitions
@@ -129,14 +139,38 @@ func StartWorker(o WorkerOptions) (*Worker, error) {
 		done:   make(chan struct{}),
 	}
 	w.det = transport.NewDetector(o.HeartbeatTimeout, nil)
+	if o.Ingest.Addr != "" {
+		icfg := o.Ingest
+		if icfg.StateDir == "" {
+			icfg.StateDir = filepath.Join(o.StateDir, "ingest")
+		}
+		if icfg.Registry == nil {
+			icfg.Registry = o.Metrics
+		}
+		if icfg.Logf == nil {
+			icfg.Logf = o.Logf
+		}
+		gw, err := ingest.Start(icfg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: ingest gateway: %w", err)
+		}
+		w.gw = gw
+		w.logf("ingest gateway on %s", gw.Addr())
+	}
 	dataSrv, err := transport.ListenConn(o.DataAddr, w.handleData)
 	if err != nil {
+		if w.gw != nil {
+			_ = w.gw.Close()
+		}
 		return nil, err
 	}
 	w.dataSrv = dataSrv
 	coord, err := transport.Dial(o.CoordAddr, w.handleCtl)
 	if err != nil {
 		_ = dataSrv.Close()
+		if w.gw != nil {
+			_ = w.gw.Close()
+		}
 		return nil, fmt.Errorf("cluster: join %s: %w", o.CoordAddr, err)
 	}
 	w.coord = coord
@@ -158,6 +192,10 @@ func StartWorker(o WorkerOptions) (*Worker, error) {
 
 // DataAddr returns the bound bridge-traffic address.
 func (w *Worker) DataAddr() string { return w.dataSrv.Addr() }
+
+// Ingest returns the worker's ingest gateway, or nil when none is
+// configured.
+func (w *Worker) Ingest() *ingest.Server { return w.gw }
 
 // Done is closed when the worker shuts down.
 func (w *Worker) Done() <-chan struct{} { return w.done }
@@ -236,6 +274,9 @@ func (w *Worker) Close() error {
 		}
 	}
 	_ = w.coord.Close()
+	if w.gw != nil {
+		_ = w.gw.Close()
+	}
 	err := w.dataSrv.Close()
 	select {
 	case <-w.done:
@@ -482,17 +523,53 @@ func (w *Worker) handleStart(sm StartMsg) {
 		p.bridges[e.Key()] = b
 		w.mu.Unlock()
 	}
+	ingestSrcs := 0
+	for _, src := range p.built.Sources {
+		if src.Ingest {
+			ingestSrcs++
+		}
+	}
+	if ingestSrcs > 0 && w.gw == nil {
+		w.fail(p.id, p.epoch, fmt.Errorf("partition %d has ingest sources but this worker runs no ingest gateway", p.id))
+		return
+	}
 	if err := p.eng.Start(); err != nil {
 		w.fail(p.id, p.epoch, err)
 		return
 	}
 	w.mu.Lock()
-	p.sourcesLeft = len(p.built.Sources)
+	p.sourcesLeft = len(p.built.Sources) - ingestSrcs
+	p.ingestSrcs = ingestSrcs
 	st := w.partStatusLocked(p, PhaseRunning)
 	w.mu.Unlock()
 	w.logf("partition %d running (%d sources)", p.id, len(p.built.Sources))
 	w.sendStatus(st)
 	for _, src := range p.built.Sources {
+		if src.Ingest {
+			// Hand the source to the gateway: the admission decision moves
+			// ahead of the durable admission log (no shed is ever logged),
+			// and any records logged by this partition's previous
+			// incarnation are re-emitted with identical identities before
+			// network batches are accepted.
+			adm, _, err := p.eng.DetachSourceAdmission(src.ID)
+			if err != nil {
+				w.fail(p.id, p.epoch, err)
+				return
+			}
+			h, err := p.eng.Source(src.ID)
+			if err != nil {
+				adm.Close()
+				w.fail(p.id, p.epoch, err)
+				return
+			}
+			if err := w.gw.RegisterSource(src.Name, h, adm); err != nil {
+				adm.Close()
+				w.fail(p.id, p.epoch, fmt.Errorf("register ingest source %q: %w", src.Name, err))
+				return
+			}
+			w.logf("partition %d: ingest source %q accepting on %s", p.id, src.Name, w.gw.Addr())
+			continue
+		}
 		w.wg.Add(1)
 		go w.runSource(p, src)
 	}
@@ -580,7 +657,10 @@ func (w *Worker) partStatusLocked(p *workerPart, phase string) StatusMsg {
 		st.Committed = p.eng.TotalStats().Committed
 		st.Pressure = p.eng.Pressure()
 		st.Waste = p.eng.Waste()
-		quiesced := p.sourcesLeft == 0 && p.eng.Quiesced()
+		// Ingest-fed partitions are open-ended: producers may reconnect
+		// at any time, so they never report quiesced and the run ends by
+		// operator interrupt instead of completion detection.
+		quiesced := p.sourcesLeft == 0 && p.ingestSrcs == 0 && p.eng.Quiesced()
 		// A disconnected outgoing bridge means a peer still owes us a
 		// replay request (or is mid-recovery); the run cannot be complete
 		// until every cross-worker edge is live again.

@@ -206,7 +206,7 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 				n.granters[idx] = &remoteGranter{n: n, input: idx, batch: creditBatch(w)}
 			}
 		}
-		n.admission = flow.NewAdmission(n.spec.Flow, eng.pressureProbe(n))
+		n.admission.Store(flow.NewAdmission(n.spec.Flow, eng.pressureProbe(n)))
 	}
 	eng.tracer = opts.Tracer
 	if opts.Profiler != nil {
@@ -405,6 +405,31 @@ func (e *Engine) Source(id graph.NodeID) (*SourceHandle, error) {
 	return &SourceHandle{n: n, tick: e.tick}, nil
 }
 
+// DetachSourceAdmission removes a source node's admission controller and
+// hands it — together with the node's downstream-pressure probe — to the
+// caller, which takes ownership of the admission decision (and of closing
+// the controller). A network ingest gateway uses this to run the PR-3
+// admission machinery *before* durably logging an accepted record: a shed
+// record is then never logged and therefore invisible to recovery, while
+// replayed re-emissions of already-logged records bypass admission
+// entirely. After detaching, Emit/EmitBatch assign sequence numbers only
+// to records the gateway already admitted, so event identities stay
+// deterministic across gateway restarts (no sequence burn on shed).
+//
+// The returned controller is nil when the node's flow limits configure no
+// admission control; the probe is always usable. Detach before the first
+// emission — later emissions would race the ownership transfer.
+func (e *Engine) DetachSourceAdmission(id graph.NodeID) (*flow.Admission, func() bool, error) {
+	n, err := e.node(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n.spec.Op != nil || len(e.g.InputsOf(id)) != 0 {
+		return nil, nil, fmt.Errorf("core: node %q is not a source", n.spec.Name)
+	}
+	return n.admission.Swap(nil), e.pressureProbe(n), nil
+}
+
 // SourceHandle injects events into the graph through a source node.
 type SourceHandle struct {
 	n    *node
@@ -438,7 +463,7 @@ func (s *SourceHandle) EmitAt(ts int64, key uint64, payload []byte) (event.Event
 	// The trace id is derived from the ID, so a failover re-emission of
 	// the same sequence joins the original event's lineage.
 	ev.Trace = event.TraceOf(ev.ID)
-	if a := s.n.admission; a != nil {
+	if a := s.n.admission.Load(); a != nil {
 		switch a.Admit() {
 		case flow.Shed:
 			return ev, ErrShed
@@ -483,7 +508,7 @@ func (s *SourceHandle) EmitBatch(items []BatchItem) ([]event.Event, error) {
 		evs[i].Trace = event.TraceOf(evs[i].ID)
 	}
 	s.mu.Unlock()
-	if a := s.n.admission; a != nil {
+	if a := s.n.admission.Load(); a != nil {
 		switch a.AdmitN(len(evs)) {
 		case flow.Shed:
 			return evs, ErrShed
@@ -574,9 +599,9 @@ func (n *node) pressure() NodePressure {
 		DataHighWater: n.mailbox.DataHighWater(),
 		Overflows:     n.mailbox.Overflows(),
 		CreditQueued:  n.creditQueued(),
-		Admitted:      n.admission.Admitted(),
-		Shed:          n.admission.Shedded(),
-		AdmitRate:     n.admission.Rate(),
+		Admitted:      n.admission.Load().Admitted(),
+		Shed:          n.admission.Load().Shedded(),
+		AdmitRate:     n.admission.Load().Rate(),
 	}
 	for _, g := range n.inGates {
 		p.CreditsOutstanding += g.Outstanding()

@@ -252,10 +252,10 @@ func registerEngineMetrics(e *Engine, reg *metrics.Registry) *engineMetrics {
 			func() uint64 { return n.mailbox.Overflows() })
 		reg.CounterFunc("flow_admitted_total",
 			"Source events admitted by the token bucket.", labels,
-			func() uint64 { return n.admission.Admitted() })
+			func() uint64 { return n.admission.Load().Admitted() })
 		reg.CounterFunc("flow_shed_total",
 			"Source events dropped by the shed policy before admission.", labels,
-			func() uint64 { return n.admission.Shedded() })
+			func() uint64 { return n.admission.Load().Shedded() })
 	}
 	return m
 }

@@ -121,7 +121,11 @@ type node struct {
 	inGates   []*flow.CreditGate
 	credLinks []*creditedLink
 	throttle  *flow.SpecThrottle
-	admission *flow.Admission
+	// admission rate-limits a source node. It is held behind an atomic
+	// pointer because an ingest gateway may take ownership of the
+	// controller (Engine.DetachSourceAdmission) while status loops
+	// concurrently snapshot the node's pressure.
+	admission atomic.Pointer[flow.Admission]
 
 	// prof is this node's speculation-waste ledger; nil when profiling is
 	// off, so every recording site pays one pointer check.
@@ -318,7 +322,7 @@ func (n *node) stop() {
 	if n.stopFlag.Swap(true) {
 		return
 	}
-	n.admission.Close()
+	n.admission.Load().Close()
 	n.throttle.Close()
 	n.mailbox.Close()
 	n.execQ.Close()

@@ -32,6 +32,7 @@ type Server struct {
 	pressure    func() string
 	speculation func() any
 	cluster     func() any
+	draining    func() bool
 }
 
 // New builds a server over reg. health may be nil; when set it is polled
@@ -101,6 +102,17 @@ func (s *Server) SetPressure(fn func() string) {
 	s.mu.Unlock()
 }
 
+// SetDraining installs a graceful-shutdown probe: while fn returns true,
+// /healthz answers 503 "draining" so load balancers and orchestrators
+// stop routing new work here before the process exits. Draining takes
+// precedence over the degraded and pressure annotations — a draining
+// process wants traffic gone, not diagnosed.
+func (s *Server) SetDraining(fn func() bool) {
+	s.mu.Lock()
+	s.draining = fn
+	s.mu.Unlock()
+}
+
 // SetSpeculation installs the speculation-waste snapshot provider served
 // as JSON at /debug/speculation (typically profiler.Summary — the
 // per-operator waste ledgers plus the conflict heatmap). Unset, the route
@@ -151,6 +163,13 @@ func serveJSON(w http.ResponseWriter, r *http.Request, fn func() any) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining != nil && draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
 	if s.health != nil {
 		if err := s.health(); err != nil {
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)

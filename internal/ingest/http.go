@@ -1,0 +1,116 @@
+package ingest
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The HTTP lane is the low-friction way in: one record per request.
+//
+//	POST /v1/ingest/<stream>?seq=<n>[&key=<k>]
+//	Authorization: Bearer <token>
+//	<body = payload>
+//
+// seq is the tenant's 1-based contiguous sequence for the stream — the
+// same dedup contract as the binary lane, so a curl retry of an
+// acknowledged request is absorbed idempotently. Verdicts map onto
+// status codes: 200 ACK (JSON {"through":n,"dups":d}), 429 + Retry-After
+// for quota/shed/drain verdicts, 409 for sequence gaps, 401 for bad
+// tokens, 400 for malformed requests, 500 for stream failures.
+
+// maxHTTPBody bounds one HTTP-lane payload.
+const maxHTTPBody = 1 << 20
+
+func (s *Server) httpHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ingest/", s.handleIngest)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func bearerToken(r *http.Request) string {
+	h := r.Header.Get("Authorization")
+	if tok, ok := strings.CutPrefix(h, "Bearer "); ok {
+		return tok
+	}
+	return ""
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	streamName := strings.TrimPrefix(r.URL.Path, "/v1/ingest/")
+	if streamName == "" || strings.Contains(streamName, "/") {
+		http.Error(w, "bad stream name", http.StatusBadRequest)
+		return
+	}
+	t := s.authenticate(bearerToken(r))
+	if t == nil {
+		http.Error(w, "unknown token", http.StatusUnauthorized)
+		return
+	}
+	seq, err := strconv.ParseUint(r.URL.Query().Get("seq"), 10, 64)
+	if err != nil || seq == 0 {
+		http.Error(w, "seq must be a positive integer", http.StatusBadRequest)
+		return
+	}
+	var key uint64
+	if kq := r.URL.Query().Get("key"); kq != "" {
+		if key, err = strconv.ParseUint(kq, 10, 64); err != nil {
+			http.Error(w, "bad key", http.StatusBadRequest)
+			return
+		}
+	}
+	payload, err := io.ReadAll(io.LimitReader(r.Body, maxHTTPBody+1))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(payload) > maxHTTPBody {
+		http.Error(w, "payload too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+
+	accepted := time.Now()
+	var v verdict
+	if st := s.lookupStream(streamName); st == nil {
+		v = retryVerdict(500, "stream unavailable")
+	} else {
+		v = s.process(t, st, seq, []batchRecord{{Key: key, Payload: payload}}, accepted)
+	}
+	switch v.kind {
+	case frameAck:
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"through\":%d,\"dups\":%d}\n", v.through, v.dups)
+	case frameRetry:
+		secs := (v.afterMillis + 999) / 1000
+		if secs == 0 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatUint(secs, 10))
+		http.Error(w, v.reason, http.StatusTooManyRequests)
+	default:
+		code := http.StatusInternalServerError
+		switch v.code {
+		case codeGap:
+			code = http.StatusConflict
+		case codeBad:
+			code = http.StatusBadRequest
+		case codeAuth:
+			code = http.StatusUnauthorized
+		}
+		http.Error(w, v.msg, code)
+	}
+}

@@ -1,0 +1,122 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"streammine/internal/storage"
+	"streammine/internal/wal"
+)
+
+// The admission log is the gateway's durability point: one record per
+// admitted ingest record, appended *before* the ACK and before the
+// record is handed to the engine. It reuses the decision-log machinery —
+// wal.Record framing with CRCs, the §2.4 group-commit writer pool, and
+// the reopenable segment store — so admitted records get the same
+// batched-fsync cost profile as operator decisions.
+//
+// Each entry is a KindCustom record: Value carries the tenant-scoped
+// client sequence, Aux carries tenant name, event key and payload. On
+// reopen the scan (tolerating a torn tail, like partition recovery)
+// yields entries in LSN order; LSN order equals admission order equals
+// engine-emission order, so replaying the scan through EmitBatch
+// reproduces the exact event identities of the pre-crash run and the
+// downstream dedup path absorbs anything already committed.
+
+// logEntry is one admitted record as stored in the admission log.
+type logEntry struct {
+	Tenant  string
+	Seq     uint64 // tenant-scoped client sequence (1-based)
+	Key     uint64
+	Payload []byte
+}
+
+func encodeEntry(e logEntry) wal.Record {
+	aux := putString(nil, e.Tenant)
+	aux = binary.AppendUvarint(aux, e.Key)
+	aux = append(aux, e.Payload...)
+	return wal.Record{Kind: wal.KindCustom, Value: e.Seq, Aux: aux}
+}
+
+func decodeEntry(r wal.Record) (logEntry, error) {
+	c := cursor{r.Aux}
+	tenant, err := c.str()
+	if err != nil {
+		return logEntry{}, fmt.Errorf("ingest: admission record lsn %d: %w", r.LSN, err)
+	}
+	key, err := c.uvarint()
+	if err != nil {
+		return logEntry{}, fmt.Errorf("ingest: admission record lsn %d: %w", r.LSN, err)
+	}
+	return logEntry{Tenant: tenant, Seq: r.Value, Key: key, Payload: c.b}, nil
+}
+
+// admLog is the per-stream admission log: a wal.Log over its own writer
+// pool and storage point. File-backed when opened with a directory,
+// in-memory (non-recoverable, for tests and benchmarks) otherwise.
+type admLog struct {
+	log  *wal.Log
+	pool *storage.Pool
+}
+
+// maxAdmSegment bounds one admission-log segment file.
+const maxAdmSegment = 64 << 20
+
+// openAdmLog opens (or reopens) the admission log for one stream and
+// returns the previously admitted entries in admission order. A torn
+// tail — a crash mid-append — is tolerated by keeping the intact
+// prefix. dir == "" selects an in-memory store that recovers nothing.
+func openAdmLog(dir string) (*admLog, []logEntry, error) {
+	var disk storage.Disk
+	var recovered []logEntry
+	var lastLSN wal.LSN
+	if dir == "" {
+		disk = storage.NewMemDisk()
+	} else {
+		store, err := wal.OpenSegmentStore(dir, maxAdmSegment)
+		if err != nil {
+			return nil, nil, err
+		}
+		recs, err := store.Scan()
+		if err != nil && !errors.Is(err, wal.ErrCorrupt) {
+			_ = store.Close()
+			return nil, nil, fmt.Errorf("scan admission log: %w", err)
+		}
+		for _, r := range recs {
+			if r.Kind != wal.KindCustom {
+				continue
+			}
+			e, err := decodeEntry(r)
+			if err != nil {
+				_ = store.Close()
+				return nil, nil, err
+			}
+			recovered = append(recovered, e)
+			if r.LSN > lastLSN {
+				lastLSN = r.LSN
+			}
+		}
+		disk = store
+	}
+	l := &admLog{pool: storage.NewPool([]storage.Disk{disk})}
+	l.log = wal.New(l.pool)
+	l.log.AdvanceLSN(lastLSN)
+	return l, recovered, nil
+}
+
+// append submits entries for stable storage; done fires once they are
+// durable (or the write failed). Append order is admission order.
+func (l *admLog) append(entries []logEntry, done func(error)) error {
+	recs := make([]wal.Record, len(entries))
+	for i, e := range entries {
+		recs[i] = encodeEntry(e)
+	}
+	_, err := l.log.Append(recs, done)
+	return err
+}
+
+func (l *admLog) close() {
+	_ = l.log.Close()
+	_ = l.pool.Close()
+}

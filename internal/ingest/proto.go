@@ -1,0 +1,244 @@
+package ingest
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The binary ingest lane is a length-prefixed frame stream. A connection
+// opens with the 4-byte magic "SMI1" (which is also how the shared
+// listener tells the binary lane from HTTP: no HTTP method starts with
+// those bytes), followed by a HELLO carrying the static auth token and
+// the target stream. Every subsequent client frame is a BATCH of records
+// with contiguous client sequence numbers; the server answers each with
+// exactly one ACK, RETRY or ERR frame, in order.
+//
+//	frame   := length(uint32 LE, bytes after itself) type(byte) body
+//	HELLO   := str(token) str(stream)
+//	HELLOOK := str(tenant)
+//	BATCH   := uvarint(firstSeq) uvarint(count)
+//	           count × { uvarint(key) uvarint(len) payload }
+//	ACK     := uvarint(throughSeq) uvarint(dups)
+//	RETRY   := uvarint(afterMillis) str(reason)
+//	ERR     := uvarint(code) str(message)
+//	str     := uvarint(len) bytes
+//
+// RETRY is the connection-preserving backpressure verdict (per-tenant
+// quota, engine shed, drain, stream not yet registered); ERR is terminal
+// for the connection (bad token, sequence gap, malformed frame).
+
+// magic is the binary-lane preamble; anything else is served as HTTP.
+const magic = "SMI1"
+
+// Frame types.
+const (
+	frameHello   = byte(0x01)
+	frameBatch   = byte(0x02)
+	frameAck     = byte(0x03)
+	frameRetry   = byte(0x04)
+	frameErr     = byte(0x05)
+	frameHelloOK = byte(0x06)
+)
+
+// ERR codes.
+const (
+	codeAuth     = 1 // unknown or missing token
+	codeGap      = 2 // batch skips past the tenant's sequence floor
+	codeBad      = 3 // malformed frame or over-quota batch
+	codeInternal = 4 // server-side failure (log or emit error)
+)
+
+// maxFrame bounds one frame's wire size; it comfortably fits the largest
+// permitted batch and stops a corrupt length prefix from allocating GiBs.
+const maxFrame = 16 << 20
+
+// maxStringLen bounds token/stream/reason strings inside frames.
+const maxStringLen = 4096
+
+// writeFrame emits one frame. The caller flushes the writer.
+func writeFrame(w *bufio.Writer, typ byte, body []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(1+len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := w.WriteByte(typ); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one frame, enforcing the size bound.
+func readFrame(r *bufio.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 || n > maxFrame {
+		return 0, nil, fmt.Errorf("ingest: frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}
+
+// putString appends a uvarint-length-prefixed string.
+func putString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// cursor is a bounds-checked reader over a frame body.
+type cursor struct{ b []byte }
+
+func (c *cursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("ingest: truncated uvarint")
+	}
+	c.b = c.b[n:]
+	return v, nil
+}
+
+func (c *cursor) bytes(n int) ([]byte, error) {
+	if n < 0 || n > len(c.b) {
+		return nil, fmt.Errorf("ingest: truncated field (%d of %d bytes)", n, len(c.b))
+	}
+	out := c.b[:n]
+	c.b = c.b[n:]
+	return out, nil
+}
+
+func (c *cursor) str() (string, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("ingest: string length %d exceeds limit", n)
+	}
+	b, err := c.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func encodeHello(token, stream string) []byte {
+	return putString(putString(nil, token), stream)
+}
+
+func decodeHello(body []byte) (token, stream string, err error) {
+	c := cursor{body}
+	if token, err = c.str(); err != nil {
+		return
+	}
+	stream, err = c.str()
+	return
+}
+
+func encodeHelloOK(tenant string) []byte { return putString(nil, tenant) }
+
+func decodeHelloOK(body []byte) (string, error) {
+	c := cursor{body}
+	return c.str()
+}
+
+// batchRecord is one record on the wire: the event key plus its payload.
+type batchRecord struct {
+	Key     uint64
+	Payload []byte
+}
+
+func encodeBatch(firstSeq uint64, recs []batchRecord) []byte {
+	b := binary.AppendUvarint(nil, firstSeq)
+	b = binary.AppendUvarint(b, uint64(len(recs)))
+	for _, r := range recs {
+		b = binary.AppendUvarint(b, r.Key)
+		b = binary.AppendUvarint(b, uint64(len(r.Payload)))
+		b = append(b, r.Payload...)
+	}
+	return b
+}
+
+// decodeBatch parses a BATCH body, rejecting batches beyond maxRecords.
+// Payload slices alias the frame body (the admission path copies them
+// into the durable log before the frame buffer is reused).
+func decodeBatch(body []byte, maxRecords int) (firstSeq uint64, recs []batchRecord, err error) {
+	c := cursor{body}
+	if firstSeq, err = c.uvarint(); err != nil {
+		return
+	}
+	if firstSeq == 0 {
+		return 0, nil, fmt.Errorf("ingest: client sequences are 1-based")
+	}
+	n, err := c.uvarint()
+	if err != nil {
+		return 0, nil, err
+	}
+	if n == 0 || n > uint64(maxRecords) {
+		return 0, nil, fmt.Errorf("ingest: batch of %d records exceeds the %d-record quota", n, maxRecords)
+	}
+	recs = make([]batchRecord, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var key, plen uint64
+		if key, err = c.uvarint(); err != nil {
+			return 0, nil, err
+		}
+		if plen, err = c.uvarint(); err != nil {
+			return 0, nil, err
+		}
+		var p []byte
+		if p, err = c.bytes(int(plen)); err != nil {
+			return 0, nil, err
+		}
+		recs = append(recs, batchRecord{Key: key, Payload: p})
+	}
+	return firstSeq, recs, nil
+}
+
+func encodeAck(through uint64, dups int) []byte {
+	b := binary.AppendUvarint(nil, through)
+	return binary.AppendUvarint(b, uint64(dups))
+}
+
+func decodeAck(body []byte) (through uint64, dups uint64, err error) {
+	c := cursor{body}
+	if through, err = c.uvarint(); err != nil {
+		return
+	}
+	dups, err = c.uvarint()
+	return
+}
+
+func encodeRetry(afterMillis uint64, reason string) []byte {
+	return putString(binary.AppendUvarint(nil, afterMillis), reason)
+}
+
+func decodeRetry(body []byte) (afterMillis uint64, reason string, err error) {
+	c := cursor{body}
+	if afterMillis, err = c.uvarint(); err != nil {
+		return
+	}
+	reason, err = c.str()
+	return
+}
+
+func encodeErr(code uint64, msg string) []byte {
+	return putString(binary.AppendUvarint(nil, code), msg)
+}
+
+func decodeErr(body []byte) (code uint64, msg string, err error) {
+	c := cursor{body}
+	if code, err = c.uvarint(); err != nil {
+		return
+	}
+	msg, err = c.str()
+	return
+}

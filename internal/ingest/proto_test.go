@@ -1,0 +1,148 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func roundTripFrame(t *testing.T, typ byte, body []byte) (byte, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := writeFrame(w, typ, body); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	gotTyp, gotBody, err := readFrame(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gotTyp, gotBody
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	typ, body := roundTripFrame(t, frameBatch, []byte("hello"))
+	if typ != frameBatch || string(body) != "hello" {
+		t.Fatalf("round trip gave type %#x body %q", typ, body)
+	}
+	// Empty bodies are legal (a frame is at least its type byte).
+	typ, body = roundTripFrame(t, frameAck, nil)
+	if typ != frameAck || len(body) != 0 {
+		t.Fatalf("empty round trip gave type %#x body %q", typ, body)
+	}
+}
+
+func TestReadFrameRejectsOversizedLength(t *testing.T) {
+	// A corrupt length prefix must not trigger a giant allocation.
+	raw := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, _, err := readFrame(bufio.NewReader(bytes.NewReader(raw))); err == nil {
+		t.Fatal("oversized frame length accepted")
+	}
+	// Zero length is equally invalid: every frame has a type byte.
+	raw = []byte{0, 0, 0, 0}
+	if _, _, err := readFrame(bufio.NewReader(bytes.NewReader(raw))); err == nil {
+		t.Fatal("zero frame length accepted")
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := writeFrame(w, frameBatch, []byte("truncate me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 0; cut < len(raw); cut++ {
+		if _, _, err := readFrame(bufio.NewReader(bytes.NewReader(raw[:cut]))); err == nil {
+			t.Fatalf("frame truncated to %d of %d bytes read successfully", cut, len(raw))
+		}
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	token, stream, err := decodeHello(encodeHello("secret", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "secret" || stream != "src" {
+		t.Fatalf("got token %q stream %q", token, stream)
+	}
+	tenant, err := decodeHelloOK(encodeHelloOK("acme"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "acme" {
+		t.Fatalf("got tenant %q", tenant)
+	}
+}
+
+func TestDecodeHelloRejectsHugeString(t *testing.T) {
+	if _, _, err := decodeHello(encodeHello(strings.Repeat("x", maxStringLen+1), "src")); err == nil {
+		t.Fatal("oversized token accepted")
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	in := []batchRecord{
+		{Key: 1, Payload: []byte("a")},
+		{Key: 1 << 40, Payload: nil},
+		{Key: 7, Payload: bytes.Repeat([]byte{0xab}, 300)},
+	}
+	firstSeq, recs, err := decodeBatch(encodeBatch(42, in), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstSeq != 42 {
+		t.Fatalf("firstSeq = %d, want 42", firstSeq)
+	}
+	if len(recs) != len(in) {
+		t.Fatalf("decoded %d records, want %d", len(recs), len(in))
+	}
+	for i := range in {
+		if recs[i].Key != in[i].Key || !bytes.Equal(recs[i].Payload, in[i].Payload) {
+			t.Errorf("record %d = %+v, want %+v", i, recs[i], in[i])
+		}
+	}
+}
+
+func TestDecodeBatchRejects(t *testing.T) {
+	one := []batchRecord{{Key: 1, Payload: []byte("p")}}
+	cases := []struct {
+		name string
+		body []byte
+		max  int
+	}{
+		{name: "zero firstSeq", body: encodeBatch(0, one), max: 16},
+		{name: "empty batch", body: encodeBatch(1, nil), max: 16},
+		{name: "over max records", body: encodeBatch(1, []batchRecord{{Key: 1}, {Key: 2}}), max: 1},
+		{name: "truncated payload", body: encodeBatch(1, one)[:3], max: 16},
+		{name: "empty body", body: nil, max: 16},
+	}
+	for _, tc := range cases {
+		if _, _, err := decodeBatch(tc.body, tc.max); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestVerdictFrameRoundTrips(t *testing.T) {
+	through, dups, err := decodeAck(encodeAck(99, 3))
+	if err != nil || through != 99 || dups != 3 {
+		t.Fatalf("ack round trip: through=%d dups=%d err=%v", through, dups, err)
+	}
+	after, reason, err := decodeRetry(encodeRetry(250, "tenant rate quota"))
+	if err != nil || after != 250 || reason != "tenant rate quota" {
+		t.Fatalf("retry round trip: after=%d reason=%q err=%v", after, reason, err)
+	}
+	code, msg, err := decodeErr(encodeErr(codeGap, "gap"))
+	if err != nil || code != codeGap || msg != "gap" {
+		t.Fatalf("err round trip: code=%d msg=%q err=%v", code, msg, err)
+	}
+}

@@ -1,0 +1,185 @@
+package ingest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Both ingest lanes share one listening port: the accept loop sniffs the
+// first four bytes of each connection. The binary lane announces itself
+// with the "SMI1" magic; anything else (no HTTP method starts with those
+// bytes) is replayed into an in-process net.Listener that feeds the
+// standard http.Server.
+
+// helloTimeout bounds how long a fresh connection may sit silent before
+// the sniff gives up on it.
+const helloTimeout = 10 * time.Second
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.demux(c)
+	}
+}
+
+func (s *Server) demux(c net.Conn) {
+	defer s.wg.Done()
+	_ = c.SetReadDeadline(time.Now().Add(helloTimeout))
+	var pre [4]byte
+	if _, err := io.ReadFull(c, pre[:]); err != nil {
+		_ = c.Close()
+		return
+	}
+	_ = c.SetReadDeadline(time.Time{})
+	if string(pre[:]) == magic {
+		s.serveBinary(c)
+		return
+	}
+	if !s.httpLn.deliver(&prefixConn{Conn: c, pre: pre[:]}) {
+		_ = c.Close()
+	}
+}
+
+// serveBinary drives one binary-lane connection: HELLO, then a strict
+// request/response loop of BATCH frames. Frames are processed
+// sequentially — while a batch is blocked in admission or on the log,
+// this goroutine stops reading, the kernel receive window fills, and the
+// producer experiences TCP pushback.
+func (s *Server) serveBinary(c net.Conn) {
+	if !s.trackConn(c, true) {
+		_ = c.Close()
+		return
+	}
+	defer s.trackConn(c, false)
+	defer c.Close()
+	r := bufio.NewReaderSize(c, 64<<10)
+	w := bufio.NewWriterSize(c, 32<<10)
+	reply := func(typ byte, body []byte) bool {
+		if err := writeFrame(w, typ, body); err != nil {
+			return false
+		}
+		return w.Flush() == nil
+	}
+
+	typ, body, err := readFrame(r)
+	if err != nil {
+		return
+	}
+	if typ != frameHello {
+		reply(frameErr, encodeErr(codeBad, "expected HELLO"))
+		return
+	}
+	token, streamName, err := decodeHello(body)
+	if err != nil {
+		reply(frameErr, encodeErr(codeBad, err.Error()))
+		return
+	}
+	t := s.authenticate(token)
+	if t == nil {
+		reply(frameErr, encodeErr(codeAuth, "unknown token"))
+		return
+	}
+	if !reply(frameHelloOK, encodeHelloOK(t.name)) {
+		return
+	}
+
+	for {
+		typ, body, err := readFrame(r)
+		if err != nil {
+			return // disconnect
+		}
+		if typ != frameBatch {
+			reply(frameErr, encodeErr(codeBad, fmt.Sprintf("unexpected frame type %#x", typ)))
+			return
+		}
+		firstSeq, recs, err := decodeBatch(body, t.maxBatch)
+		if err != nil {
+			reply(frameErr, encodeErr(codeBad, err.Error()))
+			return
+		}
+		accepted := time.Now()
+		var v verdict
+		if st := s.lookupStream(streamName); st == nil {
+			v = retryVerdict(500, "stream unavailable")
+		} else {
+			v = s.process(t, st, firstSeq, recs, accepted)
+		}
+		switch v.kind {
+		case frameAck:
+			if !reply(frameAck, encodeAck(v.through, v.dups)) {
+				return
+			}
+		case frameRetry:
+			if !reply(frameRetry, encodeRetry(v.afterMillis, v.reason)) {
+				return
+			}
+		default:
+			reply(frameErr, encodeErr(v.code, v.msg))
+			return
+		}
+	}
+}
+
+// chanListener is an in-process net.Listener fed by the demux: HTTP
+// connections (with their sniffed prefix re-attached) are handed to the
+// standard http.Server through it.
+type chanListener struct {
+	addr net.Addr
+	ch   chan net.Conn
+	stop chan struct{}
+	once sync.Once
+}
+
+func newChanListener(addr net.Addr) *chanListener {
+	return &chanListener{addr: addr, ch: make(chan net.Conn), stop: make(chan struct{})}
+}
+
+// deliver hands a connection to the HTTP server; false when shut down.
+func (l *chanListener) deliver(c net.Conn) bool {
+	select {
+	case l.ch <- c:
+		return true
+	case <-l.stop:
+		return false
+	}
+}
+
+func (l *chanListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.stop:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *chanListener) Close() error {
+	l.once.Do(func() { close(l.stop) })
+	return nil
+}
+
+func (l *chanListener) Addr() net.Addr { return l.addr }
+
+// prefixConn replays the sniffed bytes before the connection's stream.
+type prefixConn struct {
+	net.Conn
+	pre []byte
+}
+
+func (c *prefixConn) Read(p []byte) (int, error) {
+	if len(c.pre) > 0 {
+		n := copy(p, c.pre)
+		c.pre = c.pre[n:]
+		return n, nil
+	}
+	return c.Conn.Read(p)
+}

@@ -61,6 +61,12 @@ type NodeConfig struct {
 	// Source parameters.
 	Rate  int `json:"rate"`  // events/second
 	Count int `json:"count"` // total events to publish
+	// Ingest marks a source as network-fed: instead of a synthetic
+	// publisher, records arrive through the multi-tenant ingest gateway
+	// (-ingest-addr, docs/INGEST.md). Rate and Count are ignored; the
+	// stream is open-ended and its durability is the gateway's admission
+	// log rather than the in-process harness.
+	Ingest bool `json:"ingest,omitempty"`
 
 	// Operator parameters (meaning depends on Type).
 	Window       int      `json:"window"`
@@ -120,6 +126,9 @@ type SourceSpec struct {
 	Name  string
 	Rate  int
 	Count int
+	// Ingest marks the source as fed by the network ingest gateway; the
+	// runner must register it there instead of publishing synthetically.
+	Ingest bool
 }
 
 // Build converts the whole config into a validated graph.
@@ -188,7 +197,7 @@ func (cfg *Config) build(in map[string]bool) (*Built, error) {
 			if count <= 0 {
 				count = 1000
 			}
-			res.Sources = append(res.Sources, SourceSpec{ID: id, Name: nc.Name, Rate: rate, Count: count})
+			res.Sources = append(res.Sources, SourceSpec{ID: id, Name: nc.Name, Rate: rate, Count: count, Ingest: nc.Ingest})
 		}
 		if isSink {
 			res.Sinks = append(res.Sinks, id)
