@@ -3,7 +3,7 @@
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 BENCHREV := $(shell git rev-parse --short HEAD 2>/dev/null || date +%s)
 
-.PHONY: check fmt vet staticcheck test race build bench trace-e2e doccheck
+.PHONY: check fmt vet staticcheck test race build bench trace-e2e doccheck campaign-smoke
 
 check: fmt vet staticcheck doccheck race
 
@@ -57,3 +57,16 @@ bench:
 		$(if $(BENCHPREV),-prev $(BENCHPREV)) \
 		-out BENCH_$(BENCHREV).json < bench-raw.txt
 	@rm -f bench-raw.txt
+
+# campaign-smoke runs the fast fault-recovery campaign (docs/CAMPAIGNS.md):
+# the paper workload under sigkill / slow-bridge / slow-disk faults with
+# speculation on and off (8 cells including the auto-added baselines),
+# each a real multi-process cluster. The bench-schema rows are then gated
+# through benchjson so a vanished recovery_ms/completeness_pct column (or
+# a regression vs CAMPAIGNPREV) fails the run. Artifacts land in
+# campaign-out/ plus CAMPAIGN_smoke.json at the repo root.
+campaign-smoke:
+	go run ./cmd/campaign -spec campaigns/smoke.json -out campaign-out
+	go run ./cmd/benchjson -injson -require recovery_ms,completeness_pct \
+		$(if $(CAMPAIGNPREV),-prev $(CAMPAIGNPREV)) \
+		-out CAMPAIGN_smoke.json < campaign-out/bench.json

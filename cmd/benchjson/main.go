@@ -6,239 +6,63 @@
 //	BenchmarkName-8    1000    1234 ns/op    56 B/op    7 allocs/op
 //
 // plus the goos/goarch/cpu/pkg header lines the test binary prints per
-// package.
+// package. With -injson, stdin is instead an already-encoded report (the
+// campaign runner's CAMPAIGN_<name>.json), so campaign results flow
+// through the same -require and -prev gates as benchmark archives.
+//
+// The schema, column probes and regression rules live in
+// internal/benchfmt, shared with internal/campaign.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strconv"
-	"strings"
+
+	"streammine/internal/benchfmt"
 )
-
-// Result is one benchmark measurement.
-type Result struct {
-	Pkg         string  `json:"pkg"`
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"nsPerOp,omitempty"`
-	BytesPerOp  float64 `json:"bytesPerOp,omitempty"`
-	AllocsPerOp float64 `json:"allocsPerOp,omitempty"`
-	MBPerSec    float64 `json:"mbPerSec,omitempty"`
-	// Latency quantiles reported by benchmarks that measure end-to-end
-	// event latency (b.ReportMetric with "p50-us" / "p99-us" units).
-	LatencyP50Us float64 `json:"latency_p50_us,omitempty"`
-	LatencyP99Us float64 `json:"latency_p99_us,omitempty"`
-	// Speculation-waste metrics reported by benchmarks that run with the
-	// profiler enabled ("waste-cpu-pct" / "aborted-attempts/event" units).
-	WasteCPUPct             float64 `json:"waste_cpu_pct,omitempty"`
-	AbortedAttemptsPerEvent float64 `json:"aborted_attempts_per_event,omitempty"`
-	// Sustained throughput reported by open-loop benchmarks
-	// (b.ReportMetric with "events/sec" units).
-	EventsPerSec float64 `json:"events_per_sec,omitempty"`
-	// Ingest-gateway edge metrics reported by the network ingest
-	// benchmark ("ingest-admit-p99-ms" / "ingest-shed-pct" units).
-	IngestAdmitP99Ms float64 `json:"ingest_admit_p99_ms,omitempty"`
-	IngestShedPct    float64 `json:"ingest_shed_pct,omitempty"`
-}
-
-// columns maps a -require column name to a probe reporting whether a
-// result carries that column. Keep in sync with parseBench and the JSON
-// field tags above.
-var columns = map[string]func(*Result) bool{
-	"nsPerOp":                    func(r *Result) bool { return r.NsPerOp != 0 },
-	"bytesPerOp":                 func(r *Result) bool { return r.BytesPerOp != 0 },
-	"allocsPerOp":                func(r *Result) bool { return r.AllocsPerOp != 0 },
-	"mbPerSec":                   func(r *Result) bool { return r.MBPerSec != 0 },
-	"latency_p50_us":             func(r *Result) bool { return r.LatencyP50Us != 0 },
-	"latency_p99_us":             func(r *Result) bool { return r.LatencyP99Us != 0 },
-	"waste_cpu_pct":              func(r *Result) bool { return r.WasteCPUPct != 0 },
-	"aborted_attempts_per_event": func(r *Result) bool { return r.AbortedAttemptsPerEvent != 0 },
-	"events_per_sec":             func(r *Result) bool { return r.EventsPerSec != 0 },
-	"ingest_admit_p99_ms":        func(r *Result) bool { return r.IngestAdmitP99Ms != 0 },
-	"ingest_shed_pct":            func(r *Result) bool { return r.IngestShedPct != 0 },
-}
-
-// Report is the file-level record.
-type Report struct {
-	GoOS       string   `json:"goos,omitempty"`
-	GoArch     string   `json:"goarch,omitempty"`
-	CPU        string   `json:"cpu,omitempty"`
-	Benchmarks []Result `json:"benchmarks"`
-}
 
 func main() {
 	out := flag.String("out", "", "output JSON path (default stdout)")
-	require := flag.String("require", "", "comma-separated column names that must appear in at least one parsed benchmark (e.g. events_per_sec,latency_p99_us); exit non-zero when a requested column is absent instead of silently emitting blanks")
-	prev := flag.String("prev", "", "previous report JSON to compare against: exit non-zero when a benchmark's events_per_sec drops more than 20% or its waste_cpu_pct more than doubles")
+	require := flag.String("require", "", "comma-separated column names that must appear in at least one parsed benchmark (e.g. events_per_sec,recovery_ms); exit non-zero when a requested column is absent instead of silently emitting blanks")
+	prev := flag.String("prev", "", "previous report JSON to compare against: exit non-zero when a benchmark's events_per_sec drops more than 20%, its waste_cpu_pct or recovery_ms more than doubles, or its completeness_pct falls by over half a point")
+	injson := flag.Bool("injson", false, "treat stdin as an existing report JSON instead of `go test -bench` text (gate a campaign result file without re-parsing)")
 	flag.Parse()
 
-	var rep Report
-	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "pkg: "):
-			pkg = strings.TrimPrefix(line, "pkg: ")
-		case strings.HasPrefix(line, "goos: "):
-			rep.GoOS = strings.TrimPrefix(line, "goos: ")
-		case strings.HasPrefix(line, "goarch: "):
-			rep.GoArch = strings.TrimPrefix(line, "goarch: ")
-		case strings.HasPrefix(line, "cpu: "):
-			rep.CPU = strings.TrimPrefix(line, "cpu: ")
-		case strings.HasPrefix(line, "Benchmark"):
-			if r, ok := parseBench(pkg, line); ok {
-				rep.Benchmarks = append(rep.Benchmarks, r)
-			}
+	var (
+		rep benchfmt.Report
+		err error
+	)
+	if *injson {
+		var data []byte
+		if data, err = io.ReadAll(os.Stdin); err == nil {
+			err = json.Unmarshal(data, &rep)
 		}
+	} else {
+		rep, err = benchfmt.ParseText(os.Stdin)
 	}
-	if err := sc.Err(); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
 		os.Exit(1)
 	}
-	if err := checkRequired(rep, *require); err != nil {
+	if err := benchfmt.CheckRequired(rep, *require); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 	if *prev != "" {
-		if err := checkRegression(*prev, rep); err != nil {
+		if err := benchfmt.CheckRegression(*prev, rep); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
 	}
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
+	if err := benchfmt.WriteReport(rep, *out, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	data = append(data, '\n')
-	if *out == "" {
-		os.Stdout.Write(data)
-		return
+	if *out != "" {
+		fmt.Printf("benchjson: %d benchmarks -> %s\n", len(rep.Benchmarks), *out)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("benchjson: %d benchmarks -> %s\n", len(rep.Benchmarks), *out)
-}
-
-// parseBench decodes one benchmark result line: name, iteration count,
-// then (value, unit) pairs.
-func parseBench(pkg, line string) (Result, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 2 {
-		return Result{}, false
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Result{}, false
-	}
-	r := Result{Pkg: pkg, Name: fields[0], Iterations: iters}
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			continue
-		}
-		switch fields[i+1] {
-		case "ns/op":
-			r.NsPerOp = v
-		case "B/op":
-			r.BytesPerOp = v
-		case "allocs/op":
-			r.AllocsPerOp = v
-		case "MB/s":
-			r.MBPerSec = v
-		case "p50-us":
-			r.LatencyP50Us = v
-		case "p99-us":
-			r.LatencyP99Us = v
-		case "waste-cpu-pct":
-			r.WasteCPUPct = v
-		case "aborted-attempts/event":
-			r.AbortedAttemptsPerEvent = v
-		case "events/sec":
-			r.EventsPerSec = v
-		case "ingest-admit-p99-ms":
-			r.IngestAdmitP99Ms = v
-		case "ingest-shed-pct":
-			r.IngestShedPct = v
-		}
-	}
-	return r, true
-}
-
-// checkRequired verifies every -require column appears in at least one
-// parsed benchmark. A typo'd or vanished metric unit used to produce a
-// report full of silent blanks; now it fails the run.
-func checkRequired(rep Report, require string) error {
-	if require == "" {
-		return nil
-	}
-	for _, col := range strings.Split(require, ",") {
-		col = strings.TrimSpace(col)
-		if col == "" {
-			continue
-		}
-		probe, ok := columns[col]
-		if !ok {
-			return fmt.Errorf("-require: unknown column %q", col)
-		}
-		found := false
-		for i := range rep.Benchmarks {
-			if probe(&rep.Benchmarks[i]) {
-				found = true
-				break
-			}
-		}
-		if !found {
-			return fmt.Errorf("-require: column %q absent from all %d parsed benchmarks (metric unit missing from bench output?)", col, len(rep.Benchmarks))
-		}
-	}
-	return nil
-}
-
-// checkRegression compares the new report against a previous one by
-// pkg+name: a benchmark whose events_per_sec dropped by more than 20% or
-// whose waste_cpu_pct more than doubled fails the check. Benchmarks
-// present on only one side are ignored (renames and new coverage are not
-// regressions).
-func checkRegression(prevPath string, cur Report) error {
-	data, err := os.ReadFile(prevPath)
-	if err != nil {
-		return fmt.Errorf("-prev: %w", err)
-	}
-	var prev Report
-	if err := json.Unmarshal(data, &prev); err != nil {
-		return fmt.Errorf("-prev: parse %s: %w", prevPath, err)
-	}
-	old := make(map[string]Result, len(prev.Benchmarks))
-	for _, r := range prev.Benchmarks {
-		old[r.Pkg+" "+r.Name] = r
-	}
-	var bad []string
-	for _, r := range cur.Benchmarks {
-		p, ok := old[r.Pkg+" "+r.Name]
-		if !ok {
-			continue
-		}
-		if p.EventsPerSec > 0 && r.EventsPerSec > 0 && r.EventsPerSec < 0.8*p.EventsPerSec {
-			bad = append(bad, fmt.Sprintf("%s: events_per_sec %.0f -> %.0f (-%.0f%%)",
-				r.Name, p.EventsPerSec, r.EventsPerSec, 100*(1-r.EventsPerSec/p.EventsPerSec)))
-		}
-		if p.WasteCPUPct > 0 && r.WasteCPUPct > 2*p.WasteCPUPct {
-			bad = append(bad, fmt.Sprintf("%s: waste_cpu_pct %.2f -> %.2f (more than doubled)",
-				r.Name, p.WasteCPUPct, r.WasteCPUPct))
-		}
-	}
-	if len(bad) > 0 {
-		return fmt.Errorf("regression vs %s:\n  %s", prevPath, strings.Join(bad, "\n  "))
-	}
-	return nil
 }

@@ -1,0 +1,137 @@
+// Command campaign runs declarative fault-recovery benchmark campaigns:
+// a JSON spec (see docs/CAMPAIGNS.md and campaigns/) expands into a
+// workload × fault × config matrix, each cell runs a real multi-process
+// cluster with a fault injected mid-run, and the results land as a
+// benchfmt JSON report plus a rendered markdown report.
+//
+// Usage:
+//
+//	campaign -spec campaigns/smoke.json -out out/
+//	campaign -spec campaigns/nightly.json -cells 'sigkill' -out out/
+//	campaign -list
+//
+// The process exits non-zero when any executed cell fails its
+// assertions (lost deliveries, duplicate sink prints, lineage
+// completeness below 99%, or a run that never completed).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+
+	"streammine/internal/benchfmt"
+	"streammine/internal/campaign"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	specPath := flag.String("spec", "", "campaign spec file (JSON; see docs/CAMPAIGNS.md)")
+	outDir := flag.String("out", "campaign-out", "output directory: results.json, report.md and per-cell artifacts under cells/")
+	bin := flag.String("bin", "", "streammine binary to launch clusters with (default: build streammine/cmd/streammine into the output directory)")
+	cellsRe := flag.String("cells", "", "only run cells whose name matches this regexp (baselines a selected cell compares against always run)")
+	list := flag.Bool("list", false, "with -spec: print the expanded cell matrix and exit without running")
+	flag.Parse()
+
+	if *specPath == "" {
+		return fmt.Errorf("-spec is required (see campaigns/ for examples)")
+	}
+	spec, err := campaign.Load(*specPath)
+	if err != nil {
+		return err
+	}
+
+	cells := spec.Expand()
+	var filter *regexp.Regexp
+	if *cellsRe != "" {
+		filter, err = regexp.Compile(*cellsRe)
+		if err != nil {
+			return fmt.Errorf("-cells: %w", err)
+		}
+		// Keep a selected cell's baseline: faulted cells are asserted
+		// against the fault-free identity set of their workload × config.
+		keep := map[string]bool{}
+		for _, c := range cells {
+			if !c.Baseline() && filter.MatchString(c.Name()) {
+				keep[c.BaselineKey()] = true
+			}
+		}
+		var selected []campaign.Cell
+		for _, c := range cells {
+			if filter.MatchString(c.Name()) || (c.Baseline() && keep[c.BaselineKey()]) {
+				selected = append(selected, c)
+			}
+		}
+		if len(selected) == 0 {
+			return fmt.Errorf("-cells %q matches no cell of %d", *cellsRe, len(cells))
+		}
+		cells = selected
+	}
+
+	if *list {
+		for _, c := range cells {
+			fmt.Println(c.Name())
+		}
+		return nil
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	binPath := *bin
+	if binPath == "" {
+		fmt.Fprintln(os.Stderr, "campaign: building streammine binary")
+		binPath, err = campaign.BuildBinary(*outDir)
+		if err != nil {
+			return err
+		}
+	}
+
+	r := &campaign.Runner{
+		Bin:    binPath,
+		OutDir: *outDir,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "campaign: "+format+"\n", args...)
+		},
+	}
+	outcome, err := r.RunCells(spec, cells)
+	if err != nil {
+		return err
+	}
+
+	resData, err := json.MarshalIndent(outcome, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(*outDir, "results.json"), append(resData, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := benchfmt.WriteReport(campaign.BenchReport(outcome), filepath.Join(*outDir, "bench.json"), nil); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(*outDir, "report.md"), []byte(campaign.Markdown(outcome)), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("campaign %s: %d cells, report in %s\n", outcome.Campaign, len(outcome.Cells), *outDir)
+
+	if !outcome.Passed() {
+		failed := 0
+		for _, c := range outcome.Cells {
+			if !c.Passed() {
+				failed++
+				fmt.Fprintf(os.Stderr, "campaign: FAILED %s: %v\n", c.Cell, c.Failures)
+			}
+		}
+		return fmt.Errorf("%d of %d cells failed", failed, len(outcome.Cells))
+	}
+	return nil
+}

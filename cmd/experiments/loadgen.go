@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"streammine/internal/detrand"
 	"streammine/internal/ingest"
 	"streammine/internal/metrics"
 )
@@ -32,6 +33,7 @@ type loadgenCfg struct {
 	batch   *int
 	payload *int
 	curve   *string
+	seed    *uint64
 	tlsSkip *bool
 }
 
@@ -47,6 +49,7 @@ func loadgenFlags() *loadgenCfg {
 		batch:   flag.Int("batch", 64, "with -loadgen: records per BATCH frame"),
 		payload: flag.Int("payload", 64, "with -loadgen: payload bytes per record"),
 		curve:   flag.String("curve", "steady", "with -loadgen: offered-load shape: steady, burst or diurnal"),
+		seed:    flag.Uint64("seed", 0, "with -loadgen: draw record keys and payload bytes from a deterministic PRNG seeded here, so repeated runs offer identical (but realistically distributed) traffic; 0 keeps the legacy sequential keys and fixed payload"),
 		tlsSkip: flag.Bool("tls-insecure", false, "with -loadgen: dial TLS without certificate verification"),
 	}
 }
@@ -110,6 +113,22 @@ func (c *loadgenCfg) run() error {
 			defer wg.Done()
 			cl := ingest.NewClient(*c.addr, *c.stream, ingest.ClientOptions{Token: tokenFor(ci), TLS: tlsCfg})
 			defer cl.Close()
+			// With -seed, keys and payload come from a per-client
+			// deterministic stream: repeated runs offer byte-identical
+			// traffic (key skew and all), which is what makes loadgen
+			// results comparable across campaign and A/B runs.
+			var rng *detrand.Source
+			clientPayload := payload
+			if *c.seed != 0 {
+				rng = detrand.New(*c.seed).Fork()
+				for i := 0; i < ci; i++ {
+					rng = rng.Fork()
+				}
+				clientPayload = make([]byte, *c.payload)
+				for i := range clientPayload {
+					clientPayload[i] = byte(rng.Uint64())
+				}
+			}
 			sent := 0
 			for sent < *c.count {
 				// Open-loop deficit pacing: emit whatever the modulated
@@ -125,7 +144,11 @@ func (c *loadgenCfg) run() error {
 					}
 					recs := make([]ingest.Record, n)
 					for i := range recs {
-						recs[i] = ingest.Record{Key: uint64(ci)<<32 | uint64(sent+i), Payload: payload}
+						key := uint64(ci)<<32 | uint64(sent+i)
+						if rng != nil {
+							key = rng.Uint64()
+						}
+						recs[i] = ingest.Record{Key: key, Payload: clientPayload}
 					}
 					t0 := time.Now()
 					if err := cl.Send(recs); err != nil {

@@ -1,17 +1,13 @@
 package main
 
 import (
-	"bufio"
-	"fmt"
-	"os"
-	"os/exec"
 	"path/filepath"
 	"strings"
-	"sync"
 	"testing"
 	"time"
 
 	"streammine/internal/metrics"
+	"streammine/internal/procharness"
 	"streammine/internal/tracetool"
 )
 
@@ -51,185 +47,55 @@ const e2eFlowTopo = `{
   }
 }`
 
-// procSinks collects "SINK <name> <id>" lines across worker processes.
-type procSinks struct {
-	mu   sync.Mutex
-	seen map[string]bool
-	per  map[string]int
-}
-
-func newProcSinks() *procSinks {
-	return &procSinks{seen: make(map[string]bool), per: make(map[string]int)}
-}
-
-func (p *procSinks) record(worker, id string) {
-	p.mu.Lock()
-	p.seen[id] = true
-	p.per[worker]++
-	p.mu.Unlock()
-}
-
-func (p *procSinks) busiest(min int) string {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for w, n := range p.per {
-		if n >= min {
-			return w
-		}
-	}
-	return ""
-}
-
-func (p *procSinks) count(worker string) int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.per[worker]
-}
-
-func (p *procSinks) ids() map[string]bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make(map[string]bool, len(p.seen))
-	for id := range p.seen {
-		out[id] = true
-	}
-	return out
-}
-
 // buildBinary compiles the streammine command once per test run.
 func buildBinary(t *testing.T) string {
 	t.Helper()
-	bin := filepath.Join(t.TempDir(), "streammine")
-	cmd := exec.Command("go", "build", "-o", bin, ".")
-	if out, err := cmd.CombinedOutput(); err != nil {
-		t.Fatalf("go build: %v\n%s", err, out)
+	bin, err := procharness.BuildBinary(t.TempDir(), ".")
+	if err != nil {
+		t.Fatal(err)
 	}
 	return bin
 }
 
-// scanLines feeds each stdout line of a child process to fn.
-func scanLines(t *testing.T, cmd *exec.Cmd, fn func(line string)) {
+// runClusterProcesses spawns one coordinator and two worker processes over
+// a shared state directory via procharness. With chaos set it SIGKILLs
+// whichever worker externalizes sink output once the run is under way.
+// With traceDir set, every process writes its lifecycle trace to
+// <traceDir>/<proc>.jsonl. extraCoordArgs are appended to the coordinator
+// invocation (engine-wide overrides like -batch ride the ASSIGN payload
+// to the workers). Returns the distinct sink identity set externalized
+// across all workers.
+func runClusterProcesses(t *testing.T, bin, topo string, chaos bool, traceDir string, extraCoordArgs ...string) map[string]bool {
 	t.Helper()
-	out, err := cmd.StdoutPipe()
+	cl, err := procharness.Start(procharness.Options{
+		Bin:       bin,
+		Topology:  topo,
+		Dir:       t.TempDir(),
+		Workers:   2,
+		HBTimeout: 500 * time.Millisecond,
+		CoordArgs: extraCoordArgs,
+		TraceDir:  traceDir,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmd.Stderr = cmd.Stdout
-	go func() {
-		sc := bufio.NewScanner(out)
-		for sc.Scan() {
-			fn(sc.Text())
-		}
-	}()
-}
-
-// runClusterProcesses spawns one coordinator and two worker processes over
-// a shared state directory. With chaos set it SIGKILLs whichever worker
-// externalizes sink output once the run is under way. With traceDir set,
-// every process writes its lifecycle trace to <traceDir>/<proc>.jsonl.
-// extraCoordArgs are appended to the coordinator invocation (engine-wide
-// overrides like -batch ride the ASSIGN payload to the workers). Returns
-// the distinct sink identity set externalized across all workers.
-func runClusterProcesses(t *testing.T, bin, topo string, chaos bool, traceDir string, extraCoordArgs ...string) map[string]bool {
-	t.Helper()
-	dir := t.TempDir()
-	topoPath := filepath.Join(dir, "topo.json")
-	if err := os.WriteFile(topoPath, []byte(topo), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	traceArgs := func(proc string) []string {
-		if traceDir == "" {
-			return nil
-		}
-		return []string{"-trace", filepath.Join(traceDir, proc+".jsonl")}
-	}
-
-	coordArgs := []string{"-coordinator", "127.0.0.1:0", "-topology", topoPath, "-hb-timeout", "500ms"}
-	coordArgs = append(coordArgs, extraCoordArgs...)
-	coord := exec.Command(bin, append(coordArgs, traceArgs("coordinator")...)...)
-	addrCh := make(chan string, 1)
-	scanLines(t, coord, func(line string) {
-		if rest, ok := strings.CutPrefix(line, "coordinator on "); ok {
-			if i := strings.IndexByte(rest, ','); i >= 0 {
-				select {
-				case addrCh <- rest[:i]:
-				default:
-				}
-			}
-		}
-	})
-	if err := coord.Start(); err != nil {
-		t.Fatal(err)
-	}
-	defer func() { _ = coord.Process.Kill() }()
-
-	var addr string
-	select {
-	case addr = <-addrCh:
-	case <-time.After(10 * time.Second):
-		t.Fatal("coordinator never reported its address")
-	}
-
-	sinks := newProcSinks()
-	stateDir := filepath.Join(dir, "state")
-	workers := make(map[string]*exec.Cmd, 2)
-	for i := 0; i < 2; i++ {
-		name := fmt.Sprintf("w%d", i+1)
-		wk := exec.Command(bin, append([]string{"-worker", "-join", addr,
-			"-name", name, "-state-dir", stateDir, "-hb-timeout", "500ms"},
-			traceArgs(name)...)...)
-		scanLines(t, wk, func(line string) {
-			fields := strings.Fields(line)
-			if len(fields) == 3 && fields[0] == "SINK" {
-				sinks.record(name, fields[2])
-			}
-		})
-		if err := wk.Start(); err != nil {
-			t.Fatal(err)
-		}
-		defer func() { _ = wk.Process.Kill() }()
-		workers[name] = wk
-	}
+	defer cl.Close()
 
 	if chaos {
-		deadline := time.Now().Add(20 * time.Second)
-		var victim string
-		for victim == "" {
-			if time.Now().After(deadline) {
-				t.Fatal("no worker produced sink output to kill")
-			}
-			victim = sinks.busiest(30)
-			time.Sleep(5 * time.Millisecond)
+		victim, err := cl.Sinks.WaitBusiest(30, 20*time.Second)
+		if err != nil {
+			t.Fatal(err)
 		}
-		t.Logf("SIGKILL %s after %d sink events", victim, sinks.count(victim))
-		if err := workers[victim].Process.Kill(); err != nil {
+		t.Logf("SIGKILL %s after %d sink events", victim, cl.Sinks.Count(victim))
+		if err := cl.KillWorker(victim); err != nil {
 			t.Fatalf("kill %s: %v", victim, err)
 		}
 	}
 
-	waitErr := make(chan error, 1)
-	go func() { waitErr <- coord.Wait() }()
-	select {
-	case err := <-waitErr:
-		if err != nil {
-			t.Fatalf("coordinator exited: %v", err)
-		}
-	case <-time.After(90 * time.Second):
-		t.Fatal("cluster run did not complete")
+	if err := cl.WaitDone(90 * time.Second); err != nil {
+		t.Fatal(err)
 	}
-	// Give the surviving workers a moment to flush their last SINK lines.
-	for name, wk := range workers {
-		done := make(chan struct{})
-		go func() { _ = wk.Wait(); close(done) }()
-		select {
-		case <-done:
-		case <-time.After(10 * time.Second):
-			t.Logf("worker %s still running after coordinator exit; killing", name)
-			_ = wk.Process.Kill()
-			<-done
-		}
-	}
-	return sinks.ids()
+	return cl.Sinks.IDs()
 }
 
 // TestClusterProcessesFailover is the full multi-process chaos drill: a

@@ -3,16 +3,14 @@ package main
 import (
 	"fmt"
 	"os"
-	"os/exec"
 	"path/filepath"
-	"strings"
-	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"streammine/internal/ingest"
 	"streammine/internal/operator"
+	"streammine/internal/procharness"
 )
 
 // ingestE2ETopo feeds the pipeline from the network instead of a paced
@@ -53,75 +51,12 @@ const (
 	ingestE2ETotal     = ingestE2EClients * ingestE2EPerClient
 )
 
-// ingestSinks collects "SINK <name> <id>" lines with multiplicity: a
-// finalized event printed twice would mean duplicate suppression leaked a
-// replayed or retried record past externalization.
-type ingestSinks struct {
-	mu     sync.Mutex
-	counts map[string]int
-	total  int
-}
-
-func newIngestSinks() *ingestSinks {
-	return &ingestSinks{counts: make(map[string]int)}
-}
-
-func (s *ingestSinks) record(id string) {
-	s.mu.Lock()
-	s.counts[id]++
-	s.total++
-	s.mu.Unlock()
-}
-
-func (s *ingestSinks) distinct() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.counts)
-}
-
-func (s *ingestSinks) snapshot() (ids map[string]bool, dupPrints int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ids = make(map[string]bool, len(s.counts))
-	for id, n := range s.counts {
-		ids[id] = true
-		if n > 1 {
-			dupPrints += n - 1
-		}
-	}
-	return ids, dupPrints
-}
-
-// gatewayHost tracks which worker's gateway is currently accepting the
-// "src" stream. Workers log the registration line both at initial
-// assignment and after a failover reassignment, so the generation counter
-// is the clients' signal that the stream moved.
-type gatewayHost struct {
-	mu   sync.Mutex
-	name string
-	addr string
-	gen  int
-}
-
-func (g *gatewayHost) set(name, addr string) {
-	g.mu.Lock()
-	g.name, g.addr = name, addr
-	g.gen++
-	g.mu.Unlock()
-}
-
-func (g *gatewayHost) get() (name, addr string, gen int) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.name, g.addr, g.gen
-}
-
 // runIngestClient delivers one tenant's full journal through whatever
 // gateway currently hosts the stream. After a gateway death it reconnects
 // and resends the journal from sequence 1 — the at-least-once producer
 // protocol — and relies on the rebuilt floors to absorb the acknowledged
 // prefix as duplicates. Returns the duplicate count the servers reported.
-func runIngestClient(t *testing.T, gws *gatewayHost, idx int, deadline time.Time) (uint64, error) {
+func runIngestClient(t *testing.T, gws *procharness.Gateways, idx int, deadline time.Time) (uint64, error) {
 	t.Helper()
 	journal := make([]ingest.Record, ingestE2EPerClient)
 	for j := range journal {
@@ -131,8 +66,8 @@ func runIngestClient(t *testing.T, gws *gatewayHost, idx int, deadline time.Time
 	token := fmt.Sprintf("tok-%d", idx)
 	var dups uint64
 	for time.Now().Before(deadline) {
-		_, addr, gen := gws.get()
-		c := ingest.NewClient(addr, "src", ingest.ClientOptions{
+		reg, _ := gws.Get("src")
+		c := ingest.NewClient(reg.Addr, "src", ingest.ClientOptions{
 			Token:      token,
 			Backoff:    10 * time.Millisecond,
 			MaxElapsed: 4 * time.Second,
@@ -160,7 +95,7 @@ func runIngestClient(t *testing.T, gws *gatewayHost, idx int, deadline time.Time
 		t.Logf("client %d: %v; waiting for the stream to re-register", idx, err)
 		waitUntil := time.Now().Add(5 * time.Second)
 		for time.Now().Before(waitUntil) {
-			if _, _, g := gws.get(); g != gen {
+			if cur, _ := gws.Get("src"); cur.Gen != reg.Gen {
 				break
 			}
 			time.Sleep(50 * time.Millisecond)
@@ -169,84 +104,35 @@ func runIngestClient(t *testing.T, gws *gatewayHost, idx int, deadline time.Time
 	return dups, fmt.Errorf("client %d: journal not delivered before deadline", idx)
 }
 
-// runIngestCluster spawns a coordinator and two gateway-running workers,
-// drives the topology with concurrent network clients, and (with chaos
-// set) SIGKILLs the worker hosting the ingest stream mid-stream. Returns
-// the externalized identity set, the count of double-printed sink events,
-// and the total duplicates the gateways reported to the clients.
+// runIngestCluster spawns a coordinator and two gateway-running workers
+// via procharness, drives the topology with concurrent network clients,
+// and (with chaos set) SIGKILLs the worker hosting the ingest stream
+// mid-stream. Returns the externalized identity set, the count of
+// double-printed sink events, and the total duplicates the gateways
+// reported to the clients.
 func runIngestCluster(t *testing.T, bin string, chaos bool) (map[string]bool, int, uint64) {
 	t.Helper()
 	dir := t.TempDir()
-	topoPath := filepath.Join(dir, "topo.json")
-	if err := os.WriteFile(topoPath, []byte(ingestE2ETopo), 0o644); err != nil {
-		t.Fatal(err)
-	}
 	tenantsPath := filepath.Join(dir, "tenants.json")
 	if err := os.WriteFile(tenantsPath, []byte(ingestE2ETenants), 0o644); err != nil {
 		t.Fatal(err)
 	}
 
-	coord := exec.Command(bin, "-coordinator", "127.0.0.1:0", "-topology", topoPath, "-hb-timeout", "500ms")
-	addrCh := make(chan string, 1)
-	scanLines(t, coord, func(line string) {
-		if rest, ok := strings.CutPrefix(line, "coordinator on "); ok {
-			if i := strings.IndexByte(rest, ','); i >= 0 {
-				select {
-				case addrCh <- rest[:i]:
-				default:
-				}
-			}
-		}
+	cl, err := procharness.Start(procharness.Options{
+		Bin:        bin,
+		Topology:   ingestE2ETopo,
+		Dir:        dir,
+		Workers:    2,
+		HBTimeout:  500 * time.Millisecond,
+		WorkerArgs: []string{"-ingest-addr", "127.0.0.1:0", "-ingest-tenants", tenantsPath},
 	})
-	if err := coord.Start(); err != nil {
+	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() { _ = coord.Process.Kill() }()
+	defer cl.Close()
 
-	var coordAddr string
-	select {
-	case coordAddr = <-addrCh:
-	case <-time.After(10 * time.Second):
-		t.Fatal("coordinator never reported its address")
-	}
-
-	sinks := newIngestSinks()
-	gws := &gatewayHost{}
-	stateDir := filepath.Join(dir, "state")
-	workers := make(map[string]*exec.Cmd, 2)
-	for i := 0; i < 2; i++ {
-		name := fmt.Sprintf("w%d", i+1)
-		wk := exec.Command(bin, "-worker", "-join", coordAddr, "-name", name,
-			"-state-dir", stateDir, "-hb-timeout", "500ms",
-			"-ingest-addr", "127.0.0.1:0", "-ingest-tenants", tenantsPath)
-		scanLines(t, wk, func(line string) {
-			fields := strings.Fields(line)
-			if len(fields) == 3 && fields[0] == "SINK" {
-				sinks.record(fields[2])
-				return
-			}
-			// `[wN] partition 0: ingest source "src" accepting on ADDR`
-			if i := strings.Index(line, `ingest source "src" accepting on `); i >= 0 {
-				addr := strings.TrimSpace(line[i+len(`ingest source "src" accepting on `):])
-				gws.set(name, addr)
-			}
-		})
-		if err := wk.Start(); err != nil {
-			t.Fatal(err)
-		}
-		defer func() { _ = wk.Process.Kill() }()
-		workers[name] = wk
-	}
-
-	deadline := time.Now().Add(15 * time.Second)
-	for {
-		if _, addr, _ := gws.get(); addr != "" {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("no worker registered the ingest stream")
-		}
-		time.Sleep(10 * time.Millisecond)
+	if _, err := cl.Gateways.Wait("src", 15*time.Second); err != nil {
+		t.Fatal(err)
 	}
 
 	clientDeadline := time.Now().Add(90 * time.Second)
@@ -254,24 +140,20 @@ func runIngestCluster(t *testing.T, bin string, chaos bool) (map[string]bool, in
 	clientErrs := make(chan error, ingestE2EClients)
 	for i := 0; i < ingestE2EClients; i++ {
 		go func(i int) {
-			dups, err := runIngestClient(t, gws, i, clientDeadline)
+			dups, err := runIngestClient(t, cl.Gateways, i, clientDeadline)
 			clientDups.Add(dups)
 			clientErrs <- err
 		}(i)
 	}
 
 	if chaos {
-		killDeadline := time.Now().Add(30 * time.Second)
-		for sinks.distinct() < ingestE2ETotal/10 {
-			if time.Now().After(killDeadline) {
-				t.Fatal("sink output never reached the chaos threshold")
-			}
-			time.Sleep(5 * time.Millisecond)
+		if err := cl.Sinks.WaitDistinct(ingestE2ETotal/10, 30*time.Second); err != nil {
+			t.Fatalf("sink output never reached the chaos threshold: %v", err)
 		}
-		victim, addr, _ := gws.get()
-		t.Logf("SIGKILL %s (gateway %s) after %d sink events", victim, addr, sinks.distinct())
-		if err := workers[victim].Process.Kill(); err != nil {
-			t.Fatalf("kill %s: %v", victim, err)
+		reg, _ := cl.Gateways.Get("src")
+		t.Logf("SIGKILL %s (gateway %s) after %d sink events", reg.Worker, reg.Addr, cl.Sinks.Distinct())
+		if err := cl.KillWorker(reg.Worker); err != nil {
+			t.Fatalf("kill %s: %v", reg.Worker, err)
 		}
 	}
 
@@ -284,17 +166,13 @@ func runIngestCluster(t *testing.T, bin string, chaos bool) (map[string]bool, in
 	// Ingest-fed partitions are open-ended (producers may reconnect), so
 	// the coordinator never reports the run complete; wait for the sinks
 	// to drain the acknowledged records instead.
-	drainDeadline := time.Now().Add(60 * time.Second)
-	for sinks.distinct() < ingestE2ETotal {
-		if time.Now().After(drainDeadline) {
-			t.Fatalf("sinks externalized %d distinct events, want %d", sinks.distinct(), ingestE2ETotal)
-		}
-		time.Sleep(10 * time.Millisecond)
+	if err := cl.Sinks.WaitDistinct(ingestE2ETotal, 60*time.Second); err != nil {
+		t.Fatal(err)
 	}
 	// Settle briefly so a late duplicate print (replay leaking past
 	// suppression) would be caught rather than raced past.
 	time.Sleep(500 * time.Millisecond)
-	ids, dupPrints := sinks.snapshot()
+	ids, dupPrints := cl.Sinks.Snapshot()
 	return ids, dupPrints, clientDups.Load()
 }
 

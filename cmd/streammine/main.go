@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"streammine/internal/autolimit"
+	"streammine/internal/chaos"
 	"streammine/internal/core"
 	"streammine/internal/debugserver"
 	"streammine/internal/event"
@@ -54,6 +55,7 @@ type observability struct {
 	registry  *metrics.Registry
 	tracer    *metrics.Tracer
 	addr      string
+	chaos     bool
 	server    *debugserver.Server
 	traceFile *os.File
 }
@@ -93,6 +95,9 @@ func (o *observability) serve(health func() error) error {
 		return nil
 	}
 	o.server = debugserver.New(o.registry, health)
+	if o.chaos {
+		o.server.SetChaos(chaos.Handle)
+	}
 	bound, err := o.server.Start(o.addr)
 	if err != nil {
 		return err
@@ -133,6 +138,7 @@ func run() error {
 	rate := flag.Int("rate", 1000, "with -query: events/second per source")
 	count := flag.Int("count", 5000, "with -query: events per source")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8090)")
+	chaosFlag := flag.Bool("chaos", false, "with -debug-addr: accept runtime fault injection at /debug/chaos (slow/lossy bridges, slow disk; docs/CAMPAIGNS.md)")
 	tracePath := flag.String("trace", "", "write per-event lifecycle spans (JSONL) to this file")
 	profileSpec := flag.Bool("profile-speculation", false, "enable the speculation-waste profiler (served at /debug/speculation; with -worker, waste summaries ride STATUS heartbeats to the coordinator)")
 	traceSample := flag.Float64("trace-sample", 1.0, "with -trace: fraction of event lineages to keep (head-based, by trace id)")
@@ -170,10 +176,14 @@ func run() error {
 		}
 		proc = *name
 	}
+	if *chaosFlag && *debugAddr == "" {
+		return fmt.Errorf("-chaos requires -debug-addr (faults are armed via /debug/chaos)")
+	}
 	obs, err := newObservability(*debugAddr, *tracePath, proc, *traceSample)
 	if err != nil {
 		return err
 	}
+	obs.chaos = *chaosFlag
 	defer obs.close()
 	icfg, err := ingestFlagsConfig(*ingestAddr, *ingestStateDir, *ingestTenants, *ingestTLSCert, *ingestTLSKey)
 	if err != nil {

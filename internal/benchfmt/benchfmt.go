@@ -1,0 +1,256 @@
+// Package benchfmt defines the machine-readable benchmark/report schema
+// shared by cmd/benchjson (which converts `go test -bench` text into it)
+// and internal/campaign (which emits one row per campaign cell). Keeping
+// the schema in one place means the -require column probes and the -prev
+// regression gate apply identically to benchmark archives
+// (BENCH_<rev>.json) and campaign result files (CAMPAIGN_<name>.json).
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one measurement row: a benchmark, or one campaign cell.
+type Result struct {
+	Pkg         string  `json:"pkg"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp,omitempty"`
+	BytesPerOp  float64 `json:"bytesPerOp,omitempty"`
+	AllocsPerOp float64 `json:"allocsPerOp,omitempty"`
+	MBPerSec    float64 `json:"mbPerSec,omitempty"`
+	// Latency quantiles reported by benchmarks that measure end-to-end
+	// event latency (b.ReportMetric with "p50-us" / "p99-us" units).
+	LatencyP50Us float64 `json:"latency_p50_us,omitempty"`
+	LatencyP99Us float64 `json:"latency_p99_us,omitempty"`
+	// Speculation-waste metrics reported by benchmarks that run with the
+	// profiler enabled ("waste-cpu-pct" / "aborted-attempts/event" units).
+	WasteCPUPct             float64 `json:"waste_cpu_pct,omitempty"`
+	AbortedAttemptsPerEvent float64 `json:"aborted_attempts_per_event,omitempty"`
+	// Sustained throughput reported by open-loop benchmarks
+	// (b.ReportMetric with "events/sec" units).
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// Ingest-gateway edge metrics reported by the network ingest
+	// benchmark ("ingest-admit-p99-ms" / "ingest-shed-pct" units).
+	IngestAdmitP99Ms float64 `json:"ingest_admit_p99_ms,omitempty"`
+	IngestShedPct    float64 `json:"ingest_shed_pct,omitempty"`
+	// Fault-recovery campaign metrics (docs/CAMPAIGNS.md): time from
+	// fault injection until sink throughput was restored, and the
+	// fraction of externalized lineages that are reconstructable end to
+	// end in the merged trace ("recovery-ms" / "completeness-pct" units).
+	RecoveryMs      float64 `json:"recovery_ms,omitempty"`
+	CompletenessPct float64 `json:"completeness_pct,omitempty"`
+}
+
+// Columns maps a -require column name to a probe reporting whether a
+// result carries that column. Keep in sync with ParseLine and the JSON
+// field tags above.
+var Columns = map[string]func(*Result) bool{
+	"nsPerOp":                    func(r *Result) bool { return r.NsPerOp != 0 },
+	"bytesPerOp":                 func(r *Result) bool { return r.BytesPerOp != 0 },
+	"allocsPerOp":                func(r *Result) bool { return r.AllocsPerOp != 0 },
+	"mbPerSec":                   func(r *Result) bool { return r.MBPerSec != 0 },
+	"latency_p50_us":             func(r *Result) bool { return r.LatencyP50Us != 0 },
+	"latency_p99_us":             func(r *Result) bool { return r.LatencyP99Us != 0 },
+	"waste_cpu_pct":              func(r *Result) bool { return r.WasteCPUPct != 0 },
+	"aborted_attempts_per_event": func(r *Result) bool { return r.AbortedAttemptsPerEvent != 0 },
+	"events_per_sec":             func(r *Result) bool { return r.EventsPerSec != 0 },
+	"ingest_admit_p99_ms":        func(r *Result) bool { return r.IngestAdmitP99Ms != 0 },
+	"ingest_shed_pct":            func(r *Result) bool { return r.IngestShedPct != 0 },
+	"recovery_ms":                func(r *Result) bool { return r.RecoveryMs != 0 },
+	"completeness_pct":           func(r *Result) bool { return r.CompletenessPct != 0 },
+}
+
+// Report is the file-level record.
+type Report struct {
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// ParseText decodes `go test -bench` text output into a Report: the
+// standard benchmark lines plus the goos/goarch/cpu/pkg header lines the
+// test binary prints per package.
+func ParseText(r io.Reader) (Report, error) {
+	var rep Report
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "goos: "):
+			rep.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if res, ok := ParseLine(pkg, line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, res)
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// ParseLine decodes one benchmark result line: name, iteration count,
+// then (value, unit) pairs.
+func ParseLine(pkg, line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Pkg: pkg, Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		case "MB/s":
+			r.MBPerSec = v
+		case "p50-us":
+			r.LatencyP50Us = v
+		case "p99-us":
+			r.LatencyP99Us = v
+		case "waste-cpu-pct":
+			r.WasteCPUPct = v
+		case "aborted-attempts/event":
+			r.AbortedAttemptsPerEvent = v
+		case "events/sec":
+			r.EventsPerSec = v
+		case "ingest-admit-p99-ms":
+			r.IngestAdmitP99Ms = v
+		case "ingest-shed-pct":
+			r.IngestShedPct = v
+		case "recovery-ms":
+			r.RecoveryMs = v
+		case "completeness-pct":
+			r.CompletenessPct = v
+		}
+	}
+	return r, true
+}
+
+// ReadReport loads a Report previously written as JSON.
+func ReadReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// WriteReport marshals the report (indented, trailing newline) to path,
+// or to w when path is empty.
+func WriteReport(rep Report, path string, w io.Writer) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = w.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// CheckRequired verifies every comma-separated column appears in at least
+// one result. A typo'd or vanished metric unit used to produce a report
+// full of silent blanks; now it fails the run.
+func CheckRequired(rep Report, require string) error {
+	if require == "" {
+		return nil
+	}
+	for _, col := range strings.Split(require, ",") {
+		col = strings.TrimSpace(col)
+		if col == "" {
+			continue
+		}
+		probe, ok := Columns[col]
+		if !ok {
+			return fmt.Errorf("-require: unknown column %q", col)
+		}
+		found := false
+		for i := range rep.Benchmarks {
+			if probe(&rep.Benchmarks[i]) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("-require: column %q absent from all %d parsed benchmarks (metric unit missing from bench output?)", col, len(rep.Benchmarks))
+		}
+	}
+	return nil
+}
+
+// CheckRegression compares the new report against a previous one by
+// pkg+name. A row fails the gate when its events_per_sec dropped by more
+// than 20%, its waste_cpu_pct more than doubled, its recovery_ms more
+// than doubled (and grew by at least 250 ms, so fast-recovery jitter does
+// not trip it), or its completeness_pct fell by more than half a point.
+// Rows present on only one side are ignored (renames and new coverage are
+// not regressions).
+func CheckRegression(prevPath string, cur Report) error {
+	prev, err := ReadReport(prevPath)
+	if err != nil {
+		return fmt.Errorf("-prev: %w", err)
+	}
+	old := make(map[string]Result, len(prev.Benchmarks))
+	for _, r := range prev.Benchmarks {
+		old[r.Pkg+" "+r.Name] = r
+	}
+	var bad []string
+	for _, r := range cur.Benchmarks {
+		p, ok := old[r.Pkg+" "+r.Name]
+		if !ok {
+			continue
+		}
+		if p.EventsPerSec > 0 && r.EventsPerSec > 0 && r.EventsPerSec < 0.8*p.EventsPerSec {
+			bad = append(bad, fmt.Sprintf("%s: events_per_sec %.0f -> %.0f (-%.0f%%)",
+				r.Name, p.EventsPerSec, r.EventsPerSec, 100*(1-r.EventsPerSec/p.EventsPerSec)))
+		}
+		if p.WasteCPUPct > 0 && r.WasteCPUPct > 2*p.WasteCPUPct {
+			bad = append(bad, fmt.Sprintf("%s: waste_cpu_pct %.2f -> %.2f (more than doubled)",
+				r.Name, p.WasteCPUPct, r.WasteCPUPct))
+		}
+		if p.RecoveryMs > 0 && r.RecoveryMs > 2*p.RecoveryMs && r.RecoveryMs-p.RecoveryMs > 250 {
+			bad = append(bad, fmt.Sprintf("%s: recovery_ms %.0f -> %.0f (more than doubled)",
+				r.Name, p.RecoveryMs, r.RecoveryMs))
+		}
+		if p.CompletenessPct > 0 && r.CompletenessPct > 0 && r.CompletenessPct < p.CompletenessPct-0.5 {
+			bad = append(bad, fmt.Sprintf("%s: completeness_pct %.2f -> %.2f",
+				r.Name, p.CompletenessPct, r.CompletenessPct))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("regression vs %s:\n  %s", prevPath, strings.Join(bad, "\n  "))
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package benchfmt
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+goarch: amd64
+pkg: streammine
+cpu: model X
+BenchmarkLatencyDepth/depth=4-8   1   123456 ns/op   420.5 p50-us   990.1 p99-us   81234 events/sec
+BenchmarkSpeculationWaste-8       1   99887 ns/op    3.25 waste-cpu-pct   0.12 aborted-attempts/event
+BenchmarkRecovery-8               1   1.0 ns/op      840 recovery-ms   99.7 completeness-pct
+`
+
+func parse(t *testing.T) Report {
+	t.Helper()
+	rep, err := ParseText(strings.NewReader(benchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestParseText(t *testing.T) {
+	rep := parse(t)
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.CPU != "model X" {
+		t.Fatalf("header = %q/%q/%q", rep.GoOS, rep.GoArch, rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	lat := rep.Benchmarks[0]
+	if lat.LatencyP50Us != 420.5 || lat.LatencyP99Us != 990.1 || lat.EventsPerSec != 81234 {
+		t.Fatalf("latency row = %+v", lat)
+	}
+	rec := rep.Benchmarks[2]
+	if rec.RecoveryMs != 840 || rec.CompletenessPct != 99.7 {
+		t.Fatalf("recovery row = %+v", rec)
+	}
+}
+
+func TestCheckRequired(t *testing.T) {
+	rep := parse(t)
+	if err := CheckRequired(rep, "recovery_ms,completeness_pct,events_per_sec"); err != nil {
+		t.Fatalf("required columns present but check failed: %v", err)
+	}
+	if err := CheckRequired(rep, "ingest_shed_pct"); err == nil {
+		t.Fatal("absent column passed -require")
+	}
+	if err := CheckRequired(rep, "no_such_column"); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestColumnsCoverResultFields(t *testing.T) {
+	// Every campaign/bench column that CheckRequired can name must have a
+	// probe that actually fires when the field is set.
+	r := Result{
+		NsPerOp: 1, BytesPerOp: 1, AllocsPerOp: 1, MBPerSec: 1,
+		LatencyP50Us: 1, LatencyP99Us: 1, WasteCPUPct: 1,
+		AbortedAttemptsPerEvent: 1, EventsPerSec: 1,
+		IngestAdmitP99Ms: 1, IngestShedPct: 1,
+		RecoveryMs: 1, CompletenessPct: 1,
+	}
+	for name, probe := range Columns {
+		if !probe(&r) {
+			t.Errorf("column %q probe does not detect a populated result", name)
+		}
+	}
+}
+
+func writePrev(t *testing.T, rep Report) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prev.json")
+	if err := WriteReport(rep, path, nil); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckRegressionRecovery(t *testing.T) {
+	prev := Report{Benchmarks: []Result{
+		{Pkg: "campaign/smoke", Name: "paper/sigkill/spec", Iterations: 1, RecoveryMs: 800, CompletenessPct: 100},
+	}}
+	path := writePrev(t, prev)
+
+	ok := Report{Benchmarks: []Result{
+		{Pkg: "campaign/smoke", Name: "paper/sigkill/spec", Iterations: 1, RecoveryMs: 900, CompletenessPct: 99.8},
+	}}
+	if err := CheckRegression(path, ok); err != nil {
+		t.Fatalf("small recovery drift flagged: %v", err)
+	}
+
+	slow := Report{Benchmarks: []Result{
+		{Pkg: "campaign/smoke", Name: "paper/sigkill/spec", Iterations: 1, RecoveryMs: 2200, CompletenessPct: 100},
+	}}
+	if err := CheckRegression(path, slow); err == nil {
+		t.Fatal("recovery_ms more than doubled but gate passed")
+	}
+
+	incomplete := Report{Benchmarks: []Result{
+		{Pkg: "campaign/smoke", Name: "paper/sigkill/spec", Iterations: 1, RecoveryMs: 800, CompletenessPct: 98.9},
+	}}
+	if err := CheckRegression(path, incomplete); err == nil {
+		t.Fatal("completeness_pct dropped over half a point but gate passed")
+	}
+}
+
+func TestCheckRegressionThroughputUnchangedRules(t *testing.T) {
+	prev := Report{Benchmarks: []Result{
+		{Pkg: "p", Name: "B1", Iterations: 1, EventsPerSec: 1000, WasteCPUPct: 2},
+	}}
+	path := writePrev(t, prev)
+	bad := Report{Benchmarks: []Result{
+		{Pkg: "p", Name: "B1", Iterations: 1, EventsPerSec: 700, WasteCPUPct: 2},
+	}}
+	if err := CheckRegression(path, bad); err == nil {
+		t.Fatal("20% throughput drop passed the gate")
+	}
+	renamed := Report{Benchmarks: []Result{
+		{Pkg: "p", Name: "B2", Iterations: 1, EventsPerSec: 1},
+	}}
+	if err := CheckRegression(path, renamed); err != nil {
+		t.Fatalf("rename treated as regression: %v", err)
+	}
+}

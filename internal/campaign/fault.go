@@ -1,0 +1,266 @@
+package campaign
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"streammine/internal/procharness"
+)
+
+// awaitTrigger blocks until the cell's fault trigger fires. started is
+// the cluster launch time (the wallMs anchor).
+func awaitTrigger(cl *procharness.Cluster, t *Trigger, started time.Time, timeout time.Duration) error {
+	switch {
+	case t == nil:
+		return nil
+	case t.SinkEvents > 0:
+		return cl.Sinks.WaitDistinct(t.SinkEvents, timeout)
+	case t.WallMs > 0:
+		at := started.Add(time.Duration(t.WallMs) * time.Millisecond)
+		if d := time.Until(at); d > 0 {
+			time.Sleep(d)
+		}
+		return nil
+	case t.Metric != nil:
+		return awaitMetric(cl, t.Metric, timeout)
+	}
+	return nil
+}
+
+// awaitMetric polls every process's /metrics endpoint until the summed
+// value of the named series reaches the threshold.
+func awaitMetric(cl *procharness.Cluster, m *MetricTrigger, timeout time.Duration) error {
+	procs := append(cl.WorkerNames(), "coordinator")
+	deadline := time.Now().Add(timeout)
+	for {
+		var sum float64
+		for _, proc := range procs {
+			addr, ok := cl.DebugAddr(proc)
+			if !ok {
+				continue
+			}
+			v, err := scrapeSeries("http://"+addr+"/metrics", m.Series)
+			if err != nil {
+				continue // process may be mid-start or already dead
+			}
+			sum += v
+		}
+		if sum >= m.Min {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("campaign: metric trigger %s>=%g never fired (last %g)", m.Series, m.Min, sum)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// scrapeSeries sums all samples of one series in a Prometheus text
+// exposition.
+func scrapeSeries(metricsURL, series string) (float64, error) {
+	resp, err := http.Get(metricsURL)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var sum float64
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, series) {
+			continue
+		}
+		rest := line[len(series):]
+		// The name must end here: either a label block or the value.
+		if !strings.HasPrefix(rest, "{") && !strings.HasPrefix(rest, " ") {
+			continue
+		}
+		if i := strings.LastIndexByte(rest, ' '); i >= 0 {
+			if v, err := strconv.ParseFloat(rest[i+1:], 64); err == nil {
+				sum += v
+			}
+		}
+	}
+	return sum, sc.Err()
+}
+
+// injection is one armed fault: when it fired, who it hit, and how to
+// clear it (nil for permanent faults like sigkill).
+type injection struct {
+	At     time.Time
+	Victim string // worker name, "coordinator", or "" for cluster-wide
+	clear  func() error
+	once   sync.Once
+}
+
+// Clear removes a transient fault; a no-op for permanent ones. It is
+// idempotent and safe to race between the fault-duration timer and the
+// runner's end-of-cell cleanup.
+func (in *injection) Clear() error {
+	if in == nil || in.clear == nil {
+		return nil
+	}
+	var err error
+	in.once.Do(func() { err = in.clear() })
+	return err
+}
+
+// Transient reports whether the fault has something to clear.
+func (in *injection) Transient() bool { return in != nil && in.clear != nil }
+
+// inject arms the cell's fault against the running cluster.
+func inject(cl *procharness.Cluster, workload string, f FaultSpec) (*injection, error) {
+	switch f.Type {
+	case "none":
+		return &injection{At: time.Now()}, nil
+
+	case "sigkill":
+		victim, err := resolveTarget(cl, workload, f, "sink-host")
+		if err != nil {
+			return nil, err
+		}
+		in := &injection{At: time.Now(), Victim: victim}
+		if err := cl.KillWorker(victim); err != nil {
+			return nil, fmt.Errorf("campaign: sigkill %s: %w", victim, err)
+		}
+		return in, nil
+
+	case "slow_bridge":
+		return armChaos(cl, cl.WorkerNames(), "", chaosParams(f, url.Values{"net_delay": {"5ms"}, "net_dial_delay": {"50ms"}}))
+
+	case "lossy_bridge":
+		return armChaos(cl, cl.WorkerNames(), "", chaosParams(f, url.Values{"net_drop_pm": {"100"}}))
+
+	case "slow_disk":
+		return armChaos(cl, cl.WorkerNames(), "", chaosParams(f, url.Values{"disk_delay": {"2ms"}}))
+
+	case "straggler":
+		victim, err := resolveTarget(cl, workload, f, "other")
+		if err != nil {
+			return nil, err
+		}
+		return armChaos(cl, []string{victim}, victim, chaosParams(f, url.Values{"net_delay": {"5ms"}}))
+
+	case "coord_pause":
+		if err := cl.SignalCoord(syscall.SIGSTOP); err != nil {
+			return nil, fmt.Errorf("campaign: pause coordinator: %w", err)
+		}
+		return &injection{
+			At:     time.Now(),
+			Victim: "coordinator",
+			clear:  func() error { return cl.SignalCoord(syscall.SIGCONT) },
+		}, nil
+	}
+	return nil, fmt.Errorf("campaign: unknown fault type %q", f.Type)
+}
+
+// chaosParams merges a fault's parameter overrides over the type's
+// defaults.
+func chaosParams(f FaultSpec, defaults url.Values) url.Values {
+	if len(f.Params) == 0 {
+		return defaults
+	}
+	out := url.Values{}
+	for k, vs := range defaults {
+		out[k] = vs
+	}
+	for k, v := range f.Params {
+		out.Set(k, v)
+	}
+	return out
+}
+
+// armChaos posts the fault parameters to each target worker's
+// /debug/chaos endpoint and returns an injection whose Clear posts
+// off=1 to the same set.
+func armChaos(cl *procharness.Cluster, targets []string, victim string, params url.Values) (*injection, error) {
+	addrs := make([]string, 0, len(targets))
+	for _, w := range targets {
+		addr, err := cl.WaitDebugAddr(w, 10*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		addrs = append(addrs, addr)
+	}
+	in := &injection{At: time.Now(), Victim: victim}
+	for i, addr := range addrs {
+		if err := postChaos(addr, params); err != nil {
+			return nil, fmt.Errorf("campaign: arm chaos on %s: %w", targets[i], err)
+		}
+	}
+	in.clear = func() error {
+		var firstErr error
+		for _, addr := range addrs {
+			// A dead process just fails the POST; that is fine — its
+			// faults died with it.
+			if err := postChaos(addr, url.Values{"off": {"1"}}); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	return in, nil
+}
+
+// postChaos applies params via one process's /debug/chaos endpoint.
+func postChaos(debugAddr string, params url.Values) error {
+	resp, err := http.Post("http://"+debugAddr+"/debug/chaos?"+params.Encode(), "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/debug/chaos: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// resolveTarget picks the victim worker for a targeted fault.
+func resolveTarget(cl *procharness.Cluster, workload string, f FaultSpec, def string) (string, error) {
+	target := f.Target
+	if target == "" {
+		target = def
+		if def == "sink-host" && IngestWorkload(workload) {
+			target = "gateway"
+		}
+	}
+	switch target {
+	case "sink-host":
+		// The worker externalizing sink output; triggers guarantee sink
+		// progress before injection, so a short wait suffices.
+		return cl.Sinks.WaitBusiest(1, 10*time.Second)
+	case "gateway":
+		reg, err := cl.Gateways.Wait(ingestStream, 10*time.Second)
+		if err != nil {
+			return "", err
+		}
+		return reg.Worker, nil
+	case "other":
+		busy, err := cl.Sinks.WaitBusiest(1, 10*time.Second)
+		if err != nil {
+			return "", err
+		}
+		for _, w := range cl.WorkerNames() {
+			if w != busy {
+				return w, nil
+			}
+		}
+		return "", fmt.Errorf("campaign: target \"other\" needs at least two workers")
+	default:
+		for _, w := range cl.WorkerNames() {
+			if w == target {
+				return w, nil
+			}
+		}
+		return "", fmt.Errorf("campaign: fault target %q is not a worker in this cluster", target)
+	}
+}

@@ -1,0 +1,103 @@
+package campaign
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streammine/internal/procharness"
+)
+
+func TestAwaitTriggerWallClock(t *testing.T) {
+	started := time.Now()
+	if err := awaitTrigger(nil, &Trigger{WallMs: 80}, started, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if since := time.Since(started); since < 80*time.Millisecond {
+		t.Fatalf("fired after %v, want >= 80ms", since)
+	}
+	// An anchor already in the past fires immediately.
+	begin := time.Now()
+	if err := awaitTrigger(nil, &Trigger{WallMs: 10}, started.Add(-time.Second), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if since := time.Since(begin); since > 50*time.Millisecond {
+		t.Fatalf("past anchor slept %v", since)
+	}
+}
+
+func TestAwaitTriggerSinkEvents(t *testing.T) {
+	cl := &procharness.Cluster{Sinks: procharness.NewSinks()}
+	done := make(chan error, 1)
+	go func() { done <- awaitTrigger(cl, &Trigger{SinkEvents: 5}, time.Now(), 2*time.Second) }()
+	for i := 0; i < 5; i++ {
+		cl.Sinks.Record("w1", fmt.Sprintf("e%d", i))
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("trigger never fired")
+	}
+	// Too few events: the trigger times out with a descriptive error.
+	if err := awaitTrigger(cl, &Trigger{SinkEvents: 50}, time.Now(), 50*time.Millisecond); err == nil {
+		t.Fatal("expected timeout error")
+	}
+}
+
+func TestScrapeSeries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "# HELP streammine_events_total events")
+		fmt.Fprintln(w, `streammine_events_total{node="a"} 30`)
+		fmt.Fprintln(w, `streammine_events_total{node="b"} 12`)
+		fmt.Fprintln(w, "streammine_events_total_other 999") // longer name: not ours
+		fmt.Fprintln(w, "streammine_uptime_seconds 5")
+	}))
+	defer srv.Close()
+	got, err := scrapeSeries(srv.URL, "streammine_events_total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("sum = %g, want 42", got)
+	}
+}
+
+func TestInjectionClearIdempotent(t *testing.T) {
+	var cleared atomic.Int32
+	in := &injection{At: time.Now(), clear: func() error { cleared.Add(1); return nil }}
+	if !in.Transient() {
+		t.Fatal("transient fault not reported as such")
+	}
+	for i := 0; i < 3; i++ {
+		if err := in.Clear(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := cleared.Load(); n != 1 {
+		t.Fatalf("clear ran %d times", n)
+	}
+	var nilIn *injection
+	if err := nilIn.Clear(); err != nil || nilIn.Transient() {
+		t.Fatal("nil injection must be inert")
+	}
+}
+
+func TestChaosParamsMerge(t *testing.T) {
+	f := FaultSpec{Type: "slow_bridge", Params: map[string]string{"net_delay": "9ms"}}
+	got := chaosParams(f, url.Values{"net_delay": {"5ms"}, "net_dial_delay": {"50ms"}})
+	if got.Get("net_delay") != "9ms" || got.Get("net_dial_delay") != "50ms" {
+		t.Fatalf("merged = %v", got)
+	}
+	// No overrides: the defaults pass through untouched.
+	plain := chaosParams(FaultSpec{Type: "slow_disk"}, url.Values{"disk_delay": {"2ms"}})
+	if plain.Get("disk_delay") != "2ms" {
+		t.Fatalf("defaults = %v", plain)
+	}
+}

@@ -1,0 +1,128 @@
+package campaign
+
+import (
+	"testing"
+	"time"
+
+	"streammine/internal/metrics"
+	"streammine/internal/procharness"
+	"streammine/internal/tracetool"
+)
+
+// steadyTimeline builds a sink timeline delivering at `perSec` from
+// start, with a silent gap of `stall` starting at injectAt.
+func steadyTimeline(start, injectAt time.Time, stall time.Duration, perSec int, total time.Duration) []procharness.SinkEvent {
+	gap := time.Second / time.Duration(perSec)
+	var tl []procharness.SinkEvent
+	for at := start; at.Before(start.Add(total)); at = at.Add(gap) {
+		if at.After(injectAt) && at.Before(injectAt.Add(stall)) {
+			continue
+		}
+		tl = append(tl, procharness.SinkEvent{At: at, Worker: "w1", ID: at.String()})
+	}
+	return tl
+}
+
+func TestRecoveryMsMeasuresStall(t *testing.T) {
+	start := time.Unix(1000, 0)
+	injectAt := start.Add(2 * time.Second)
+	tl := steadyTimeline(start, injectAt, 1500*time.Millisecond, 100, 6*time.Second)
+	got := recoveryMs(tl, injectAt)
+	// Delivery resumes 1.5s after injection; the measurement quantizes to
+	// the first qualifying 250ms bucket.
+	if got < 1400 || got > 1800 {
+		t.Fatalf("recoveryMs = %.0f, want ~1500", got)
+	}
+}
+
+func TestRecoveryMsNoDip(t *testing.T) {
+	start := time.Unix(1000, 0)
+	injectAt := start.Add(2 * time.Second)
+	tl := steadyTimeline(start, injectAt, 0, 100, 6*time.Second)
+	got := recoveryMs(tl, injectAt)
+	// The pipeline rode the fault out: recovery is the first bucket.
+	if got < 0 || got > 300 {
+		t.Fatalf("recoveryMs = %.0f, want near zero", got)
+	}
+}
+
+func TestRecoveryMsUnmeasurable(t *testing.T) {
+	injectAt := time.Unix(1000, 0)
+	if got := recoveryMs(nil, injectAt); got != 0 {
+		t.Fatalf("empty timeline: %.0f", got)
+	}
+	// All deliveries after injection: no pre-fault rate to recover to.
+	post := steadyTimeline(injectAt.Add(time.Second), injectAt.Add(10*time.Second), 0, 100, time.Second)
+	if got := recoveryMs(post, injectAt); got != 0 {
+		t.Fatalf("no pre-fault events: %.0f", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(vs, 50); p != 5 {
+		t.Fatalf("p50 = %g", p)
+	}
+	if p := percentile(vs, 99); p != 10 {
+		t.Fatalf("p99 = %g", p)
+	}
+	if p := percentile(nil, 50); p != 0 {
+		t.Fatalf("empty = %g", p)
+	}
+}
+
+// span builds one lifecycle span at a wall-clock offset from base.
+func span(trace, phase string, base time.Time, off time.Duration) metrics.Span {
+	return metrics.Span{TS: base.Add(off).UnixNano(), Trace: trace, Phase: phase}
+}
+
+func TestLatencyFromTraces(t *testing.T) {
+	base := time.Unix(2000, 0)
+	faultStart := base.Add(1 * time.Second)
+	faultEnd := base.Add(2 * time.Second)
+	file := &tracetool.File{Spans: []metrics.Span{
+		// Before the fault: 10ms ingress→externalize.
+		span("aa", metrics.PhaseIngress, base, 0),
+		span("aa", metrics.PhaseCommit, base, 8*time.Millisecond),
+		span("aa", metrics.PhaseExternalize, base, 10*time.Millisecond),
+		// During: externalized inside the fault window after 500ms.
+		span("bb", metrics.PhaseIngress, base, 1100*time.Millisecond),
+		span("bb", metrics.PhaseCommit, base, 1590*time.Millisecond),
+		span("bb", metrics.PhaseExternalize, base, 1600*time.Millisecond),
+		// After: 20ms.
+		span("cc", metrics.PhaseIngress, base, 2500*time.Millisecond),
+		span("cc", metrics.PhaseCommit, base, 2515*time.Millisecond),
+		span("cc", metrics.PhaseExternalize, base, 2520*time.Millisecond),
+		// Never externalized: excluded from the latency profile.
+		span("dd", metrics.PhaseIngress, base, 100*time.Millisecond),
+	}}
+	set := tracetool.Merge(file)
+
+	split := latencyFromTraces(set, faultStart, faultEnd)
+	if split.BeforeP50Ms != 10 || split.DuringP50Ms != 500 || split.AfterP50Ms != 20 {
+		t.Fatalf("split = %+v", split)
+	}
+
+	// A baseline (zero fault window) buckets everything as "before".
+	flat := latencyFromTraces(set, time.Time{}, time.Time{})
+	if flat.DuringP50Ms != 0 || flat.AfterP50Ms != 0 || flat.BeforeP99Ms != 500 {
+		t.Fatalf("baseline split = %+v", flat)
+	}
+
+	ext, complete := completeness(set)
+	if ext != 3 || complete != 3 {
+		t.Fatalf("completeness = %d/%d, want 3/3", complete, ext)
+	}
+}
+
+func TestCompletenessFlagsMissingCommit(t *testing.T) {
+	base := time.Unix(2000, 0)
+	file := &tracetool.File{Spans: []metrics.Span{
+		span("aa", metrics.PhaseIngress, base, 0),
+		span("aa", metrics.PhaseExternalize, base, time.Millisecond),
+	}}
+	ext, complete := completeness(tracetool.Merge(file))
+	if ext != 1 || complete != 0 {
+		t.Fatalf("completeness = %d/%d, want 0/1", complete, ext)
+	}
+}

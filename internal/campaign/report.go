@@ -1,0 +1,99 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"streammine/internal/benchfmt"
+)
+
+// BenchReport converts a campaign outcome into the shared benchfmt
+// schema, one row per cell, so cmd/benchjson's -require column probes
+// and -prev regression gate apply to campaign archives exactly as they
+// do to benchmark archives.
+func BenchReport(o *Outcome) benchfmt.Report {
+	rep := benchfmt.Report{Benchmarks: make([]benchfmt.Result, 0, len(o.Cells))}
+	for _, c := range o.Cells {
+		rep.Benchmarks = append(rep.Benchmarks, benchfmt.Result{
+			Pkg:             "campaign/" + o.Campaign,
+			Name:            c.Cell,
+			Iterations:      1,
+			RecoveryMs:      c.RecoveryMs,
+			CompletenessPct: c.CompletenessPct,
+			WasteCPUPct:     c.WasteCPUPct,
+			LatencyP50Us:    1000 * c.AfterP50Ms,
+			LatencyP99Us:    1000 * c.AfterP99Ms,
+		})
+	}
+	return rep
+}
+
+// Markdown renders the human-readable campaign report: a verdict line, a
+// summary table, and a per-cell detail section for every failure.
+func Markdown(o *Outcome) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Campaign: %s\n\n", o.Campaign)
+
+	passed := 0
+	for _, c := range o.Cells {
+		if c.Passed() {
+			passed++
+		}
+	}
+	fmt.Fprintf(&b, "%d cells — %d passed, %d failed.\n\n", len(o.Cells), passed, len(o.Cells)-passed)
+
+	b.WriteString("| cell | events | dups | recovery ms | complete % | p99 before/during/after ms | waste cpu % | status |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---:|---:|---|\n")
+	for _, c := range o.Cells {
+		status := "ok"
+		if !c.Passed() {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "| %s | %d | %d | %s | %s | %s / %s / %s | %s | %s |\n",
+			c.Cell, c.Events, c.DupPrints,
+			num(c.RecoveryMs, 0), num(c.CompletenessPct, 2),
+			num(c.BeforeP99Ms, 1), num(c.DuringP99Ms, 1), num(c.AfterP99Ms, 1),
+			num(c.WasteCPUPct, 2), status)
+	}
+	b.WriteString("\n")
+
+	// Per-cell detail for fault cells: who was hit, when, and any failed
+	// assertions.
+	for _, c := range o.Cells {
+		if c.Baseline && c.Passed() {
+			continue
+		}
+		fmt.Fprintf(&b, "## %s\n\n", c.Cell)
+		if c.Victim != "" {
+			fmt.Fprintf(&b, "- victim: %s\n", c.Victim)
+		}
+		if c.Trigger != "" {
+			fmt.Fprintf(&b, "- trigger: %s\n", c.Trigger)
+		}
+		if c.RecoveryMs > 0 {
+			fmt.Fprintf(&b, "- recovery: %.0f ms\n", c.RecoveryMs)
+		}
+		fmt.Fprintf(&b, "- p50 before/during/after: %s / %s / %s ms\n",
+			num(c.BeforeP50Ms, 1), num(c.DuringP50Ms, 1), num(c.AfterP50Ms, 1))
+		if c.ReplayedPrints > 0 {
+			fmt.Fprintf(&b, "- replayed prints after crash: %d (post-checkpoint tail re-externalized on the survivor)\n", c.ReplayedPrints)
+		}
+		if c.WasteAbortedAttempts > 0 {
+			fmt.Fprintf(&b, "- speculation waste: %d aborted attempts, %.2f%% of attempt CPU\n",
+				c.WasteAbortedAttempts, c.WasteCPUPct)
+		}
+		for _, f := range c.Failures {
+			fmt.Fprintf(&b, "- **FAIL**: %s\n", f)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// num renders a metric value, or an em dash when it was not measured.
+func num(v float64, prec int) string {
+	if v == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.*f", prec, v)
+}

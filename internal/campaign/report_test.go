@@ -1,0 +1,99 @@
+package campaign
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+func sampleOutcome() *Outcome {
+	return &Outcome{
+		Campaign: "smoke",
+		Cells: []*Result{
+			{
+				Cell: "paper/none/spec", Workload: "paper", Fault: "none", Config: "spec",
+				Baseline: true, Events: 1000, CompletenessPct: 100,
+				latencySplit:         latencySplit{BeforeP50Ms: 3.2, BeforeP99Ms: 9.1},
+				WasteAbortedAttempts: 4, WasteCPUPct: 1.25, DurationMs: 2200,
+			},
+			{
+				Cell: "paper/sigkill/spec", Workload: "paper", Fault: "sigkill", Config: "spec",
+				Victim: "w2", Trigger: "sinkEvents>=100", Events: 1000, ReplayedPrints: 17,
+				RecoveryMs: 1480, CompletenessPct: 99.7,
+				latencySplit: latencySplit{
+					BeforeP50Ms: 3.4, BeforeP99Ms: 10.2,
+					DuringP50Ms: 410, DuringP99Ms: 1520.5,
+					AfterP50Ms: 3.9, AfterP99Ms: 11.8,
+				},
+				WasteAbortedAttempts: 31, WasteCPUPct: 2.75, DurationMs: 4100,
+			},
+			{
+				Cell: "paper/slow_disk/spec", Workload: "paper", Fault: "slow_disk", Config: "spec",
+				Trigger: "sinkEvents>=100", Events: 993, DupPrints: 2,
+				RecoveryMs: 300, CompletenessPct: 98.1,
+				Failures: []string{
+					"2 duplicate sink prints (suppression leaked)",
+					"lineage completeness 98.10% < 99%",
+					"identity set diverges from baseline: 7 missing, 0 extra (baseline 1000, got 993)",
+				},
+			},
+		},
+	}
+}
+
+func TestMarkdownGolden(t *testing.T) {
+	got := Markdown(sampleOutcome())
+	golden := filepath.Join("testdata", "report.golden.md")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("report drifted from golden (run with -update-golden to regenerate)\n--- got ---\n%s", got)
+	}
+}
+
+func TestBenchReport(t *testing.T) {
+	rep := BenchReport(sampleOutcome())
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("%d rows", len(rep.Benchmarks))
+	}
+	row := rep.Benchmarks[1]
+	if row.Pkg != "campaign/smoke" || row.Name != "paper/sigkill/spec" {
+		t.Fatalf("row identity = %s %s", row.Pkg, row.Name)
+	}
+	if row.RecoveryMs != 1480 || row.CompletenessPct != 99.7 || row.WasteCPUPct != 2.75 {
+		t.Fatalf("row metrics = %+v", row)
+	}
+	if row.LatencyP99Us != 11800 {
+		t.Fatalf("after-p99 = %g us", row.LatencyP99Us)
+	}
+}
+
+func TestOutcomePassed(t *testing.T) {
+	o := sampleOutcome()
+	if o.Passed() {
+		t.Fatal("outcome with a failed cell reported as passed")
+	}
+	o.Cells = o.Cells[:2]
+	if !o.Passed() {
+		t.Fatal("all-passing outcome reported as failed")
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	if got := sanitizeName("paper/sigkill@w2/spec"); got != "paper_sigkill_w2_spec" {
+		t.Fatalf("sanitized = %q", got)
+	}
+}

@@ -1,0 +1,95 @@
+package chaos
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"streammine/internal/storage"
+	"streammine/internal/transport"
+)
+
+func TestHandleReportsStateWithoutApplying(t *testing.T) {
+	Clear()
+	state, err := Handle(nil)
+	if err != nil {
+		t.Fatalf("Handle(nil): %v", err)
+	}
+	if state != "off" {
+		t.Fatalf("idle state = %q, want \"off\"", state)
+	}
+}
+
+func TestApplyInstallsAndClears(t *testing.T) {
+	defer Clear()
+	q := url.Values{
+		"net_delay":   {"5ms"},
+		"net_drop_pm": {"20"},
+		"disk_delay":  {"2ms"},
+	}
+	state, err := Handle(q)
+	if err != nil {
+		t.Fatalf("Handle: %v", err)
+	}
+	for _, want := range []string{"net_delay=5ms", "net_drop_pm=20", "disk_delay=2ms"} {
+		if !strings.Contains(state, want) {
+			t.Errorf("state %q missing %q", state, want)
+		}
+	}
+	net, ok := transport.ActiveChaos()
+	if !ok || net.SendDelay != 5*time.Millisecond || net.DropPerMille != 20 {
+		t.Fatalf("transport chaos = %+v (installed=%v), want 5ms/20pm", net, ok)
+	}
+	if d := storage.ChaosWriteDelay(); d != 2*time.Millisecond {
+		t.Fatalf("disk delay = %v, want 2ms", d)
+	}
+
+	state, err = Handle(url.Values{"off": {"1"}})
+	if err != nil {
+		t.Fatalf("Handle(off): %v", err)
+	}
+	if state != "off" {
+		t.Fatalf("state after off = %q, want \"off\"", state)
+	}
+	if _, ok := transport.ActiveChaos(); ok {
+		t.Fatal("transport chaos still installed after off")
+	}
+	if storage.ChaosWriteDelay() != 0 {
+		t.Fatal("disk delay still installed after off")
+	}
+}
+
+func TestApplyReplacesWholesale(t *testing.T) {
+	defer Clear()
+	if _, err := Handle(url.Values{"net_delay": {"5ms"}}); err != nil {
+		t.Fatal(err)
+	}
+	// A second apply naming only the disk fault must drop the net fault.
+	if _, err := Handle(url.Values{"disk_delay": {"1ms"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := transport.ActiveChaos(); ok {
+		t.Fatal("net fault survived a replacement apply")
+	}
+	if storage.ChaosWriteDelay() != time.Millisecond {
+		t.Fatal("disk fault not installed by replacement apply")
+	}
+}
+
+func TestApplyRejectsBadParams(t *testing.T) {
+	defer Clear()
+	cases := []url.Values{
+		{"net_delay": {"fast"}},
+		{"net_delay": {"-5ms"}},
+		{"net_drop_pm": {"1001"}},
+		{"net_drop_pm": {"-1"}},
+		{"net_drop_pm": {"many"}},
+		{"disk_delay": {"2"}}, // bare number: not a duration
+	}
+	for _, q := range cases {
+		if err := Apply(q); err == nil {
+			t.Errorf("Apply(%v) accepted invalid input", q)
+		}
+	}
+}

@@ -23,7 +23,9 @@ func (e *Engine) BridgeOut(id graph.NodeID, port int, addr string) (transport.Co
 	if port < 0 || port >= n.spec.OutputPorts {
 		return nil, fmt.Errorf("core: node %q has no output port %d", n.spec.Name, port)
 	}
-	conn, err := transport.Dial(addr, func(m transport.Message) {
+	// Data-plane link: dial chaos-targeted so the campaign runner's fault
+	// shim (slow/lossy bridge) applies here and never to control links.
+	conn, err := transport.DialWith(addr, transport.DialOptions{Chaos: true}, func(m transport.Message) {
 		// Control traffic from downstream (ACK, REPLAY).
 		n.mailbox.Push(m)
 	})

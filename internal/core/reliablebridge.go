@@ -135,7 +135,9 @@ func (b *ReliableBridge) connect() error {
 	hello := b.hello
 	b.mu.Unlock()
 	dialStart := time.Now()
-	conn, err := transport.Dial(addr, func(m transport.Message) {
+	// Data-plane link: dial chaos-targeted so the campaign runner's fault
+	// shim (slow/lossy bridge) applies here and never to control links.
+	conn, err := transport.DialWith(addr, transport.DialOptions{Chaos: true}, func(m transport.Message) {
 		if m.Type == transport.MsgCredit {
 			// Credit grants terminate here; the count rides ID.Seq.
 			if b.gate != nil {

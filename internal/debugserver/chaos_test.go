@@ -1,0 +1,66 @@
+package debugserver
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+
+	"streammine/internal/metrics"
+)
+
+// TestChaosEndpoint covers the /debug/chaos contract: 404 while no
+// handler is installed (the binary ran without -chaos), state on GET,
+// apply-then-state on POST, and 400 on handler rejection.
+func TestChaosEndpoint(t *testing.T) {
+	s := New(metrics.NewRegistry(), nil)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + addr
+
+	if code, _, _ := get(t, base+"/debug/chaos"); code != http.StatusNotFound {
+		t.Errorf("unset /debug/chaos = %d, want 404", code)
+	}
+
+	var applied url.Values
+	s.SetChaos(func(q url.Values) (string, error) {
+		if len(q) == 0 {
+			return "off", nil
+		}
+		if q.Get("net_delay") == "bad" {
+			return "", fmt.Errorf("invalid")
+		}
+		applied = q
+		return "net_delay=" + q.Get("net_delay"), nil
+	})
+
+	code, body, _ := get(t, base+"/debug/chaos")
+	if code != http.StatusOK || strings.TrimSpace(body) != "off" {
+		t.Errorf("GET state = %d %q, want 200 \"off\"", code, body)
+	}
+
+	resp, err := http.Post(base+"/debug/chaos?net_delay=5ms", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("POST apply = %d, want 200", resp.StatusCode)
+	}
+	if applied.Get("net_delay") != "5ms" {
+		t.Errorf("handler saw params %v, want net_delay=5ms", applied)
+	}
+
+	resp, err = http.Post(base+"/debug/chaos?net_delay=bad", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("POST bad param = %d, want 400", resp.StatusCode)
+	}
+}

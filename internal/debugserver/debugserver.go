@@ -14,6 +14,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"strings"
 	"sync"
 	"time"
@@ -33,6 +34,7 @@ type Server struct {
 	speculation func() any
 	cluster     func() any
 	draining    func() bool
+	chaos       func(url.Values) (string, error)
 }
 
 // New builds a server over reg. health may be nil; when set it is polled
@@ -45,6 +47,7 @@ func New(reg *metrics.Registry, health func() error) *Server {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/speculation", s.handleSpeculation)
 	mux.HandleFunc("/debug/cluster", s.handleCluster)
+	mux.HandleFunc("/debug/chaos", s.handleChaos)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -130,6 +133,42 @@ func (s *Server) SetCluster(fn func() any) {
 	s.mu.Lock()
 	s.cluster = fn
 	s.mu.Unlock()
+}
+
+// SetChaos installs the runtime fault-injection control handler served
+// at /debug/chaos (typically chaos.Handle). A GET reports the current
+// fault state; a POST applies the query/form parameters as the new
+// configuration. Unset, the route answers 404 — binaries opt in with the
+// -chaos flag, so a production process never accepts injected faults.
+func (s *Server) SetChaos(fn func(url.Values) (string, error)) {
+	s.mu.Lock()
+	s.chaos = fn
+	s.mu.Unlock()
+}
+
+func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	fn := s.chaos
+	s.mu.Unlock()
+	if fn == nil {
+		http.NotFound(w, r)
+		return
+	}
+	var params url.Values
+	if r.Method == http.MethodPost {
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		params = r.Form
+	}
+	state, err := fn(params)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, state)
 }
 
 func (s *Server) handleSpeculation(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,59 @@
+package procharness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// GatewayReg is one ingest-stream registration: which worker's gateway
+// currently accepts the stream, where, and a per-stream generation
+// counter. Workers log the registration both at initial assignment and
+// after a failover reassignment, so a bumped generation is the
+// producers' signal that the stream moved and resends should target the
+// new address.
+type GatewayReg struct {
+	Worker string
+	Addr   string
+	Gen    int
+}
+
+// Gateways tracks ingest-stream registrations scraped from worker
+// output.
+type Gateways struct {
+	mu      sync.Mutex
+	streams map[string]GatewayReg
+}
+
+func (g *Gateways) set(stream, worker, addr string) {
+	g.mu.Lock()
+	if g.streams == nil {
+		g.streams = make(map[string]GatewayReg)
+	}
+	reg := g.streams[stream]
+	g.streams[stream] = GatewayReg{Worker: worker, Addr: addr, Gen: reg.Gen + 1}
+	g.mu.Unlock()
+}
+
+// Get reports the current registration of stream; Gen is 0 and ok false
+// while no worker has registered it.
+func (g *Gateways) Get(stream string) (GatewayReg, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	reg, ok := g.streams[stream]
+	return reg, ok
+}
+
+// Wait polls until stream is registered by some worker.
+func (g *Gateways) Wait(stream string, timeout time.Duration) (GatewayReg, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		if reg, ok := g.Get(stream); ok {
+			return reg, nil
+		}
+		if time.Now().After(deadline) {
+			return GatewayReg{}, fmt.Errorf("procharness: no worker registered ingest stream %q within %v", stream, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

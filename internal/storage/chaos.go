@@ -1,0 +1,29 @@
+package storage
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// chaosWriteDelay is the process-wide slow-disk fault used by the
+// campaign runner (docs/CAMPAIGNS.md): every stable write issued through
+// a Pool stalls this long before reaching its storage point, multiplying
+// the effective disk latency the way a degraded or contended device
+// would. It applies at the pool layer — after group-commit batching — so
+// one injected stall covers one batch, exactly like a slower physical
+// write.
+var chaosWriteDelay atomic.Int64
+
+// SetChaosWriteDelay installs (or, with 0, clears) the slow-disk fault.
+func SetChaosWriteDelay(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	chaosWriteDelay.Store(int64(d))
+}
+
+// ChaosWriteDelay reports the currently injected per-write stall (0 when
+// the fault is off).
+func ChaosWriteDelay() time.Duration {
+	return time.Duration(chaosWriteDelay.Load())
+}

@@ -1,0 +1,37 @@
+package storage
+
+import (
+	"testing"
+	"time"
+)
+
+func TestChaosWriteDelaySetClear(t *testing.T) {
+	if d := ChaosWriteDelay(); d != 0 {
+		t.Fatalf("default delay = %v, want 0", d)
+	}
+	SetChaosWriteDelay(3 * time.Millisecond)
+	if d := ChaosWriteDelay(); d != 3*time.Millisecond {
+		t.Fatalf("delay = %v, want 3ms", d)
+	}
+	SetChaosWriteDelay(-time.Second) // negative clamps to off
+	if d := ChaosWriteDelay(); d != 0 {
+		t.Fatalf("negative delay clamped to %v, want 0", d)
+	}
+}
+
+func TestChaosWriteDelayStallsPoolWrites(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	SetChaosWriteDelay(delay)
+	defer SetChaosWriteDelay(0)
+
+	p := NewPool([]Disk{NewMemDisk()})
+	defer p.Close()
+
+	start := time.Now()
+	if err := p.SyncWrite([]byte("x")); err != nil {
+		t.Fatalf("SyncWrite: %v", err)
+	}
+	if took := time.Since(start); took < delay {
+		t.Fatalf("stable write took %v, want >= %v injected stall", took, delay)
+	}
+}

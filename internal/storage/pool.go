@@ -155,6 +155,11 @@ func (p *Pool) worker() {
 		for _, req := range batch {
 			buf = append(buf, req.Payload...)
 		}
+		// Slow-disk fault injection (SetChaosWriteDelay): stall the batch
+		// like a degraded device would, one charge per stable write.
+		if d := ChaosWriteDelay(); d > 0 {
+			time.Sleep(d)
+		}
 		err := disk.Write(buf)
 		p.disks <- disk
 		for _, req := range batch {

@@ -1,0 +1,93 @@
+package transport
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Chaos is the transport-level fault-injection configuration used by the
+// campaign runner's slow-bridge / lossy-bridge / straggler faults
+// (docs/CAMPAIGNS.md). It applies only to connections dialed with
+// DialOptions.Chaos set — in this repo that is the engine's data-plane
+// bridges — so control links (worker registration, heartbeats) keep their
+// real timing and a slow bridge is not misdiagnosed as a dead worker.
+//
+// Semantics:
+//
+//   - DialDelay stalls every chaos-targeted dial before connecting,
+//     slowing reconnect storms the way a congested network would.
+//   - SendDelay stalls every frame written on a chaos-targeted
+//     connection (the sender holds its per-connection write lock, so the
+//     whole link slows down — a slow or saturated path).
+//   - DropPerMille fails roughly that fraction (per thousand) of sends
+//     with ErrChaosDrop instead of writing the frame. The bridge layer
+//     treats any send error as a dead link: it closes the connection,
+//     redials, and replays the unacknowledged buffer — so injected loss
+//     exercises the full reconnect+replay recovery path. 1000 drops every
+//     send: a full partition of the data plane.
+type Chaos struct {
+	DialDelay    time.Duration
+	SendDelay    time.Duration
+	DropPerMille int
+}
+
+// ErrChaosDrop is the injected failure returned by Send on a
+// chaos-targeted connection when the lossy-bridge fault fires.
+var ErrChaosDrop = errors.New("transport: chaos-injected send failure")
+
+var (
+	chaosCfg     atomic.Pointer[Chaos]
+	chaosSeq     atomic.Uint64
+	chaosDropped atomic.Int64
+)
+
+// SetChaos installs the transport fault configuration process-wide. The
+// zero Chaos clears it (equivalent to ClearChaos).
+func SetChaos(c Chaos) {
+	if c == (Chaos{}) {
+		chaosCfg.Store(nil)
+		return
+	}
+	cc := c
+	chaosCfg.Store(&cc)
+}
+
+// ClearChaos removes any installed fault configuration.
+func ClearChaos() { chaosCfg.Store(nil) }
+
+// ActiveChaos returns the current configuration (zero when chaos is off)
+// and whether one is installed.
+func ActiveChaos() (Chaos, bool) {
+	if c := chaosCfg.Load(); c != nil {
+		return *c, true
+	}
+	return Chaos{}, false
+}
+
+// ChaosDrops reports how many sends were failed by the lossy-bridge
+// fault since process start.
+func ChaosDrops() int64 { return chaosDropped.Load() }
+
+// chaosDropNow decides one send's fate under the configured loss rate.
+// The decision sequence is a SplitMix64 stream over an atomic counter:
+// deterministic per process given the call order, cheap, and safe for
+// concurrent senders.
+func chaosDropNow(perMille int) bool {
+	if perMille <= 0 {
+		return false
+	}
+	if perMille >= 1000 {
+		chaosDropped.Add(1)
+		return true
+	}
+	z := chaosSeq.Add(0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if int(z%1000) < perMille {
+		chaosDropped.Add(1)
+		return true
+	}
+	return false
+}

@@ -106,6 +106,7 @@ func (c *pipeConn) Close() error {
 type tcpConn struct {
 	nc           net.Conn
 	writeTimeout time.Duration // per-Send deadline; 0 = none
+	chaos        bool          // chaos-targeted: the shim applies here
 
 	sendMu sync.Mutex
 	closed sync.Once
@@ -125,6 +126,16 @@ func (c *tcpConn) Send(m Message) error {
 	case <-c.done:
 		return ErrClosed
 	default:
+	}
+	if c.chaos {
+		if cfg, ok := ActiveChaos(); ok {
+			if cfg.SendDelay > 0 {
+				time.Sleep(cfg.SendDelay)
+			}
+			if chaosDropNow(cfg.DropPerMille) {
+				return ErrChaosDrop
+			}
+		}
 	}
 	if c.writeTimeout > 0 {
 		_ = c.nc.SetWriteDeadline(time.Now().Add(c.writeTimeout))
@@ -172,6 +183,11 @@ type DialOptions struct {
 	// WriteTimeout, when positive, is applied as a deadline to every Send
 	// so a peer that stops reading fails the link instead of wedging it.
 	WriteTimeout time.Duration
+	// Chaos marks the connection as a target for the process-wide chaos
+	// shim (SetChaos): dial delay applies before connecting, and send
+	// delay / injected loss apply to every frame. The engine's data-plane
+	// bridges dial with this set; control links never do.
+	Chaos bool
 }
 
 // Default connection-hygiene bounds (see DialOptions).
@@ -195,12 +211,17 @@ func DialWith(addr string, o DialOptions, h Handler) (Conn, error) {
 	if o.KeepAlive == 0 {
 		o.KeepAlive = DefaultKeepAlive
 	}
+	if o.Chaos {
+		if cfg, ok := ActiveChaos(); ok && cfg.DialDelay > 0 {
+			time.Sleep(cfg.DialDelay)
+		}
+	}
 	d := net.Dialer{Timeout: o.ConnectTimeout, KeepAlive: o.KeepAlive}
 	nc, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dial %s: %w", addr, err)
 	}
-	c := &tcpConn{nc: nc, writeTimeout: o.WriteTimeout, done: make(chan struct{})}
+	c := &tcpConn{nc: nc, writeTimeout: o.WriteTimeout, chaos: o.Chaos, done: make(chan struct{})}
 	c.wg.Add(1)
 	go c.readLoop(h)
 	return c, nil
