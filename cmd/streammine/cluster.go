@@ -41,7 +41,7 @@ func ingestFlagsConfig(addr, stateDir, tenantsPath, tlsCert, tlsKey string) (ing
 // heartbeats, and reassigns partitions when a worker dies. -batch /
 // -batch-linger are folded into the topology before deployment so every
 // worker builds its partitions with the same batching configuration.
-func runCoordinator(topoPath, addr string, workers int, hbTimeout time.Duration, batch int, batchLinger time.Duration, obs *observability) error {
+func runCoordinator(topoPath, addr string, workers int, hbTimeout, slo time.Duration, batch int, batchLinger time.Duration, obs *observability) error {
 	if topoPath == "" {
 		return fmt.Errorf("usage: streammine -coordinator ADDR -topology pipeline.json")
 	}
@@ -63,6 +63,7 @@ func runCoordinator(topoPath, addr string, workers int, hbTimeout time.Duration,
 		Addr:             addr,
 		Workers:          workers,
 		HeartbeatTimeout: hbTimeout,
+		SLO:              slo,
 		Metrics:          obs.registry,
 		Logf:             logfFor("coordinator"),
 	})
@@ -80,6 +81,9 @@ func runCoordinator(topoPath, addr string, workers int, hbTimeout time.Duration,
 		// /debug/cluster merges membership, partition phases and (when
 		// workers run -profile-speculation) the cluster-wide waste rollup.
 		obs.server.SetCluster(func() any { return c.View() })
+		// /debug/health is the live diagnosis surface: SLO budget
+		// attribution, backpressure root-cause chains, straggler flags.
+		obs.server.SetHealth(func() any { return c.Health() })
 		obs.server.SetSpeculation(func() any {
 			if s := c.Waste(); s != nil {
 				return s

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -31,6 +32,7 @@ import (
 	"streammine/internal/core"
 	"streammine/internal/debugserver"
 	"streammine/internal/event"
+	"streammine/internal/flightrec"
 	"streammine/internal/ingest"
 	"streammine/internal/metrics"
 	"streammine/internal/operator"
@@ -58,6 +60,11 @@ type observability struct {
 	chaos     bool
 	server    *debugserver.Server
 	traceFile *os.File
+
+	flightrec *flightrec.Recorder
+	frProc    string
+	frDir     string
+	frSnap    *flightrec.Snapshotter
 }
 
 // newObservability configures instrumentation. proc labels every span
@@ -98,6 +105,13 @@ func (o *observability) serve(health func() error) error {
 	if o.chaos {
 		o.server.SetChaos(chaos.Handle)
 	}
+	if rec := o.flightrec; rec != nil {
+		proc, dir := o.frProc, o.frDir
+		o.server.SetFlightRec(
+			func() any { return rec.Dump(proc) },
+			func() (string, error) { return rec.SaveTo(dir, proc) },
+		)
+	}
 	bound, err := o.server.Start(o.addr)
 	if err != nil {
 		return err
@@ -106,7 +120,35 @@ func (o *observability) serve(health func() error) error {
 	return nil
 }
 
+// enableFlightRec arms the process-wide flight recorder: lifecycle /
+// epoch / chaos records and sampled spans land in a lock-free ring that
+// is snapshotted to dir four times a second, so even a SIGKILL leaves
+// at most a quarter second of unrecorded history on disk. The arming
+// record below guarantees every snapshot — including the one written
+// immediately at start — holds at least one entry, so a victim killed
+// moments after launch still leaves parseable evidence.
+func (o *observability) enableFlightRec(dir, proc string) {
+	if proc == "" {
+		proc = "engine"
+	}
+	o.flightrec = flightrec.Enable(4096)
+	o.frProc = proc
+	o.frDir = dir
+	flightrec.Recordf(flightrec.KindLifecycle, "flight recorder armed proc=%s pid=%d", proc, os.Getpid())
+	if o.tracer != nil {
+		o.tracer.SetMirror(flightrec.SpanMirror)
+	}
+	if o.registry != nil {
+		flightrec.RegisterMetrics(o.flightrec, o.registry)
+	}
+	o.frSnap = o.flightrec.StartSnapshots(dir, proc, 250*time.Millisecond)
+	fmt.Printf("flight recorder on, snapshots in %s\n", dir)
+}
+
 func (o *observability) close() {
+	if o.frSnap != nil {
+		o.frSnap.Stop()
+	}
 	if o.server != nil {
 		_ = o.server.Close()
 	}
@@ -142,6 +184,9 @@ func run() error {
 	tracePath := flag.String("trace", "", "write per-event lifecycle spans (JSONL) to this file")
 	profileSpec := flag.Bool("profile-speculation", false, "enable the speculation-waste profiler (served at /debug/speculation; with -worker, waste summaries ride STATUS heartbeats to the coordinator)")
 	traceSample := flag.Float64("trace-sample", 1.0, "with -trace: fraction of event lineages to keep (head-based, by trace id)")
+	sloFlag := flag.Duration("slo", 0, "with -coordinator: declared end-to-end p99 latency target for /debug/health budget attribution (e.g. 50ms; overrides the topology's sloP99Millis)")
+	flightRecFlag := flag.Bool("flightrec", false, "arm the crash flight recorder: a lock-free ring of recent lifecycle/epoch/chaos records and sampled spans, snapshotted to disk every second and dumpable at /debug/flightrec")
+	flightRecDir := flag.String("flightrec-dir", "", "with -flightrec: snapshot directory (default <state-dir>/flightrec for workers, streammine-flightrec otherwise)")
 	coordAddr := flag.String("coordinator", "", "run as cluster coordinator listening on this address")
 	workers := flag.Int("workers", 0, "with -coordinator: workers to wait for (default: topology placement)")
 	worker := flag.Bool("worker", false, "run as cluster worker")
@@ -185,13 +230,24 @@ func run() error {
 	}
 	obs.chaos = *chaosFlag
 	defer obs.close()
+	if *flightRecFlag {
+		dir := *flightRecDir
+		if dir == "" {
+			if *worker {
+				dir = filepath.Join(*stateDir, "flightrec")
+			} else {
+				dir = "streammine-flightrec"
+			}
+		}
+		obs.enableFlightRec(dir, proc)
+	}
 	icfg, err := ingestFlagsConfig(*ingestAddr, *ingestStateDir, *ingestTenants, *ingestTLSCert, *ingestTLSKey)
 	if err != nil {
 		return err
 	}
 	icfg.Addr = *ingestAddr
 	if *coordAddr != "" {
-		return runCoordinator(*topoPath, *coordAddr, *workers, *hbTimeout, *batch, *batchLinger, obs)
+		return runCoordinator(*topoPath, *coordAddr, *workers, *hbTimeout, *sloFlag, *batch, *batchLinger, obs)
 	}
 	if *worker {
 		return runWorker(*name, *join, *dataAddr, *stateDir, *hbTimeout, *profileSpec, icfg, obs)

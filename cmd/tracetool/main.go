@@ -12,6 +12,8 @@
 //	tracetool -validate w*.jsonl                 # exit 1 on invariant violations
 //	tracetool waste w*.jsonl                     # per-operator waste + top lineages
 //	tracetool waste -summary waste.json w*.jsonl # joined with /debug/speculation
+//	tracetool top -addr 127.0.0.1:8090           # live /debug/health view
+//	tracetool flightrec state/flightrec/*.json   # render crash flight-recorder dumps
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"streammine/internal/profiler"
 	"streammine/internal/tracetool"
@@ -34,6 +37,12 @@ func main() {
 func run() error {
 	if len(os.Args) > 1 && os.Args[1] == "waste" {
 		return runWaste(os.Args[2:])
+	}
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		return runTop(os.Args[2:])
+	}
+	if len(os.Args) > 1 && os.Args[1] == "flightrec" {
+		return runFlightRec(os.Args[2:])
 	}
 	chromePath := flag.String("chrome", "", "write Chrome trace-event JSON (Perfetto) to this file")
 	validate := flag.Bool("validate", false, "check trace invariants; non-zero exit on violations")
@@ -114,4 +123,33 @@ func runWaste(args []string) error {
 	}
 	report.WriteReport(os.Stdout)
 	return nil
+}
+
+// runTop implements the "top" subcommand: a live, periodically refreshed
+// rendering of a coordinator's /debug/health — SLO budget attribution,
+// backpressure root-cause chains and straggler flags.
+func runTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8090", "coordinator debug address serving /debug/health")
+	interval := fs.Duration("interval", time.Second, "refresh period")
+	once := fs.Bool("once", false, "render a single frame and exit (no screen clearing)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return tracetool.RunTop(os.Stdout, *addr, *interval, *once)
+}
+
+// runFlightRec implements the "flightrec" subcommand: it renders one or
+// more flight-recorder dump files (written by -flightrec snapshots or a
+// POST to /debug/flightrec) as a merged timeline of the final moments of
+// each process.
+func runFlightRec(args []string) error {
+	fs := flag.NewFlagSet("flightrec", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: tracetool flightrec dump.json...")
+	}
+	return tracetool.WriteFlightRec(os.Stdout, fs.Args()...)
 }

@@ -227,26 +227,31 @@ func CheckRegression(prevPath string, cur Report) error {
 		old[r.Pkg+" "+r.Name] = r
 	}
 	var bad []string
+	// regress records one failed row in the gate's uniform shape: the
+	// row, the offending column by name, the previous and current values,
+	// and the rule that tripped — so a CI failure is diagnosable from the
+	// error alone.
+	regress := func(name, column string, prec int, prevV, curV float64, rule string) {
+		bad = append(bad, fmt.Sprintf("%s: column %s: prev %.*f, now %.*f (%s)",
+			name, column, prec, prevV, prec, curV, rule))
+	}
 	for _, r := range cur.Benchmarks {
 		p, ok := old[r.Pkg+" "+r.Name]
 		if !ok {
 			continue
 		}
 		if p.EventsPerSec > 0 && r.EventsPerSec > 0 && r.EventsPerSec < 0.8*p.EventsPerSec {
-			bad = append(bad, fmt.Sprintf("%s: events_per_sec %.0f -> %.0f (-%.0f%%)",
-				r.Name, p.EventsPerSec, r.EventsPerSec, 100*(1-r.EventsPerSec/p.EventsPerSec)))
+			regress(r.Name, "events_per_sec", 0, p.EventsPerSec, r.EventsPerSec,
+				fmt.Sprintf("dropped %.0f%%; gate is 20%%", 100*(1-r.EventsPerSec/p.EventsPerSec)))
 		}
 		if p.WasteCPUPct > 0 && r.WasteCPUPct > 2*p.WasteCPUPct {
-			bad = append(bad, fmt.Sprintf("%s: waste_cpu_pct %.2f -> %.2f (more than doubled)",
-				r.Name, p.WasteCPUPct, r.WasteCPUPct))
+			regress(r.Name, "waste_cpu_pct", 2, p.WasteCPUPct, r.WasteCPUPct, "more than doubled")
 		}
 		if p.RecoveryMs > 0 && r.RecoveryMs > 2*p.RecoveryMs && r.RecoveryMs-p.RecoveryMs > 250 {
-			bad = append(bad, fmt.Sprintf("%s: recovery_ms %.0f -> %.0f (more than doubled)",
-				r.Name, p.RecoveryMs, r.RecoveryMs))
+			regress(r.Name, "recovery_ms", 0, p.RecoveryMs, r.RecoveryMs, "more than doubled and grew >=250ms")
 		}
 		if p.CompletenessPct > 0 && r.CompletenessPct > 0 && r.CompletenessPct < p.CompletenessPct-0.5 {
-			bad = append(bad, fmt.Sprintf("%s: completeness_pct %.2f -> %.2f",
-				r.Name, p.CompletenessPct, r.CompletenessPct))
+			regress(r.Name, "completeness_pct", 2, p.CompletenessPct, r.CompletenessPct, "fell more than 0.5 points")
 		}
 	}
 	if len(bad) > 0 {

@@ -109,6 +109,31 @@ func TestCheckRegressionRecovery(t *testing.T) {
 	}
 }
 
+func TestCheckRegressionNamesColumnAndValues(t *testing.T) {
+	prev := Report{Benchmarks: []Result{
+		{Pkg: "p", Name: "B1", Iterations: 1, EventsPerSec: 1000, RecoveryMs: 800},
+	}}
+	path := writePrev(t, prev)
+	bad := Report{Benchmarks: []Result{
+		{Pkg: "p", Name: "B1", Iterations: 1, EventsPerSec: 700, RecoveryMs: 2200},
+	}}
+	err := CheckRegression(path, bad)
+	if err == nil {
+		t.Fatal("regressions passed the gate")
+	}
+	msg := err.Error()
+	// Every failure must name the offending column and both values, so
+	// the CI log is diagnosable without re-running the comparison.
+	for _, want := range []string{
+		"column events_per_sec", "prev 1000", "now 700",
+		"column recovery_ms", "prev 800", "now 2200",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("regression error missing %q:\n%s", want, msg)
+		}
+	}
+}
+
 func TestCheckRegressionThroughputUnchangedRules(t *testing.T) {
 	prev := Report{Benchmarks: []Result{
 		{Pkg: "p", Name: "B1", Iterations: 1, EventsPerSec: 1000, WasteCPUPct: 2},

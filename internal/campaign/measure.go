@@ -2,8 +2,10 @@ package campaign
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -227,6 +229,103 @@ func (p *wastePoller) Stop() *profiler.Summary {
 	p.once.Do(func() { close(p.stop) })
 	<-p.done
 	return p.last
+}
+
+// healthWatch polls the coordinator's /debug/health during a cell and
+// records detection latencies relative to the fault injection: when the
+// victim worker was first flagged as a straggler, and when a
+// backpressure root-cause chain (rooted on the victim, when one is
+// named) first appeared. It answers the campaign's live-diagnosis
+// assertion — the health plane must name the injected victim before the
+// fault window closes.
+type healthWatch struct {
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	mu          sync.Mutex
+	injectAt    time.Time
+	victim      string
+	stragglerMs float64
+	chainMs     float64
+	chain       string
+}
+
+// watchHealth starts polling /debug/health every 100ms (the STATUS
+// cadence, so the watcher sees every model refresh).
+func watchHealth(cl *procharness.Cluster) *healthWatch {
+	hw := &healthWatch{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(hw.done)
+		var addr string
+		for {
+			select {
+			case <-hw.stop:
+				return
+			case <-time.After(100 * time.Millisecond):
+			}
+			hw.mu.Lock()
+			armed := !hw.injectAt.IsZero()
+			hw.mu.Unlock()
+			if !armed {
+				continue
+			}
+			if addr == "" {
+				a, ok := cl.DebugAddr("coordinator")
+				if !ok {
+					continue
+				}
+				addr = a
+			}
+			v, err := tracetool.FetchHealth(addr)
+			if err != nil {
+				continue
+			}
+			now := time.Now()
+			hw.mu.Lock()
+			since := float64(now.Sub(hw.injectAt)) / float64(time.Millisecond)
+			if hw.stragglerMs == 0 {
+				for _, s := range v.Stragglers {
+					if s.Worker == hw.victim {
+						hw.stragglerMs = since
+						break
+					}
+				}
+			}
+			if hw.chainMs == 0 {
+				for _, c := range v.Backpressure {
+					if hw.victim != "" && c.RootWorker != hw.victim {
+						continue
+					}
+					hw.chainMs = since
+					hw.chain = fmt.Sprintf("%s (root %s on %s): %s",
+						strings.Join(c.Path, " ← "), c.Root, c.RootWorker, c.Reason)
+					break
+				}
+			}
+			hw.mu.Unlock()
+		}
+	}()
+	return hw
+}
+
+// Arm anchors detection latencies to the injection instant and names the
+// victim the watcher looks for ("" accepts any root worker).
+func (hw *healthWatch) Arm(victim string, at time.Time) {
+	hw.mu.Lock()
+	hw.victim = victim
+	hw.injectAt = at
+	hw.mu.Unlock()
+}
+
+// Stop halts polling and returns what was detected (zeros when the
+// health plane never flagged the victim). Idempotent.
+func (hw *healthWatch) Stop() (stragglerMs, chainMs float64, chain string) {
+	hw.once.Do(func() { close(hw.stop) })
+	<-hw.done
+	hw.mu.Lock()
+	defer hw.mu.Unlock()
+	return hw.stragglerMs, hw.chainMs, hw.chain
 }
 
 func scrapeWaste(clusterURL string) *profiler.Summary {

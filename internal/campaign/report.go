@@ -82,6 +82,15 @@ func Markdown(o *Outcome) string {
 			fmt.Fprintf(&b, "- speculation waste: %d aborted attempts, %.2f%% of attempt CPU\n",
 				c.WasteAbortedAttempts, c.WasteCPUPct)
 		}
+		if c.HealthStragglerMs > 0 {
+			fmt.Fprintf(&b, "- health: straggler %s flagged %.0f ms after injection\n", c.Victim, c.HealthStragglerMs)
+		}
+		if c.HealthChainMs > 0 {
+			fmt.Fprintf(&b, "- health: backpressure chain %.0f ms after injection: %s\n", c.HealthChainMs, c.HealthChain)
+		}
+		for _, d := range c.FlightRecDumps {
+			fmt.Fprintf(&b, "- flight recorder: [%s](%s)\n", d, d)
+		}
 		for _, f := range c.Failures {
 			fmt.Fprintf(&b, "- **FAIL**: %s\n", f)
 		}

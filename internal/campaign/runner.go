@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"streammine/internal/flightrec"
 	"streammine/internal/ingest"
 	"streammine/internal/operator"
 	"streammine/internal/procharness"
@@ -58,6 +59,21 @@ type Result struct {
 	// scraped from the coordinator before it exited.
 	WasteAbortedAttempts uint64  `json:"waste_aborted_attempts,omitempty"`
 	WasteCPUPct          float64 `json:"waste_cpu_pct,omitempty"`
+	// HealthStragglerMs is how long after injection the coordinator's
+	// /debug/health first flagged the victim worker as a straggler
+	// (straggler cells; 0 = never detected).
+	HealthStragglerMs float64 `json:"health_straggler_ms,omitempty"`
+	// HealthChainMs is how long after injection /debug/health first
+	// reported a backpressure root-cause chain rooted on the victim
+	// (0 = never detected).
+	HealthChainMs float64 `json:"health_chain_ms,omitempty"`
+	// HealthChain is the first diagnosed chain, rendered sink ← … ← root.
+	HealthChain string `json:"health_chain,omitempty"`
+	// FlightRecDumps lists the flight-recorder snapshots the cell's
+	// processes left behind (paths relative to the campaign OutDir),
+	// attached for failed cells and process-kill faults so the report can
+	// link the evidence.
+	FlightRecDumps []string `json:"flightrec_dumps,omitempty"`
 	// DurationMs is the cell's wall time, launch to verdict.
 	DurationMs float64 `json:"duration_ms"`
 	// Failures lists every assertion the cell failed (empty = passed).
@@ -176,14 +192,18 @@ func (r *Runner) runCell(s *Spec, cell Cell, baselines map[string]map[string]boo
 		return res
 	}
 
-	coordArgs := []string{"-debug-addr", "127.0.0.1:0"}
+	// Every process flies the crash flight recorder: a SIGKILL'd worker
+	// leaves its last seconds of lifecycle/chaos/span records on disk.
+	frDir := filepath.Join(cellDir, "flightrec")
+	coordArgs := []string{"-debug-addr", "127.0.0.1:0", "-flightrec", "-flightrec-dir", frDir}
 	if cell.Config.Batch > 0 {
 		coordArgs = append(coordArgs, "-batch", strconv.Itoa(cell.Config.Batch))
 		if cell.Config.BatchLinger > 0 {
 			coordArgs = append(coordArgs, "-batch-linger", cell.Config.BatchLinger.D().String())
 		}
 	}
-	workerArgs := []string{"-chaos", "-debug-addr", "127.0.0.1:0", "-profile-speculation"}
+	workerArgs := []string{"-chaos", "-debug-addr", "127.0.0.1:0", "-profile-speculation",
+		"-flightrec", "-flightrec-dir", frDir}
 	ingestFed := IngestWorkload(cell.Workload)
 	if ingestFed {
 		tenantsPath := filepath.Join(cellDir, "tenants.json")
@@ -212,6 +232,8 @@ func (r *Runner) runCell(s *Spec, cell Cell, baselines map[string]map[string]boo
 
 	waste := pollWaste(cl)
 	defer waste.Stop()
+	healthW := watchHealth(cl)
+	defer healthW.Stop()
 
 	var driverErr chan error
 	if ingestFed {
@@ -248,6 +270,7 @@ func (r *Runner) runCell(s *Spec, cell Cell, baselines map[string]map[string]boo
 			return res
 		}
 		res.Victim = in.Victim
+		healthW.Arm(in.Victim, in.At)
 		if in.Transient() {
 			clearAfter := cell.Fault.Duration.D()
 			time.AfterFunc(clearAfter, func() { _ = in.Clear() })
@@ -327,6 +350,30 @@ func (r *Runner) runCell(s *Spec, cell Cell, baselines map[string]map[string]boo
 		res.WasteCPUPct = sum.WastePct()
 	}
 
+	// Live-diagnosis assertions: /debug/health must have named the
+	// injected victim before the fault window closed.
+	res.HealthStragglerMs, res.HealthChainMs, res.HealthChain = healthW.Stop()
+	windowMs := float64(cell.Fault.Duration.D()) / float64(time.Millisecond)
+	switch cell.Fault.Type {
+	case "straggler":
+		if res.HealthStragglerMs == 0 {
+			fail("health: /debug/health never flagged straggling worker %s", res.Victim)
+		} else if windowMs > 0 && res.HealthStragglerMs > windowMs {
+			fail("health: straggler %s flagged %.0fms after injection — after the %.0fms fault window closed",
+				res.Victim, res.HealthStragglerMs, windowMs)
+		}
+		if res.HealthChainMs == 0 {
+			fail("health: no backpressure root-cause chain rooted on %s", res.Victim)
+		}
+	case "slow_bridge":
+		if res.HealthChainMs == 0 {
+			fail("health: no backpressure root-cause chain diagnosed during the slow_bridge window")
+		} else if windowMs > 0 && res.HealthChainMs > windowMs {
+			fail("health: backpressure chain diagnosed %.0fms after injection — after the %.0fms fault window closed",
+				res.HealthChainMs, windowMs)
+		}
+	}
+
 	// Delivery assertion: a faulted cell must externalize exactly the
 	// identity set its fault-free baseline did — nothing acknowledged may
 	// be lost, nothing may appear twice (precise recovery, paper §2.2).
@@ -352,6 +399,29 @@ func (r *Runner) runCell(s *Spec, cell Cell, baselines map[string]map[string]boo
 		if missing > 0 || extra > 0 {
 			fail("identity set diverges from baseline: %d missing, %d extra (baseline %d, got %d)",
 				missing, extra, len(base), len(ids))
+		}
+	}
+
+	// Flight-recorder evidence. A process-kill fault must leave the
+	// victim's parseable dump on disk (the snapshotter wrote it at most a
+	// second before the SIGKILL); failed cells attach every dump so the
+	// report links the evidence.
+	if cell.Fault.Type == "sigkill" && res.Victim != "" {
+		dumpPath := filepath.Join(frDir, res.Victim+".json")
+		if d, err := flightrec.ReadDump(dumpPath); err != nil {
+			fail("flightrec: victim %s left no parseable dump: %v", res.Victim, err)
+		} else if len(d.Entries) == 0 {
+			fail("flightrec: victim %s dump holds no records", res.Victim)
+		}
+	}
+	if cell.Fault.Type == "sigkill" || !res.Passed() {
+		dumps, _ := filepath.Glob(filepath.Join(frDir, "*.json"))
+		for _, d := range dumps {
+			if rel, err := filepath.Rel(r.OutDir, d); err == nil {
+				res.FlightRecDumps = append(res.FlightRecDumps, rel)
+			} else {
+				res.FlightRecDumps = append(res.FlightRecDumps, d)
+			}
 		}
 	}
 

@@ -2,10 +2,14 @@ package cluster
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"streammine/internal/debugserver"
 	"streammine/internal/event"
 	"streammine/internal/metrics"
 	"streammine/internal/transport"
@@ -256,4 +260,104 @@ func TestWorkerDegraded(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+}
+
+// TestHealthzDegradedAndRecovery drives the full degraded round trip
+// through the HTTP probe: a worker whose coordinator goes silent must
+// flip /healthz from "ok" to "degraded: coordinator", and a coordinator
+// that resumes heartbeating must flip it back — the detector resurrects
+// peers on any observed control message, so a transient partition does
+// not leave the probe stuck degraded.
+func TestHealthzDegradedAndRecovery(t *testing.T) {
+	var mu sync.Mutex
+	var ctl transport.Conn
+	srv, err := transport.ListenConn("127.0.0.1:0", func(c transport.Conn, _ transport.Message) {
+		mu.Lock()
+		ctl = c
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	w, err := StartWorker(WorkerOptions{
+		Name:              "probe",
+		CoordAddr:         srv.Addr(),
+		StateDir:          t.TempDir(),
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatTimeout:  150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	ds := debugserver.New(metrics.NewRegistry(), nil)
+	ds.SetDegraded(w.Degraded)
+	addr, err := ds.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	healthz := func() string {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err != nil {
+			t.Fatalf("healthz: %v", err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("healthz read: %v", err)
+		}
+		return string(body)
+	}
+	waitBody := func(want string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			body := healthz()
+			if strings.HasPrefix(body, want) {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("healthz = %q, want prefix %q", body, want)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Joined and observed: the probe starts healthy.
+	if body := healthz(); !strings.HasPrefix(body, "ok") {
+		t.Fatalf("healthz right after join = %q, want ok", body)
+	}
+
+	// The fake coordinator never heartbeats, so silence past the timeout
+	// must surface through the probe.
+	waitBody("degraded: coordinator")
+
+	// Resume heartbeats on the captured control connection; the detector
+	// resurrects the peer and the probe returns to ok.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				mu.Lock()
+				c := ctl
+				mu.Unlock()
+				if c != nil {
+					_ = c.Send(transport.Message{Type: transport.MsgHeartbeat})
+				}
+			}
+		}
+	}()
+	waitBody("ok")
 }

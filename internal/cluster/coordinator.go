@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"streammine/internal/core"
+	"streammine/internal/health"
 	"streammine/internal/metrics"
 	"streammine/internal/profiler"
 	"streammine/internal/topology"
@@ -31,6 +32,10 @@ type CoordinatorOptions struct {
 	// partition quiesced with an unchanged global commit count before
 	// the run is declared complete (default 3).
 	StableSweeps int
+	// SLO is the declared end-to-end p99 latency target for health budget
+	// attribution. Overrides the topology's sloP99Millis; 0 keeps the
+	// topology's declaration (or none).
+	SLO time.Duration
 	// Metrics optionally receives the cluster series.
 	Metrics *metrics.Registry
 	// Logf optionally receives progress lines.
@@ -40,12 +45,13 @@ type CoordinatorOptions struct {
 // Coordinator deploys one topology over registered workers and supervises
 // it: assignment, start, failure detection, reassignment, completion.
 type Coordinator struct {
-	cfg  *topology.Config
-	raw  []byte
-	opts CoordinatorOptions
-	srv  *transport.Server
-	det  *transport.Detector
-	met  *clusterMetrics
+	cfg     *topology.Config
+	raw     []byte
+	opts    CoordinatorOptions
+	srv     *transport.Server
+	det     *transport.Detector
+	met     *clusterMetrics
+	healthM *health.Model
 
 	mu       sync.Mutex
 	conns    map[transport.Conn]string // control conn → worker name
@@ -127,8 +133,13 @@ func NewCoordinator(topoJSON []byte, o CoordinatorOptions) (*Coordinator, error)
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	c.healthM = health.New(cfg, health.Options{
+		SLO:               o.SLO,
+		HeartbeatInterval: o.HeartbeatInterval,
+	})
 	if o.Metrics != nil {
 		registerCoordWasteMetrics(c, o.Metrics)
+		health.RegisterMetrics(c.healthM, o.Metrics)
 	}
 	c.det = transport.NewDetector(o.HeartbeatTimeout, nil)
 	srv, err := transport.ListenConn(o.Addr, c.handle)
@@ -485,9 +496,17 @@ func (c *Coordinator) status(st StatusMsg) {
 		}
 	}
 	c.mu.Unlock()
+	// The report passed stale-epoch rejection above, so it reflects the
+	// partition's current incarnation: fold it into the health model.
+	c.healthM.Fold(st.Name, st.Partition, st.Health, st.Pressure, time.Now())
 	for _, s := range sends {
 		_ = s.conn.Send(s.msg)
 	}
+}
+
+// Health snapshots the coordinator's live health view (/debug/health).
+func (c *Coordinator) Health() *health.View {
+	return c.healthM.Snapshot()
 }
 
 // sweep is the supervision loop: failure detection, reassignment, alive
@@ -595,6 +614,7 @@ func (c *Coordinator) workerDown(name string) {
 		return
 	}
 	c.logf("worker %q lost; reassigning its partitions", name)
+	c.healthM.RemoveWorker(name)
 
 	load := make(map[string]int, len(c.workers))
 	for _, p := range c.parts {

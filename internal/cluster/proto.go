@@ -106,6 +106,11 @@ type StatusMsg struct {
 	// worker profiles speculation. The coordinator replaces its cached
 	// copy per report and merges across partitions.
 	Waste *profiler.Summary `json:"waste,omitempty"`
+	// Health carries per-node commit counts and finalize-latency quantiles
+	// for the coordinator's live health model (SLO budget attribution,
+	// straggler detection). Cumulative; the coordinator replaces its cached
+	// copy per report. Empty when the partition is not running.
+	Health []core.NodeHealth `json:"health,omitempty"`
 }
 
 // StopMsg tears a worker down.

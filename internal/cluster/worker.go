@@ -11,6 +11,7 @@ import (
 	"streammine/internal/checkpoint"
 	"streammine/internal/core"
 	"streammine/internal/event"
+	"streammine/internal/flightrec"
 	"streammine/internal/graph"
 	"streammine/internal/ingest"
 	"streammine/internal/metrics"
@@ -300,6 +301,7 @@ func (w *Worker) fail(partition, epoch int, err error) {
 	}
 	w.mu.Unlock()
 	w.logf("partition %d failed: %v", partition, err)
+	flightrec.Recordf(flightrec.KindLifecycle, "p%d epoch=%d failed: %v", partition, epoch, err)
 	w.sendStatus(StatusMsg{
 		Name: w.opts.Name, Partition: partition, Epoch: epoch,
 		Phase: PhaseError, Err: err.Error(),
@@ -337,6 +339,7 @@ func (w *Worker) handleCtl(m transport.Message) {
 		var stm StopMsg
 		_ = decodeCtl(m, &stm)
 		w.logf("stopping: %s", stm.Reason)
+		flightrec.Recordf(flightrec.KindLifecycle, "stop: %s", stm.Reason)
 		go w.Close()
 	}
 }
@@ -375,6 +378,7 @@ func (w *Worker) handleAssign(am AssignMsg) {
 		w.mu.Unlock()
 		for _, r := range rts {
 			w.logf("partition %d: retarget bridge → %s", am.Partition, r.addr)
+			flightrec.Recordf(flightrec.KindLifecycle, "p%d retarget bridge → %s", am.Partition, r.addr)
 			r.b.Retarget(r.addr)
 		}
 		w.sendStatus(st)
@@ -455,6 +459,10 @@ func (w *Worker) buildPartition(am AssignMsg) (*workerPart, error) {
 		RestoreFromStorage: true,
 		Tracer:             w.opts.Tracer,
 		Profiler:           prof,
+		// Health sampling is per-node and registry-free, so it stays on
+		// even though the partition engine runs unmetered: the summaries
+		// ride STATUS to the coordinator's health model.
+		Health: true,
 	})
 	if err != nil {
 		_ = pool.Close()
@@ -467,6 +475,7 @@ func (w *Worker) buildPartition(am AssignMsg) (*workerPart, error) {
 		tr.Record(fmt.Sprintf("p%d", am.Partition), "", metrics.PhaseEpoch,
 			fmt.Sprintf("partition=%d epoch=%d worker=%s nodes=%d", am.Partition, am.Epoch, w.opts.Name, len(am.Nodes)))
 	}
+	flightrec.Recordf(flightrec.KindEpoch, "p%d epoch=%d nodes=%d built", am.Partition, am.Epoch, len(am.Nodes))
 	p := &workerPart{
 		id:      am.Partition,
 		epoch:   am.Epoch,
@@ -543,6 +552,7 @@ func (w *Worker) handleStart(sm StartMsg) {
 	st := w.partStatusLocked(p, PhaseRunning)
 	w.mu.Unlock()
 	w.logf("partition %d running (%d sources)", p.id, len(p.built.Sources))
+	flightrec.Recordf(flightrec.KindLifecycle, "p%d epoch=%d running sources=%d", p.id, p.epoch, len(p.built.Sources))
 	w.sendStatus(st)
 	for _, src := range p.built.Sources {
 		if src.Ingest {
@@ -657,6 +667,7 @@ func (w *Worker) partStatusLocked(p *workerPart, phase string) StatusMsg {
 		st.Committed = p.eng.TotalStats().Committed
 		st.Pressure = p.eng.Pressure()
 		st.Waste = p.eng.Waste()
+		st.Health = p.eng.Health()
 		// Ingest-fed partitions are open-ended: producers may reconnect
 		// at any time, so they never report quiesced and the run ends by
 		// operator interrupt instead of completion detection.

@@ -97,6 +97,13 @@ type Options struct {
 	// abort) as JSONL spans for offline latency breakdown. Tracing is
 	// opt-in and does allocate; leave nil on benchmark runs.
 	Tracer *metrics.Tracer
+	// Health enables per-node health sampling (Engine.Health): each node
+	// keeps its own admission→commit latency HDR, recorded at the same
+	// site as core_finalize_latency but independent of Metrics, so
+	// unmetered cluster partition engines can still ship per-hop latency
+	// to the coordinator's health model. Recording is lock-free and
+	// allocation-free (one HDR observe per committed event).
+	Health bool
 	// Profiler, when set, enables the speculation-waste profiler: STM
 	// conflict witnesses resolved to named state buckets, per-operator
 	// waste ledgers (CPU burned in aborted attempts, re-executions,

@@ -146,6 +146,10 @@ type node struct {
 	recMu      sync.Mutex
 	stableRecs [][]wal.Record
 
+	// healthLat is the per-node admission→commit latency HDR feeding
+	// Engine.Health (nil unless Options.Health; a nil HDR is inert).
+	healthLat *metrics.HDR
+
 	cDispatched     atomic.Uint64
 	cExecuted       atomic.Uint64
 	cCommitted      atomic.Uint64
@@ -192,6 +196,7 @@ func newNode(eng *Engine, spec graph.Node, rng *detrand.Source, log *wal.Log) (*
 		pendRevoke:    make(map[event.ID]int),
 		granters:      make(map[int]creditGranter),
 		nextSeq:       1,
+		healthLat:     newHealthHDR(eng.opts.Health),
 	}
 	if f := spec.Flow; f != nil {
 		if f.MailboxCap > 0 {
@@ -537,7 +542,7 @@ func (n *node) handleEventBatch(m transport.Message) {
 			ev:      detached,
 			evFinal: !ev.Speculative,
 		}
-		if n.eng.met != nil {
+		if n.eng.met != nil || n.healthLat != nil {
 			t.admitted = time.Now()
 		}
 		n.nextSeq++
@@ -680,7 +685,7 @@ func (n *node) admitEvent(pe plannedEvent) {
 		decisions: pe.decisions,
 		maxLSN:    pe.maxLSN,
 	}
-	if n.eng.met != nil {
+	if n.eng.met != nil || n.healthLat != nil {
 		t.admitted = time.Now()
 	}
 	n.nextSeq++
@@ -1901,10 +1906,14 @@ func (n *node) retireGroup(run []*task, fb *finFlush) {
 	n.nextCommit.Add(int64(len(posts)))
 	n.throttle.Wake() // head moved: re-evaluate parked head-bypass waiters
 	n.cCommitted.Add(uint64(len(posts)))
-	if m := n.eng.met; m != nil {
+	if m := n.eng.met; m != nil || n.healthLat != nil {
 		for i := range posts {
 			if t := posts[i].t; !t.admitted.IsZero() {
-				m.finalizeLat.Record(time.Since(t.admitted))
+				lat := time.Since(t.admitted)
+				if m != nil {
+					m.finalizeLat.Record(lat)
+				}
+				n.healthLat.Record(lat)
 			}
 		}
 	}

@@ -33,6 +33,9 @@ type Server struct {
 	pressure    func() string
 	speculation func() any
 	cluster     func() any
+	healthView  func() any
+	frDump      func() any
+	frSnap      func() (string, error)
 	draining    func() bool
 	chaos       func(url.Values) (string, error)
 }
@@ -47,6 +50,8 @@ func New(reg *metrics.Registry, health func() error) *Server {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/speculation", s.handleSpeculation)
 	mux.HandleFunc("/debug/cluster", s.handleCluster)
+	mux.HandleFunc("/debug/health", s.handleHealth)
+	mux.HandleFunc("/debug/flightrec", s.handleFlightRec)
 	mux.HandleFunc("/debug/chaos", s.handleChaos)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -146,25 +151,84 @@ func (s *Server) SetChaos(fn func(url.Values) (string, error)) {
 	s.mu.Unlock()
 }
 
+// SetHealth installs the live cluster-health snapshot provider served as
+// JSON at /debug/health (the coordinator's SLO budget attribution,
+// backpressure root-cause chains and straggler flags). Unset, the route
+// answers 404 — only coordinators have a health model.
+func (s *Server) SetHealth(fn func() any) {
+	s.mu.Lock()
+	s.healthView = fn
+	s.mu.Unlock()
+}
+
+// SetFlightRec installs the flight-recorder surface at /debug/flightrec:
+// GET serves the in-memory ring as a JSON dump; POST forces a snapshot to
+// disk and reports the written path, so an operator (or the campaign
+// runner) can capture evidence from a live process before killing it.
+// Unset, the route answers 404 — binaries opt in with -flightrec.
+func (s *Server) SetFlightRec(get func() any, snap func() (string, error)) {
+	s.mu.Lock()
+	s.frDump = get
+	s.frSnap = snap
+	s.mu.Unlock()
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	fn := s.healthView
+	s.mu.Unlock()
+	serveJSON(w, r, fn)
+}
+
+func (s *Server) handleFlightRec(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	get, snap := s.frDump, s.frSnap
+	s.mu.Unlock()
+	switch r.Method {
+	case http.MethodGet, "":
+		serveJSON(w, r, get)
+	case http.MethodPost:
+		if snap == nil {
+			jsonError(w, http.StatusNotFound, "flight recorder not enabled")
+			return
+		}
+		path, err := snap()
+		if err != nil {
+			jsonError(w, http.StatusInternalServerError, "flightrec snapshot: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\n  \"path\": %q\n}\n", path)
+	default:
+		jsonError(w, http.StatusMethodNotAllowed, "method %s not allowed; use GET or POST", r.Method)
+	}
+}
+
 func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	fn := s.chaos
 	s.mu.Unlock()
 	if fn == nil {
-		http.NotFound(w, r)
+		jsonError(w, http.StatusNotFound, "chaos injection not enabled (start with -chaos)")
+		return
+	}
+	switch r.Method {
+	case http.MethodGet, http.MethodPost, "":
+	default:
+		jsonError(w, http.StatusMethodNotAllowed, "method %s not allowed; use GET or POST", r.Method)
 		return
 	}
 	var params url.Values
 	if r.Method == http.MethodPost {
 		if err := r.ParseForm(); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			jsonError(w, http.StatusBadRequest, "bad form: %v", err)
 			return
 		}
 		params = r.Form
 	}
 	state, err := fn(params)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -186,19 +250,40 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 }
 
 func serveJSON(w http.ResponseWriter, r *http.Request, fn func() any) {
+	switch r.Method {
+	case http.MethodGet, "":
+	default:
+		jsonError(w, http.StatusMethodNotAllowed, "method %s not allowed; use GET", r.Method)
+		return
+	}
 	if fn == nil {
-		http.NotFound(w, r)
+		jsonError(w, http.StatusNotFound, "not enabled on this process")
 		return
 	}
 	v := fn()
 	if v == nil {
-		http.NotFound(w, r)
+		jsonError(w, http.StatusNotFound, "no data yet")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
+}
+
+// jsonError writes the uniform debug-endpoint error body: every
+// /debug/* failure (404 route unset, 405 wrong method, 400 bad input)
+// answers `{"error": "..."}` with an application/json Content-Type, so
+// pollers parse one shape instead of sniffing plain-text bodies.
+func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body := struct {
+		Error string `json:"error"`
+	}{Error: fmt.Sprintf(format, args...)}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -1,9 +1,11 @@
 package debugserver
 
 import (
+	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"sync"
 	"testing"
@@ -125,5 +127,108 @@ func TestServerHealthzPressure(t *testing.T) {
 	_, body, _ = get(t, "http://"+addr+"/healthz")
 	if !strings.HasPrefix(body, "degraded: bridge a:0->b:0\n") || !strings.Contains(body, "pressure: ") {
 		t.Fatalf("degraded+pressure body = %q", body)
+	}
+}
+
+// do issues a request with an arbitrary method and decodes the response.
+func do(t *testing.T, method, url, body string) (int, string, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method == http.MethodPost {
+		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(b), resp.Header
+}
+
+// wantJSONError asserts the uniform debug-endpoint error shape: the
+// given status, an application/json content type, and a parseable
+// {"error": ...} body whose message contains fragment.
+func wantJSONError(t *testing.T, code int, body string, hdr http.Header, wantCode int, fragment string) {
+	t.Helper()
+	if code != wantCode {
+		t.Errorf("status = %d, want %d (body %q)", code, wantCode, body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("content type = %q, want application/json", ct)
+	}
+	var parsed struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &parsed); err != nil {
+		t.Fatalf("error body is not JSON: %v\n%s", err, body)
+	}
+	if parsed.Error == "" || !strings.Contains(parsed.Error, fragment) {
+		t.Errorf("error = %q, want substring %q", parsed.Error, fragment)
+	}
+}
+
+// TestDebugEndpointJSONErrors locks in the error contract shared by every
+// /debug/* route: route unset → 404, wrong method → 405, bad input → 400,
+// all with the same {"error": "..."} JSON body so pollers parse one shape.
+func TestDebugEndpointJSONErrors(t *testing.T) {
+	s := New(metrics.NewRegistry(), nil)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + addr
+
+	// Unset routes answer 404 with a JSON error.
+	code, body, hdr := do(t, http.MethodGet, base+"/debug/chaos", "")
+	wantJSONError(t, code, body, hdr, http.StatusNotFound, "chaos injection not enabled")
+	code, body, hdr = do(t, http.MethodGet, base+"/debug/health", "")
+	wantJSONError(t, code, body, hdr, http.StatusNotFound, "not enabled")
+	code, body, hdr = do(t, http.MethodGet, base+"/debug/flightrec", "")
+	wantJSONError(t, code, body, hdr, http.StatusNotFound, "not enabled")
+	code, body, hdr = do(t, http.MethodPost, base+"/debug/flightrec", "")
+	wantJSONError(t, code, body, hdr, http.StatusNotFound, "not enabled")
+
+	// Wire providers; wrong methods answer 405, still JSON.
+	s.SetChaos(func(v url.Values) (string, error) {
+		if v.Get("fault") == "bogus" {
+			return "", errors.New("unknown fault \"bogus\"")
+		}
+		return "none", nil
+	})
+	s.SetHealth(func() any { return map[string]int{"workers": 2} })
+	s.SetFlightRec(func() any { return nil }, func() (string, error) { return "/tmp/fr.json", nil })
+
+	code, body, hdr = do(t, http.MethodDelete, base+"/debug/chaos", "")
+	wantJSONError(t, code, body, hdr, http.StatusMethodNotAllowed, "DELETE")
+	code, body, hdr = do(t, http.MethodPost, base+"/debug/health", "")
+	wantJSONError(t, code, body, hdr, http.StatusMethodNotAllowed, "POST")
+	code, body, hdr = do(t, http.MethodDelete, base+"/debug/flightrec", "")
+	wantJSONError(t, code, body, hdr, http.StatusMethodNotAllowed, "DELETE")
+
+	// Bad chaos input answers 400 with the handler's message.
+	code, body, hdr = do(t, http.MethodPost, base+"/debug/chaos", "fault=bogus")
+	wantJSONError(t, code, body, hdr, http.StatusBadRequest, "unknown fault")
+
+	// A wired provider with no data yet is distinguishable from an unset
+	// route only by message, never by shape.
+	code, body, hdr = do(t, http.MethodGet, base+"/debug/flightrec", "")
+	wantJSONError(t, code, body, hdr, http.StatusNotFound, "no data yet")
+
+	// The happy paths stay JSON too.
+	code, body, hdr = do(t, http.MethodGet, base+"/debug/health", "")
+	if code != http.StatusOK || !strings.Contains(hdr.Get("Content-Type"), "application/json") || !strings.Contains(body, `"workers": 2`) {
+		t.Errorf("/debug/health = %d %q (%s)", code, body, hdr.Get("Content-Type"))
+	}
+	code, body, _ = do(t, http.MethodPost, base+"/debug/flightrec", "")
+	if code != http.StatusOK || !strings.Contains(body, `"path": "/tmp/fr.json"`) {
+		t.Errorf("flightrec snapshot = %d %q", code, body)
 	}
 }

@@ -1,0 +1,272 @@
+// Package flightrec is a per-process flight recorder: a fixed-size
+// lock-free ring of recent lifecycle transitions, chaos arms, epoch
+// changes and sampled tracer spans. Recording is wait-free and
+// allocation-free (an AllocsPerRun test enforces it), so the sources can
+// feed it from supervision paths without budget. A background
+// snapshotter serializes the ring to disk via temp+rename at a fixed
+// cadence, so a SIGKILL'd process leaves its last intact snapshot as
+// evidence; `tracetool flightrec` renders a dump and the campaign runner
+// attaches dumps to failed cells.
+package flightrec
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies a recorded entry.
+type Kind uint8
+
+// Entry kinds, in the order the sources were wired.
+const (
+	// KindLifecycle marks worker/partition lifecycle transitions
+	// (assign, start, stop, retarget, failure).
+	KindLifecycle Kind = iota
+	// KindEpoch marks partition epoch changes (deploys and reassignments).
+	KindEpoch
+	// KindChaos marks runtime fault-injection arms and clears.
+	KindChaos
+	// KindSpan marks a sampled tracer span mirrored into the ring.
+	KindSpan
+	kindCount
+)
+
+var kindNames = [kindCount]string{"lifecycle", "epoch", "chaos", "span"}
+
+// String renders the kind for dumps and reports.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind-%d", uint8(k))
+}
+
+// detailLen is the fixed per-slot detail capacity; longer details are
+// truncated on record (fixed-size slots keep the write path free of
+// allocation and the ring memory bounded).
+const detailLen = 120
+
+// slot is one fixed-size ring cell. seq carries a per-claim generation:
+// a writer stores 2·i+1 before filling the cell and 2·i+2 after, so a
+// reader that knows the claim index i can detect torn or lapped cells.
+type slot struct {
+	seq    atomic.Uint64
+	ts     int64
+	kind   uint8
+	n      uint8
+	detail [detailLen]byte
+}
+
+// Recorder is the lock-free ring. The zero value is unusable; build one
+// with New. A nil *Recorder ignores records, so call sites need no
+// enabled-check of their own.
+type Recorder struct {
+	slots    []slot
+	mask     uint64
+	cursor   atomic.Uint64
+	snaps    atomic.Uint64
+	snapErrs atomic.Uint64
+}
+
+// New builds a recorder with capacity rounded up to a power of two
+// (minimum 64 slots).
+func New(size int) *Recorder {
+	n := 64
+	for n < size {
+		n <<= 1
+	}
+	return &Recorder{slots: make([]slot, n), mask: uint64(n - 1)}
+}
+
+// Record appends one entry. Wait-free and allocation-free: the detail
+// string is copied into the slot's fixed buffer (truncated at detailLen).
+func (r *Recorder) Record(kind Kind, detail string) {
+	if r == nil {
+		return
+	}
+	i := r.cursor.Add(1) - 1
+	s := &r.slots[i&r.mask]
+	s.seq.Store(2*i + 1)
+	s.ts = time.Now().UnixNano()
+	s.kind = uint8(kind)
+	n := copy(s.detail[:], detail)
+	s.n = uint8(n)
+	s.seq.Store(2*i + 2)
+}
+
+// Record3 appends one entry whose detail is three space-joined parts,
+// copied directly into the slot so no intermediate string is built. The
+// span mirror uses it to stay allocation-free per sampled span.
+func (r *Recorder) Record3(kind Kind, a, b, c string) {
+	if r == nil {
+		return
+	}
+	i := r.cursor.Add(1) - 1
+	s := &r.slots[i&r.mask]
+	s.seq.Store(2*i + 1)
+	s.ts = time.Now().UnixNano()
+	s.kind = uint8(kind)
+	n := copy(s.detail[:], a)
+	for _, part := range [2]string{b, c} {
+		if part == "" || n >= detailLen-1 {
+			continue
+		}
+		s.detail[n] = ' '
+		n++
+		n += copy(s.detail[n:], part)
+	}
+	s.n = uint8(n)
+	s.seq.Store(2*i + 2)
+}
+
+// Records returns the total number of entries ever recorded (including
+// ones the ring has since overwritten).
+func (r *Recorder) Records() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.cursor.Load()
+}
+
+// Entry is one decoded ring cell.
+type Entry struct {
+	// TSNs is the record wall time in Unix nanoseconds.
+	TSNs int64 `json:"tsNs"`
+	// Kind is the entry class (lifecycle, epoch, chaos, span).
+	Kind string `json:"kind"`
+	// Detail is the free-form payload, truncated at the slot size.
+	Detail string `json:"detail"`
+}
+
+// Snapshot decodes the ring oldest→newest. Cells a concurrent writer is
+// filling (or has lapped) are skipped — the generation check makes torn
+// reads detectable instead of garbled.
+func (r *Recorder) Snapshot() []Entry {
+	if r == nil {
+		return nil
+	}
+	cur := r.cursor.Load()
+	start := uint64(0)
+	if size := uint64(len(r.slots)); cur > size {
+		start = cur - size
+	}
+	out := make([]Entry, 0, cur-start)
+	for i := start; i < cur; i++ {
+		s := &r.slots[i&r.mask]
+		if s.seq.Load() != 2*i+2 {
+			continue // mid-write or overwritten by a lapping writer
+		}
+		e := Entry{TSNs: s.ts, Kind: Kind(s.kind).String(), Detail: string(s.detail[:s.n])}
+		if s.seq.Load() != 2*i+2 {
+			continue // torn: a writer claimed the cell while we copied
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Dump is the on-disk snapshot format.
+type Dump struct {
+	Proc      string  `json:"proc"`
+	WrittenAt string  `json:"writtenAt"`
+	Records   uint64  `json:"records"`
+	Entries   []Entry `json:"entries"`
+}
+
+// Dump snapshots the ring into the serializable form.
+func (r *Recorder) Dump(proc string) *Dump {
+	return &Dump{
+		Proc:      proc,
+		WrittenAt: time.Now().UTC().Format(time.RFC3339Nano),
+		Records:   r.Records(),
+		Entries:   r.Snapshot(),
+	}
+}
+
+// Save writes the dump to path atomically (temp file + rename), so a
+// crash mid-write leaves the previous intact snapshot in place.
+func Save(path string, d *Dump) error {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadDump parses a snapshot written by Save.
+func ReadDump(path string) (*Dump, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Dump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("flightrec: parse %s: %w", path, err)
+	}
+	return &d, nil
+}
+
+// SaveTo snapshots the recorder to <dir>/<proc>.json and bumps the
+// snapshot counters.
+func (r *Recorder) SaveTo(dir, proc string) (string, error) {
+	path := filepath.Join(dir, proc+".json")
+	if err := Save(path, r.Dump(proc)); err != nil {
+		r.snapErrs.Add(1)
+		return "", err
+	}
+	r.snaps.Add(1)
+	return path, nil
+}
+
+// Snapshotter periodically persists a recorder to disk.
+type Snapshotter struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartSnapshots persists r to <dir>/<proc>.json every interval (default
+// 1 s) until Stop. The first snapshot is written immediately so even a
+// short-lived process leaves a file.
+func (r *Recorder) StartSnapshots(dir, proc string, interval time.Duration) *Snapshotter {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s := &Snapshotter{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		_, _ = r.SaveTo(dir, proc)
+		for {
+			select {
+			case <-s.stop:
+				_, _ = r.SaveTo(dir, proc) // final snapshot on clean exit
+				return
+			case <-ticker.C:
+				_, _ = r.SaveTo(dir, proc)
+			}
+		}
+	}()
+	return s
+}
+
+// Stop writes a final snapshot and stops the loop.
+func (s *Snapshotter) Stop() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+}

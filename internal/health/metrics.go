@@ -1,0 +1,90 @@
+package health
+
+import (
+	"sync"
+	"time"
+
+	"streammine/internal/metrics"
+)
+
+// RegisterMetrics exposes the model as health_* series on the
+// coordinator's registry (documented in docs/OBSERVABILITY.md). Per-node
+// series are registered up front — the operator set is fixed at deploy
+// time — and resolve against a cached snapshot at scrape: one Snapshot
+// per scrape pass, not one per series.
+func RegisterMetrics(m *Model, reg *metrics.Registry) {
+	if m == nil || reg == nil {
+		return
+	}
+	c := &snapCache{m: m}
+
+	reg.GaugeFunc("health_slo_target_ms",
+		"Declared end-to-end p99 latency target (0 = no SLO declared).",
+		nil, func() float64 { return float64(m.SLOTarget()) / float64(time.Millisecond) })
+	reg.GaugeFunc("health_slo_observed_p99_ms",
+		"Observed end-to-end p99: additive per-hop finalize p99 along the critical path.",
+		nil, func() float64 { return c.get().SLO.ObservedP99Ms })
+	reg.GaugeFunc("health_slo_violation",
+		"1 while the observed end-to-end p99 exceeds the declared target.",
+		nil, func() float64 {
+			if c.get().SLO.Violated {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("health_backpressure_chains",
+		"Stalled sinks with a diagnosed backpressure root-cause chain.",
+		nil, func() float64 { return float64(len(c.get().Backpressure)) })
+	reg.GaugeFunc("health_stragglers",
+		"Workers currently flagged as stragglers by peer-deviation detection.",
+		nil, func() float64 { return float64(len(c.get().Stragglers)) })
+
+	for _, name := range m.order {
+		node := name
+		reg.GaugeFunc("health_hop_p99_ms",
+			"Per-operator admission→commit p99 from worker STATUS samples.",
+			metrics.Labels{"node": node},
+			func() float64 { return c.get().operator(node).P99Ms })
+		reg.GaugeFunc("health_hop_budget_share_pct",
+			"Per-operator share of the end-to-end latency budget.",
+			metrics.Labels{"node": node},
+			func() float64 { return c.get().operator(node).BudgetSharePct })
+		reg.GaugeFunc("health_hop_rate_events_per_sec",
+			"Per-operator finalize rate (EWMA over STATUS folds).",
+			metrics.Labels{"node": node},
+			func() float64 { return c.get().operator(node).RateEventsPerSec })
+	}
+}
+
+// operator finds a node's row (zero row when unknown).
+func (v *View) operator(node string) OperatorView {
+	if v != nil {
+		for _, op := range v.Operators {
+			if op.Node == node {
+				return op
+			}
+		}
+	}
+	return OperatorView{}
+}
+
+// snapCache amortizes Snapshot across the many health_* series of one
+// scrape pass: the first series of a pass recomputes, the rest reuse.
+type snapCache struct {
+	m    *Model
+	mu   sync.Mutex
+	view *View
+	at   time.Time
+}
+
+const snapTTL = 250 * time.Millisecond
+
+func (c *snapCache) get() *View {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.view == nil || time.Since(c.at) > snapTTL {
+		c.view = c.m.Snapshot()
+		c.at = time.Now()
+	}
+	return c.view
+}

@@ -81,6 +81,10 @@ type Tracer struct {
 	count     atomic.Uint64
 	sampled   atomic.Uint64
 
+	// mirror, when set, receives a copy of every kept span after it is
+	// written — the flight recorder samples lifecycle evidence from it.
+	mirror atomic.Pointer[func(Span)]
+
 	mu  sync.Mutex
 	buf *bufio.Writer
 }
@@ -179,6 +183,24 @@ func (t *Tracer) RecordTrace(node, event string, trace uint64, phase, info strin
 	}
 	t.write(s)
 	t.count.Add(1)
+	if m := t.mirror.Load(); m != nil {
+		(*m)(s)
+	}
+}
+
+// SetMirror installs a secondary consumer that observes every kept span
+// (sampled-out spans never reach it). The consumer must be cheap and
+// must not block — it runs on the recording goroutine. Nil uninstalls.
+// Safe to call concurrently; nil receivers are no-ops.
+func (t *Tracer) SetMirror(fn func(Span)) {
+	if t == nil {
+		return
+	}
+	if fn == nil {
+		t.mirror.Store(nil)
+		return
+	}
+	t.mirror.Store(&fn)
 }
 
 // write marshals and appends one record (header or span).

@@ -35,6 +35,17 @@ type Config struct {
 	// node; a node's own flow section overrides it entirely. Nil disables
 	// flow control (the pre-flow unbounded behavior).
 	Flow *flow.Limits `json:"flow"`
+	// SLOP99Millis declares the end-to-end p99 latency target for this
+	// topology in milliseconds (0 = no SLO declared). The coordinator's
+	// health model decomposes the budget across hops and flags the
+	// dominating one (/debug/health, docs/OBSERVABILITY.md). The -slo
+	// flag overrides it at deploy time.
+	SLOP99Millis int `json:"sloP99Millis,omitempty"`
+}
+
+// SLO returns the declared end-to-end p99 target, or 0 when none is set.
+func (cfg *Config) SLO() time.Duration {
+	return time.Duration(cfg.SLOP99Millis) * time.Millisecond
 }
 
 // Placement distributes the topology over cluster workers.

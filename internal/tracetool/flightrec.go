@@ -1,0 +1,52 @@
+package tracetool
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"streammine/internal/flightrec"
+)
+
+// WriteFlightRec renders flight-recorder dump files (the JSON snapshots a
+// crashed or POSTed process left in its flightrec directory) as one
+// merged, human-readable timeline. Each line shows the offset from the
+// dump's first record, the originating process, the record kind and the
+// detail, so the last seconds before a SIGKILL read like a story.
+func WriteFlightRec(w io.Writer, paths ...string) error {
+	type row struct {
+		ts   int64
+		proc string
+		kind string
+		text string
+	}
+	var rows []row
+	for _, path := range paths {
+		d, err := flightrec.ReadDump(path)
+		if err != nil {
+			return fmt.Errorf("flightrec: %s: %w", path, err)
+		}
+		fmt.Fprintf(w, "%s: proc %q, %d records total, %d in ring, written %s\n",
+			path, d.Proc, d.Records, len(d.Entries), d.WrittenAt)
+		for _, e := range d.Entries {
+			rows = append(rows, row{ts: e.TSNs, proc: d.Proc, kind: e.Kind, text: e.Detail})
+		}
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "no records")
+		return nil
+	}
+	// Already per-dump ordered; merge-order across dumps by timestamp.
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j].ts < rows[j-1].ts; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+	base := rows[0].ts
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%12s  %-12s %-9s %s\n",
+			"+"+time.Duration(r.ts-base).Round(time.Microsecond).String(), r.proc, r.kind, r.text)
+	}
+	return nil
+}
