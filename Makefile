@@ -62,11 +62,13 @@ bench:
 # the paper workload under sigkill / slow-bridge / slow-disk faults with
 # speculation on and off (8 cells including the auto-added baselines),
 # each a real multi-process cluster. The bench-schema rows are then gated
-# through benchjson so a vanished recovery_ms/completeness_pct column (or
-# a regression vs CAMPAIGNPREV) fails the run. Artifacts land in
-# campaign-out/ plus CAMPAIGN_smoke.json at the repo root.
+# through benchjson so a vanished recovery_ms/completeness_pct column —
+# or a vanished detect_ms/replay_ms recovery-anatomy column from the
+# instrumented /debug/recovery timeline — (or a regression vs
+# CAMPAIGNPREV) fails the run. Artifacts land in campaign-out/ plus
+# CAMPAIGN_smoke.json at the repo root.
 campaign-smoke:
 	go run ./cmd/campaign -spec campaigns/smoke.json -out campaign-out
-	go run ./cmd/benchjson -injson -require recovery_ms,completeness_pct \
+	go run ./cmd/benchjson -injson -require recovery_ms,completeness_pct,detect_ms,replay_ms \
 		$(if $(CAMPAIGNPREV),-prev $(CAMPAIGNPREV)) \
 		-out CAMPAIGN_smoke.json < campaign-out/bench.json

@@ -84,6 +84,7 @@ func runCoordinator(topoPath, addr string, workers int, hbTimeout, slo time.Dura
 		// /debug/health is the live diagnosis surface: SLO budget
 		// attribution, backpressure root-cause chains, straggler flags.
 		obs.server.SetHealth(func() any { return c.Health() })
+		obs.server.SetRecovery(func() any { return c.RecoveryReport() })
 		obs.server.SetSpeculation(func() any {
 			if s := c.Waste(); s != nil {
 				return s

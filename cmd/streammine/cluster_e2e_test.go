@@ -2,12 +2,15 @@ package main
 
 import (
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"streammine/internal/metrics"
 	"streammine/internal/procharness"
+	"streammine/internal/recovery"
 	"streammine/internal/tracetool"
 )
 
@@ -240,4 +243,175 @@ func TestClusterTracedFailover(t *testing.T) {
 	if !moved {
 		t.Error("no partition shows epoch records from two processes; failover not captured in trace")
 	}
+}
+
+// TestClusterRecoveryAnatomy SIGKILLs a worker and asserts the
+// coordinator's /debug/recovery report stitches the complete phase
+// chain for the incident: detect, decide, restore, refill, replay and
+// catch-up all present and closed, timestamps monotone within the
+// incident, no large uncovered windows on the timeline, and per-phase
+// durations that sum to roughly the end-to-end outage. The coordinator
+// exits when the closed-ended run completes, so the report is polled
+// during the run and the last capture is judged.
+func TestClusterRecoveryAnatomy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e: builds a binary and runs multi-second failure detection")
+	}
+	bin := buildBinary(t)
+	cl, err := procharness.Start(procharness.Options{
+		Bin:       bin,
+		Topology:  e2eTopo,
+		Dir:       t.TempDir(),
+		Workers:   2,
+		HBTimeout: 500 * time.Millisecond,
+		CoordArgs: []string{"-debug-addr", "127.0.0.1:0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	addr, err := cl.WaitDebugAddr("coordinator", 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var last *recovery.Report
+	stop := make(chan struct{})
+	polled := make(chan struct{})
+	go func() {
+		defer close(polled)
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if rep, err := tracetool.FetchRecovery(addr); err == nil && len(rep.Incidents) > 0 {
+					mu.Lock()
+					last = rep
+					mu.Unlock()
+				}
+			}
+		}
+	}()
+
+	victim, err := cl.Sinks.WaitBusiest(30, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("SIGKILL %s after %d sink events", victim, cl.Sinks.Count(victim))
+	if err := cl.KillWorker(victim); err != nil {
+		t.Fatalf("kill %s: %v", victim, err)
+	}
+	if err := cl.WaitDone(90 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	<-polled
+
+	mu.Lock()
+	rep := last
+	mu.Unlock()
+	if rep == nil || len(rep.Incidents) == 0 {
+		t.Fatal("coordinator never served a recovery incident at /debug/recovery")
+	}
+	inc := rep.Incidents[len(rep.Incidents)-1]
+	if inc.Victim != victim {
+		t.Errorf("incident victim = %q, want %q", inc.Victim, victim)
+	}
+	if !inc.Complete {
+		t.Fatalf("incident never completed: %+v", inc)
+	}
+	if inc.DetectedNs < inc.StartNs {
+		t.Errorf("DetectedNs %d before incident start %d", inc.DetectedNs, inc.StartNs)
+	}
+
+	// The full chain: every phase present with a measurable duration.
+	for _, ph := range recovery.Phases {
+		if inc.PhaseMs[ph] <= 0 {
+			t.Errorf("phase %s missing from incident (PhaseMs=%v)", ph, inc.PhaseMs)
+		}
+	}
+
+	// Monotone, closed, in-window spans, sorted by start.
+	var prevStart int64
+	var end int64
+	for _, s := range inc.Spans {
+		if s.EndNs == 0 {
+			t.Errorf("span %s/p%d still open in a complete incident", s.Phase, s.Partition)
+			continue
+		}
+		if s.EndNs < s.StartNs {
+			t.Errorf("span %s/p%d ends before it starts (%d < %d)", s.Phase, s.Partition, s.EndNs, s.StartNs)
+		}
+		if s.StartNs < inc.StartNs {
+			t.Errorf("span %s/p%d starts before the incident", s.Phase, s.Partition)
+		}
+		if s.StartNs < prevStart {
+			t.Errorf("spans not sorted by start time at %s/p%d", s.Phase, s.Partition)
+		}
+		prevStart = s.StartNs
+		if s.EndNs > end {
+			end = s.EndNs
+		}
+	}
+
+	// No gaps beyond scheduling slack: the union of all spans must cover
+	// nearly the whole incident window (STATUS folding can defer the
+	// coordinator-side catch-up start by a heartbeat or two).
+	covered := coveredNs(inc.Spans)
+	window := end - inc.StartNs
+	if window <= 0 {
+		t.Fatalf("degenerate incident window %d", window)
+	}
+	uncoveredMs := float64(window-covered) / 1e6
+	if slack := 0.25*inc.TotalMs + 300; uncoveredMs > slack {
+		t.Errorf("timeline has %.1fms uncovered (window %.1fms, slack %.1fms)",
+			uncoveredMs, float64(window)/1e6, slack)
+	}
+
+	// Phases are disjoint per partition, so their union durations must
+	// sum to within tolerance of the end-to-end outage.
+	var sum float64
+	for _, v := range inc.PhaseMs {
+		sum += v
+	}
+	if sum < 0.65*inc.TotalMs || sum > 1.35*inc.TotalMs {
+		t.Errorf("phase sum %.1fms vs total %.1fms outside [0.65, 1.35] tolerance (PhaseMs=%v)",
+			sum, inc.TotalMs, inc.PhaseMs)
+	}
+	t.Logf("recovery anatomy: total %.1fms, phases %v, dominant %s, replay %.0f events/sec",
+		inc.TotalMs, inc.PhaseMs, inc.DominantPhase, inc.ReplayEventsPerSec)
+}
+
+// coveredNs is the interval-union length of the closed spans.
+func coveredNs(spans []recovery.Span) int64 {
+	type iv struct{ a, b int64 }
+	var ivs []iv
+	for _, s := range spans {
+		if s.EndNs > s.StartNs {
+			ivs = append(ivs, iv{s.StartNs, s.EndNs})
+		}
+	}
+	if len(ivs) == 0 {
+		return 0
+	}
+	sortSpans := func(i, j int) bool { return ivs[i].a < ivs[j].a }
+	sort.Slice(ivs, sortSpans)
+	var total int64
+	curA, curB := ivs[0].a, ivs[0].b
+	for _, v := range ivs[1:] {
+		if v.a > curB {
+			total += curB - curA
+			curA, curB = v.a, v.b
+			continue
+		}
+		if v.b > curB {
+			curB = v.b
+		}
+	}
+	return total + (curB - curA)
 }

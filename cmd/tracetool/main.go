@@ -14,6 +14,8 @@
 //	tracetool waste -summary waste.json w*.jsonl # joined with /debug/speculation
 //	tracetool top -addr 127.0.0.1:8090           # live /debug/health view
 //	tracetool flightrec state/flightrec/*.json   # render crash flight-recorder dumps
+//	tracetool recovery -addr 127.0.0.1:8090      # recovery anatomy waterfall (live)
+//	tracetool recovery cells/x/recovery.json     # same, from a campaign artifact
 package main
 
 import (
@@ -43,6 +45,9 @@ func run() error {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "flightrec" {
 		return runFlightRec(os.Args[2:])
+	}
+	if len(os.Args) > 1 && os.Args[1] == "recovery" {
+		return runRecovery(os.Args[2:])
 	}
 	chromePath := flag.String("chrome", "", "write Chrome trace-event JSON (Perfetto) to this file")
 	validate := flag.Bool("validate", false, "check trace invariants; non-zero exit on violations")
@@ -152,4 +157,23 @@ func runFlightRec(args []string) error {
 		return fmt.Errorf("usage: tracetool flightrec dump.json...")
 	}
 	return tracetool.WriteFlightRec(os.Stdout, fs.Args()...)
+}
+
+// runRecovery implements the "recovery" subcommand: the per-incident
+// phase waterfall with dominant-phase attribution, read from a live
+// coordinator (-addr) or a saved per-cell recovery.json artifact.
+func runRecovery(args []string) error {
+	fs := flag.NewFlagSet("recovery", flag.ContinueOnError)
+	addr := fs.String("addr", "", "coordinator debug address serving /debug/recovery")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path := ""
+	if fs.NArg() > 0 {
+		path = fs.Arg(0)
+	}
+	if *addr == "" && path == "" {
+		return fmt.Errorf("usage: tracetool recovery [-addr host:port] [recovery.json]")
+	}
+	return tracetool.RunRecovery(os.Stdout, *addr, path)
 }

@@ -46,6 +46,17 @@ type Result struct {
 	// end in the merged trace ("recovery-ms" / "completeness-pct" units).
 	RecoveryMs      float64 `json:"recovery_ms,omitempty"`
 	CompletenessPct float64 `json:"completeness_pct,omitempty"`
+	// Recovery anatomy columns: the black-box recovery window broken
+	// down by the instrumented /debug/recovery timeline (detection,
+	// restore incl. decision-log scan, replay, catch-up), the replay
+	// throughput, and the detection-anchored recovery time
+	// ("detect-ms" … "recovery-detected-ms" units).
+	DetectMs           float64 `json:"detect_ms,omitempty"`
+	RestoreMs          float64 `json:"restore_ms,omitempty"`
+	ReplayMs           float64 `json:"replay_ms,omitempty"`
+	CatchupMs          float64 `json:"catchup_ms,omitempty"`
+	ReplayEventsPerSec float64 `json:"replay_events_per_sec,omitempty"`
+	RecoveryDetectedMs float64 `json:"recovery_detected_ms,omitempty"`
 }
 
 // Columns maps a -require column name to a probe reporting whether a
@@ -65,6 +76,12 @@ var Columns = map[string]func(*Result) bool{
 	"ingest_shed_pct":            func(r *Result) bool { return r.IngestShedPct != 0 },
 	"recovery_ms":                func(r *Result) bool { return r.RecoveryMs != 0 },
 	"completeness_pct":           func(r *Result) bool { return r.CompletenessPct != 0 },
+	"detect_ms":                  func(r *Result) bool { return r.DetectMs != 0 },
+	"restore_ms":                 func(r *Result) bool { return r.RestoreMs != 0 },
+	"replay_ms":                  func(r *Result) bool { return r.ReplayMs != 0 },
+	"catchup_ms":                 func(r *Result) bool { return r.CatchupMs != 0 },
+	"replay_events_per_sec":      func(r *Result) bool { return r.ReplayEventsPerSec != 0 },
+	"recovery_detected_ms":       func(r *Result) bool { return r.RecoveryDetectedMs != 0 },
 }
 
 // Report is the file-level record.
@@ -147,6 +164,18 @@ func ParseLine(pkg, line string) (Result, bool) {
 			r.RecoveryMs = v
 		case "completeness-pct":
 			r.CompletenessPct = v
+		case "detect-ms":
+			r.DetectMs = v
+		case "restore-ms":
+			r.RestoreMs = v
+		case "replay-ms":
+			r.ReplayMs = v
+		case "catchup-ms":
+			r.CatchupMs = v
+		case "replay-events/sec":
+			r.ReplayEventsPerSec = v
+		case "recovery-detected-ms":
+			r.RecoveryDetectedMs = v
 		}
 	}
 	return r, true
@@ -212,9 +241,10 @@ func CheckRequired(rep Report, require string) error {
 
 // CheckRegression compares the new report against a previous one by
 // pkg+name. A row fails the gate when its events_per_sec dropped by more
-// than 20%, its waste_cpu_pct more than doubled, its recovery_ms more
-// than doubled (and grew by at least 250 ms, so fast-recovery jitter does
-// not trip it), or its completeness_pct fell by more than half a point.
+// than 20%, its waste_cpu_pct more than doubled, its recovery_ms or
+// replay_ms more than doubled (and grew by at least 250 ms, so
+// fast-recovery jitter does not trip it), or its completeness_pct fell
+// by more than half a point.
 // Rows present on only one side are ignored (renames and new coverage are
 // not regressions).
 func CheckRegression(prevPath string, cur Report) error {
@@ -246,6 +276,9 @@ func CheckRegression(prevPath string, cur Report) error {
 		}
 		if p.WasteCPUPct > 0 && r.WasteCPUPct > 2*p.WasteCPUPct {
 			regress(r.Name, "waste_cpu_pct", 2, p.WasteCPUPct, r.WasteCPUPct, "more than doubled")
+		}
+		if p.ReplayMs > 0 && r.ReplayMs > 2*p.ReplayMs && r.ReplayMs-p.ReplayMs > 250 {
+			regress(r.Name, "replay_ms", 0, p.ReplayMs, r.ReplayMs, "more than doubled and grew >=250ms")
 		}
 		if p.RecoveryMs > 0 && r.RecoveryMs > 2*p.RecoveryMs && r.RecoveryMs-p.RecoveryMs > 250 {
 			regress(r.Name, "recovery_ms", 0, p.RecoveryMs, r.RecoveryMs, "more than doubled and grew >=250ms")

@@ -64,6 +64,8 @@ func TestColumnsCoverResultFields(t *testing.T) {
 		AbortedAttemptsPerEvent: 1, EventsPerSec: 1,
 		IngestAdmitP99Ms: 1, IngestShedPct: 1,
 		RecoveryMs: 1, CompletenessPct: 1,
+		RecoveryDetectedMs: 1, DetectMs: 1, RestoreMs: 1, ReplayMs: 1,
+		CatchupMs: 1, ReplayEventsPerSec: 1,
 	}
 	for name, probe := range Columns {
 		if !probe(&r) {

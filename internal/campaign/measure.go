@@ -12,6 +12,7 @@ import (
 	"streammine/internal/metrics"
 	"streammine/internal/procharness"
 	"streammine/internal/profiler"
+	"streammine/internal/recovery"
 	"streammine/internal/tracetool"
 )
 
@@ -326,6 +327,71 @@ func (hw *healthWatch) Stop() (stragglerMs, chainMs float64, chain string) {
 	hw.mu.Lock()
 	defer hw.mu.Unlock()
 	return hw.stragglerMs, hw.chainMs, hw.chain
+}
+
+// recoveryPoller samples the coordinator's /debug/recovery during a
+// cell. The coordinator exits at completion, so the last successful
+// scrape is the cell's final anatomy report.
+type recoveryPoller struct {
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+	last *recovery.Report
+}
+
+// pollRecovery starts sampling /debug/recovery on the given cluster's
+// coordinator every 250ms.
+func pollRecovery(cl *procharness.Cluster) *recoveryPoller {
+	p := &recoveryPoller{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		var addr string
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-time.After(250 * time.Millisecond):
+			}
+			if addr == "" {
+				a, ok := cl.DebugAddr("coordinator")
+				if !ok {
+					continue
+				}
+				addr = a
+			}
+			if rep := scrapeRecovery("http://" + addr + "/debug/recovery"); rep != nil {
+				p.last = rep
+			}
+		}
+	}()
+	return p
+}
+
+// Stop halts polling and returns the last anatomy report seen (nil when
+// no incident was ever reported). Idempotent.
+func (p *recoveryPoller) Stop() *recovery.Report {
+	p.once.Do(func() { close(p.stop) })
+	<-p.done
+	return p.last
+}
+
+func scrapeRecovery(url string) *recovery.Report {
+	resp, err := http.Get(url)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		return nil
+	}
+	defer resp.Body.Close()
+	var rep recovery.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil
+	}
+	if len(rep.Incidents) == 0 {
+		return nil
+	}
+	return &rep
 }
 
 func scrapeWaste(clusterURL string) *profiler.Summary {

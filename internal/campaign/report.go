@@ -23,6 +23,13 @@ func BenchReport(o *Outcome) benchfmt.Report {
 			WasteCPUPct:     c.WasteCPUPct,
 			LatencyP50Us:    1000 * c.AfterP50Ms,
 			LatencyP99Us:    1000 * c.AfterP99Ms,
+
+			RecoveryDetectedMs: c.RecoveryDetectedMs,
+			DetectMs:           c.DetectMs,
+			RestoreMs:          c.RestoreMs,
+			ReplayMs:           c.ReplayMs,
+			CatchupMs:          c.CatchupMs,
+			ReplayEventsPerSec: c.ReplayEventsPerSec,
 		})
 	}
 	return rep
@@ -72,6 +79,18 @@ func Markdown(o *Outcome) string {
 		}
 		if c.RecoveryMs > 0 {
 			fmt.Fprintf(&b, "- recovery: %.0f ms\n", c.RecoveryMs)
+		}
+		if c.RecoveryPhaseSumMs > 0 {
+			fmt.Fprintf(&b, "- recovery anatomy: detect %.0f / decide %.0f / restore %.0f / refill %.0f / replay %.0f / catchup %.0f ms (sum %.0f, dominant %s)\n",
+				c.DetectMs, c.DecideMs, c.RestoreMs, c.RefillMs, c.ReplayMs, c.CatchupMs,
+				c.RecoveryPhaseSumMs, c.RecoveryDominant)
+			if c.RecoveryDetectedMs > 0 {
+				fmt.Fprintf(&b, "- recovery (detection-anchored): %.0f ms", c.RecoveryDetectedMs)
+				if c.ReplayEventsPerSec > 0 {
+					fmt.Fprintf(&b, "; replay %.0f events/sec", c.ReplayEventsPerSec)
+				}
+				b.WriteString("\n")
+			}
 		}
 		fmt.Fprintf(&b, "- p50 before/during/after: %s / %s / %s ms\n",
 			num(c.BeforeP50Ms, 1), num(c.DuringP50Ms, 1), num(c.AfterP50Ms, 1))

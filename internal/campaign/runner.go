@@ -12,6 +12,7 @@ import (
 	"streammine/internal/ingest"
 	"streammine/internal/operator"
 	"streammine/internal/procharness"
+	"streammine/internal/recovery"
 	"streammine/internal/tracetool"
 )
 
@@ -51,6 +52,24 @@ type Result struct {
 	ReplayedPrints int `json:"replayed_prints,omitempty"`
 	// RecoveryMs is the injection→recovered-delivery time (faulted cells).
 	RecoveryMs float64 `json:"recovery_ms,omitempty"`
+	// RecoveryDetectedMs is the detection-anchored recovery time: from
+	// the coordinator declaring the victim dead (instrumented timeline)
+	// to the black-box recovered-delivery point. RecoveryMs conflates
+	// injection→detection lag with recovery proper; this one doesn't.
+	RecoveryDetectedMs float64 `json:"recovery_detected_ms,omitempty"`
+	// Per-phase recovery anatomy joined from /debug/recovery (cells
+	// whose fault lost a worker): interval-union durations per phase,
+	// their sum (for the cross-check against RecoveryMs), the replay
+	// throughput, and the phase that dominated the incident.
+	DetectMs           float64 `json:"detect_ms,omitempty"`
+	DecideMs           float64 `json:"decide_ms,omitempty"`
+	RestoreMs          float64 `json:"restore_ms,omitempty"`
+	RefillMs           float64 `json:"refill_ms,omitempty"`
+	ReplayMs           float64 `json:"replay_ms,omitempty"`
+	CatchupMs          float64 `json:"catchup_ms,omitempty"`
+	RecoveryPhaseSumMs float64 `json:"recovery_phase_sum_ms,omitempty"`
+	ReplayEventsPerSec float64 `json:"replay_events_per_sec,omitempty"`
+	RecoveryDominant   string  `json:"recovery_dominant_phase,omitempty"`
 	// CompletenessPct is the share of externalized lineages that are
 	// reconstructable end to end from the merged traces.
 	CompletenessPct float64 `json:"completeness_pct"`
@@ -234,6 +253,8 @@ func (r *Runner) runCell(s *Spec, cell Cell, baselines map[string]map[string]boo
 	defer waste.Stop()
 	healthW := watchHealth(cl)
 	defer healthW.Stop()
+	recW := pollRecovery(cl)
+	defer recW.Stop()
 
 	var driverErr chan error
 	if ingestFed {
@@ -348,6 +369,63 @@ func (r *Runner) runCell(s *Spec, cell Cell, baselines map[string]map[string]boo
 	if sum := waste.Stop(); sum != nil {
 		res.WasteAbortedAttempts = sum.TotalAborted()
 		res.WasteCPUPct = sum.WastePct()
+	}
+
+	// Join the black-box recovery clock with the instrumented anatomy
+	// timeline from /debug/recovery (present when the fault lost a
+	// worker and the coordinator opened an incident).
+	if rep := recW.Stop(); rep != nil && in != nil {
+		inc := rep.Incidents[len(rep.Incidents)-1]
+		res.DetectMs = inc.PhaseMs[recovery.PhaseDetect]
+		res.DecideMs = inc.PhaseMs[recovery.PhaseDecide]
+		res.RestoreMs = inc.PhaseMs[recovery.PhaseRestore]
+		res.RefillMs = inc.PhaseMs[recovery.PhaseRefill]
+		res.ReplayMs = inc.PhaseMs[recovery.PhaseReplay]
+		res.CatchupMs = inc.PhaseMs[recovery.PhaseCatchup]
+		res.ReplayEventsPerSec = inc.ReplayEventsPerSec
+		res.RecoveryDominant = inc.DominantPhase
+		for _, ms := range inc.PhaseMs {
+			res.RecoveryPhaseSumMs += ms
+		}
+		if res.RecoveryMs > 0 && inc.DetectedNs > 0 {
+			// Detection-anchored recovery: black-box recovered-at minus
+			// the wall time the coordinator declared the victim dead.
+			recoveredAt := in.At.Add(time.Duration(res.RecoveryMs * float64(time.Millisecond)))
+			if d := recoveredAt.Sub(time.Unix(0, inc.DetectedNs)); d > 0 {
+				res.RecoveryDetectedMs = float64(d) / float64(time.Millisecond)
+			}
+			if res.RecoveryDetectedMs > 0 && res.RecoveryMs > 2*res.RecoveryDetectedMs {
+				r.logf("  warning: %s: recovery_ms %.0f diverges >2x from recovery_detected_ms %.0f — detection lag dominates the black-box clock",
+					cell.Name(), res.RecoveryMs, res.RecoveryDetectedMs)
+			}
+		}
+		if res.RecoveryMs > 0 && res.RecoveryPhaseSumMs > 0 {
+			// The instrumented phases should account for the black-box
+			// dip to within 20%; divergence means a phase is missing
+			// instrumentation (warn — CI timing noise must not fail
+			// cells, the benchjson -require columns are the hard gate).
+			// The clocks are anchored differently — the timeline starts
+			// at the victim's last heartbeat and ends at the
+			// fold-granular catch-up close, the dip runs injection to
+			// sink-rate recovery — so clip the spans to the dip window
+			// before comparing: that measures attribution coverage, not
+			// anchor skew.
+			dipStart := in.At.UnixNano()
+			dipEnd := in.At.Add(time.Duration(res.RecoveryMs * float64(time.Millisecond))).UnixNano()
+			var clipped float64
+			for _, ms := range inc.PhaseMsWithin(dipStart, dipEnd) {
+				clipped += ms
+			}
+			if ratio := clipped / res.RecoveryMs; ratio < 0.8 || ratio > 1.2 {
+				r.logf("  warning: %s: instrumented phases cover %.0fms of the %.0fms black-box dip (%.0f%%; raw phase sum %.0fms)",
+					cell.Name(), clipped, res.RecoveryMs, 100*ratio, res.RecoveryPhaseSumMs)
+			}
+		}
+		// Persist the anatomy report for `tracetool recovery` and the
+		// CI failure-evidence upload.
+		if data, err := json.MarshalIndent(rep, "", "  "); err == nil {
+			_ = os.WriteFile(filepath.Join(cellDir, "recovery.json"), append(data, '\n'), 0o644)
+		}
 	}
 
 	// Live-diagnosis assertions: /debug/health must have named the

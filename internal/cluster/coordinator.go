@@ -11,6 +11,7 @@ import (
 	"streammine/internal/health"
 	"streammine/internal/metrics"
 	"streammine/internal/profiler"
+	"streammine/internal/recovery"
 	"streammine/internal/topology"
 	"streammine/internal/transport"
 )
@@ -52,6 +53,7 @@ type Coordinator struct {
 	det     *transport.Detector
 	met     *clusterMetrics
 	healthM *health.Model
+	recAgg  *recovery.Aggregator
 
 	mu       sync.Mutex
 	conns    map[transport.Conn]string // control conn → worker name
@@ -95,6 +97,18 @@ type coordPart struct {
 	// STATUS report replaces it (summaries are running totals, so adding
 	// them would double-count).
 	waste *profiler.Summary
+
+	// Recovery catch-up tracking. rate is an EWMA of the partition's
+	// commit rate (events/sec) across STATUS reports; r0 snapshots it
+	// at the moment the hosting worker was declared dead. After a
+	// reassignment catchPending is set and the catch-up phase runs from
+	// the first post-takeover commit (catchStartNs) until the rate is
+	// back to half of r0 or the partition quiesces.
+	rate         float64
+	lastStatus   time.Time
+	r0           float64
+	catchStartNs int64
+	catchPending bool
 }
 
 // NewCoordinator parses the topology and starts listening for workers.
@@ -137,9 +151,11 @@ func NewCoordinator(topoJSON []byte, o CoordinatorOptions) (*Coordinator, error)
 		SLO:               o.SLO,
 		HeartbeatInterval: o.HeartbeatInterval,
 	})
+	c.recAgg = recovery.NewAggregator()
 	if o.Metrics != nil {
 		registerCoordWasteMetrics(c, o.Metrics)
 		health.RegisterMetrics(c.healthM, o.Metrics)
+		recovery.RegisterMetrics(c.recAgg, o.Metrics)
 	}
 	c.det = transport.NewDetector(o.HeartbeatTimeout, nil)
 	srv, err := transport.ListenConn(o.Addr, c.handle)
@@ -451,6 +467,18 @@ func (c *Coordinator) status(st StatusMsg) {
 		c.mu.Unlock()
 		return // stale report from a previous epoch or evicted worker
 	}
+	now := time.Now()
+	if st.Phase == PhaseRunning {
+		// Commit-rate EWMA across reports; skipped on the first report
+		// of a new incarnation (the fresh engine's count restarts).
+		if !cp.lastStatus.IsZero() && st.Committed >= cp.committed {
+			if dt := now.Sub(cp.lastStatus).Seconds(); dt > 0 {
+				inst := float64(st.Committed-cp.committed) / dt
+				cp.rate = 0.5*cp.rate + 0.5*inst
+			}
+		}
+		cp.lastStatus = now
+	}
 	cp.phase = st.Phase
 	cp.committed = st.Committed
 	cp.quiesced = st.Quiesced
@@ -459,6 +487,28 @@ func (c *Coordinator) status(st StatusMsg) {
 	}
 	if st.Waste != nil {
 		cp.waste = st.Waste
+	}
+	var catchSpans []recovery.Span
+	if cp.catchPending && st.Phase == PhaseRunning {
+		// Catch-up runs from the first post-takeover commit until the
+		// commit rate is back to half the pre-fault rate (the same
+		// threshold the campaign's black-box recovery clock uses) or
+		// the partition quiesces outright. When the fault hit before
+		// the rate EWMA ever sampled (r0 == 0), any restored positive
+		// rate counts as caught up. Arming and closing never share a
+		// fold, so the span always has a measurable duration.
+		if cp.catchStartNs == 0 && (st.Committed > 0 || st.Quiesced) {
+			cp.catchStartNs = now.UnixNano()
+		} else if cp.catchStartNs != 0 &&
+			(st.Quiesced || (cp.r0 > 0 && cp.rate >= 0.5*cp.r0) || (cp.r0 <= 0 && cp.rate > 0)) {
+			cp.catchPending = false
+			catchSpans = append(catchSpans, recovery.Span{
+				Phase: recovery.PhaseCatchup, Partition: st.Partition,
+				Epoch: cp.epoch, Worker: cp.worker,
+				StartNs: cp.catchStartNs, EndNs: now.UnixNano(),
+				Events: int64(st.Committed),
+			})
+		}
 	}
 	type send struct {
 		conn transport.Conn
@@ -497,16 +547,39 @@ func (c *Coordinator) status(st StatusMsg) {
 	}
 	c.mu.Unlock()
 	// The report passed stale-epoch rejection above, so it reflects the
-	// partition's current incarnation: fold it into the health model.
+	// partition's current incarnation: fold it into the health model
+	// and its recovery spans into the anatomy aggregator.
 	c.healthM.Fold(st.Name, st.Partition, st.Health, st.Pressure, time.Now())
+	if len(st.Recovery) > 0 {
+		c.recAgg.Fold(st.Recovery)
+	}
+	if len(catchSpans) > 0 {
+		c.recAgg.Fold(catchSpans)
+		for _, s := range catchSpans {
+			recovery.RecordTransition(s)
+			c.logf("partition %d caught up (epoch %d): commit rate restored", s.Partition, s.Epoch)
+		}
+	}
 	for _, s := range sends {
 		_ = s.conn.Send(s.msg)
 	}
 }
 
-// Health snapshots the coordinator's live health view (/debug/health).
+// Health snapshots the coordinator's live health view (/debug/health),
+// with the most recent recovery incident's digest embedded so one poll
+// answers "what happened last".
 func (c *Coordinator) Health() *health.View {
-	return c.healthM.Snapshot()
+	v := c.healthM.Snapshot()
+	if v != nil {
+		v.LastRecovery = c.recAgg.Last()
+	}
+	return v
+}
+
+// RecoveryReport returns the stitched per-incident recovery anatomy
+// (served at /debug/recovery).
+func (c *Coordinator) RecoveryReport() recovery.Report {
+	return c.recAgg.Report()
 }
 
 // sweep is the supervision loop: failure detection, reassignment, alive
@@ -592,6 +665,13 @@ func (c *Coordinator) broadcastStop(conns []transport.Conn, reason string) {
 // get a refreshed assignment so they retarget (paper §2.2: downstream
 // failure triggers upstream replay — here via bridge reconnect).
 func (c *Coordinator) workerDown(name string) {
+	// Anchor the detect phase before any mutation: last heartbeat →
+	// this declaration is the detection window.
+	declared := time.Now()
+	lastSeen, haveSeen := c.det.LastSeen(name)
+	if !haveSeen || lastSeen.After(declared) {
+		lastSeen = declared
+	}
 	c.mu.Lock()
 	w := c.workers[name]
 	if w == nil || c.finished {
@@ -642,6 +722,13 @@ func (c *Coordinator) workerDown(name string) {
 		p.phase = ""
 		p.started = false
 		p.quiesced = false
+		// Arm catch-up tracking: the pre-fault commit rate is the bar
+		// the rebuilt partition must climb back to.
+		p.r0 = p.rate
+		p.rate = 0
+		p.lastStatus = time.Time{}
+		p.catchStartNs = 0
+		p.catchPending = true
 		moved[id] = true
 		c.met.reassigned()
 		c.logf("partition %d → worker %q (epoch %d)", id, best, c.epoch)
@@ -685,10 +772,31 @@ func (c *Coordinator) workerDown(name string) {
 		}
 		sends = append(sends, send{c.workers[p.worker].conn, msg})
 	}
+	newEpoch := c.epoch
+	movedIDs := make([]int, 0, len(moved))
+	for id := range moved {
+		movedIDs = append(movedIDs, id)
+	}
+	sort.Ints(movedIDs)
 	c.mu.Unlock()
 	w.hb.Stop()
 	_ = w.conn.Close()
 	for _, s := range sends {
 		_ = s.conn.Send(s.msg)
 	}
+	// Open the incident: the detect span covers last heartbeat →
+	// declared, the decide span covers declared → ASSIGN fan-out sent
+	// (epoch bump, plan diff, reassignment included).
+	detSpan := recovery.Span{
+		Phase: recovery.PhaseDetect, Partition: -1, Epoch: newEpoch,
+		Worker: name, StartNs: lastSeen.UnixNano(), EndNs: declared.UnixNano(),
+	}
+	decSpan := recovery.Span{
+		Phase: recovery.PhaseDecide, Partition: -1, Epoch: newEpoch,
+		Worker: name, StartNs: declared.UnixNano(), EndNs: time.Now().UnixNano(),
+		Records: int64(len(movedIDs)),
+	}
+	c.recAgg.Begin(newEpoch, name, movedIDs, detSpan, decSpan)
+	recovery.RecordTransition(detSpan)
+	recovery.RecordTransition(decSpan)
 }

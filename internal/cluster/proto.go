@@ -25,6 +25,7 @@ import (
 
 	"streammine/internal/core"
 	"streammine/internal/profiler"
+	"streammine/internal/recovery"
 	"streammine/internal/transport"
 )
 
@@ -111,6 +112,11 @@ type StatusMsg struct {
 	// straggler detection). Cumulative; the coordinator replaces its cached
 	// copy per report. Empty when the partition is not running.
 	Health []core.NodeHealth `json:"health,omitempty"`
+	// Recovery carries the partition's recovery phase spans (rebuild,
+	// durable restore, credit refill, replay) for the coordinator's
+	// anatomy profiler. Cumulative — the full span set rides every
+	// report and the aggregator replaces by span identity.
+	Recovery []recovery.Span `json:"recovery,omitempty"`
 }
 
 // StopMsg tears a worker down.

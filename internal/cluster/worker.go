@@ -16,6 +16,7 @@ import (
 	"streammine/internal/ingest"
 	"streammine/internal/metrics"
 	"streammine/internal/profiler"
+	"streammine/internal/recovery"
 	"streammine/internal/storage"
 	"streammine/internal/topology"
 	"streammine/internal/transport"
@@ -112,6 +113,17 @@ type workerPart struct {
 	running     bool
 	sourcesLeft int
 	ingestSrcs  int
+
+	// Recovery anatomy instrumentation. recBuild* is the partition
+	// rebuild window (ASSIGN → engine built); recRefill* is the bridge
+	// re-attach / credit-window refill window in handleStart. The
+	// *Marked flags make the flight-recorder phase-transition records
+	// one-shot (the spans themselves ride every STATUS).
+	recBuildStartNs  int64
+	recBuildEndNs    int64
+	recRefillStartNs int64
+	recRefillEndNs   int64
+	recReplayMarked  bool
 }
 
 // StartWorker connects to the coordinator and registers. Partitions
@@ -411,6 +423,7 @@ func (w *Worker) handleAssign(am AssignMsg) {
 // buildPartition constructs the partition subgraph and its engine over
 // the partition's durable state directory.
 func (w *Worker) buildPartition(am AssignMsg) (*workerPart, error) {
+	buildStart := time.Now().UnixNano()
 	cfg, err := topology.Parse(am.Topology)
 	if err != nil {
 		return nil, err
@@ -485,7 +498,14 @@ func (w *Worker) buildPartition(am AssignMsg) (*workerPart, error) {
 		pool:    pool,
 		cutOut:  am.CutOut,
 		bridges: make(map[string]*core.ReliableBridge),
+
+		recBuildStartNs: buildStart,
+		recBuildEndNs:   time.Now().UnixNano(),
 	}
+	recovery.RecordTransition(recovery.Span{
+		Phase: recovery.PhaseRestore, Partition: p.id, Epoch: p.epoch,
+		Worker: w.opts.Name, StartNs: p.recBuildStartNs, EndNs: p.recBuildEndNs,
+	})
 	if w.opts.OnSinkEvent != nil {
 		for _, sinkID := range built.Sinks {
 			name := nodeName(built, sinkID)
@@ -516,7 +536,9 @@ func (w *Worker) handleStart(sm StartMsg) {
 	w.mu.Unlock()
 
 	// Bridges must attach before Start: adding links to a running engine
-	// races with its dispatchers.
+	// races with its dispatchers. This window is the credit-window
+	// refill phase: every cut edge's flow-control state is rebuilt here.
+	refillStart := time.Now().UnixNano()
 	for _, e := range cutOut {
 		hello, err := encodeCtl(transport.MsgHello, HelloMsg{Edge: e})
 		if err != nil {
@@ -532,6 +554,16 @@ func (w *Worker) handleStart(sm StartMsg) {
 		p.bridges[e.Key()] = b
 		w.mu.Unlock()
 	}
+	w.mu.Lock()
+	p.recRefillStartNs = refillStart
+	p.recRefillEndNs = time.Now().UnixNano()
+	refillSpan := recovery.Span{
+		Phase: recovery.PhaseRefill, Partition: p.id, Epoch: p.epoch,
+		Worker: w.opts.Name, StartNs: p.recRefillStartNs, EndNs: p.recRefillEndNs,
+		Records: int64(len(cutOut)),
+	}
+	w.mu.Unlock()
+	recovery.RecordTransition(refillSpan)
 	ingestSrcs := 0
 	for _, src := range p.built.Sources {
 		if src.Ingest {
@@ -545,6 +577,13 @@ func (w *Worker) handleStart(sm StartMsg) {
 	if err := p.eng.Start(); err != nil {
 		w.fail(p.id, p.epoch, err)
 		return
+	}
+	if rs := p.eng.RecoveryStats(); rs.RestoreStartNs != 0 {
+		recovery.RecordTransition(recovery.Span{
+			Phase: recovery.PhaseRestore, Partition: p.id, Epoch: p.epoch,
+			Worker: w.opts.Name, StartNs: rs.RestoreStartNs, EndNs: rs.RestoreEndNs,
+			Bytes: rs.CheckpointBytes, Records: rs.LogRecords, Drops: rs.CoveredSet,
+		})
 	}
 	w.mu.Lock()
 	p.sourcesLeft = len(p.built.Sources) - ingestSrcs
@@ -682,7 +721,55 @@ func (w *Worker) partStatusLocked(p *workerPart, phase string) StatusMsg {
 		}
 		st.Quiesced = quiesced
 	}
+	st.Recovery = w.recoverySpansLocked(p)
 	return st
+}
+
+// recoverySpansLocked snapshots the partition's recovery phase spans for
+// the STATUS piggyback: the rebuild and durable-restore windows (both
+// PhaseRestore), the bridge refill window, and the replay window. The
+// worker re-sends the full set on every heartbeat; the coordinator's
+// aggregator replaces by span identity, so an open replay span's end
+// time fills in once the plan drains. Caller holds mu.
+func (w *Worker) recoverySpansLocked(p *workerPart) []recovery.Span {
+	if p.recBuildStartNs == 0 {
+		return nil
+	}
+	spans := make([]recovery.Span, 0, 4)
+	spans = append(spans, recovery.Span{
+		Phase: recovery.PhaseRestore, Partition: p.id, Epoch: p.epoch,
+		Worker: w.opts.Name, StartNs: p.recBuildStartNs, EndNs: p.recBuildEndNs,
+	})
+	if !p.running {
+		return spans
+	}
+	if p.recRefillStartNs != 0 {
+		spans = append(spans, recovery.Span{
+			Phase: recovery.PhaseRefill, Partition: p.id, Epoch: p.epoch,
+			Worker: w.opts.Name, StartNs: p.recRefillStartNs, EndNs: p.recRefillEndNs,
+			Records: int64(len(p.cutOut)),
+		})
+	}
+	rs := p.eng.RecoveryStats()
+	if rs.RestoreStartNs != 0 {
+		spans = append(spans, recovery.Span{
+			Phase: recovery.PhaseRestore, Partition: p.id, Epoch: p.epoch,
+			Worker: w.opts.Name, StartNs: rs.RestoreStartNs, EndNs: rs.RestoreEndNs,
+			Bytes: rs.CheckpointBytes, Records: rs.LogRecords,
+		})
+	}
+	if rs.ReplayStartNs != 0 {
+		spans = append(spans, recovery.Span{
+			Phase: recovery.PhaseReplay, Partition: p.id, Epoch: p.epoch,
+			Worker: w.opts.Name, StartNs: rs.ReplayStartNs, EndNs: rs.ReplayEndNs,
+			Events: rs.ReplayEvents, Drops: rs.ReplayDrops,
+		})
+		if rs.ReplayEndNs != 0 && !p.recReplayMarked {
+			p.recReplayMarked = true
+			recovery.RecordTransition(spans[len(spans)-1])
+		}
+	}
+	return spans
 }
 
 // Waste merges the speculation-waste summaries of every running partition

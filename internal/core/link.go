@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"streammine/internal/event"
@@ -371,8 +372,11 @@ type outRecord struct {
 	payload []byte
 	trace   uint64 // lineage trace id inherited from the input event
 
-	version     event.Version
-	finalSent   bool
+	version event.Version
+	// finalSent is atomic: the committer finalizes records under the
+	// owning task's lock while handleReplay and the checkpoint snapshot
+	// read them from the output buffer without it.
+	finalSent   atomic.Bool
 	pendingAcks int
 	seq         uint64 // emission order within the node, for ordered replay
 	// specAt stamps the first speculative send (zero when the record went

@@ -98,6 +98,13 @@ type node struct {
 	replay      *replayPlan
 	recoverDrop map[event.ID]bool
 
+	// rec* instrument the restore/replay path for the recovery anatomy
+	// profiler (Engine.RecoveryStats). All guarded by mu: restoreDurable
+	// writes the restore window before the node's goroutines start,
+	// replayAdmit stamps replay progress, and the recoverDrop sites
+	// count dedup drops.
+	recStats nodeRecoveryStats
+
 	// pendFin and pendRevoke (guarded by mu) absorb control-lane
 	// reordering: with lane-separated mailboxes a FINALIZE or REVOKE can
 	// be processed before its EVENT clears the data lane. Early
@@ -505,6 +512,9 @@ func (n *node) handleEventBatch(m transport.Message) {
 		ev := ev
 		id := ev.ID
 		if n.committed[id] || n.recoverDrop[id] {
+			if !n.committed[id] {
+				n.recStats.replayDrops++
+			}
 			input := m.Input
 			deferred = append(deferred, func() { n.ackUpstream(input, id) })
 			continue
@@ -647,6 +657,7 @@ func (n *node) admitEvent(pe plannedEvent) {
 	if n.recoverDrop[id] {
 		// Redelivery of an event the restored snapshot already covers
 		// (its covering mark never became stable): drop and re-ACK.
+		n.recStats.replayDrops++
 		n.mu.Unlock()
 		n.ackUpstream(m.Input, id)
 		return
@@ -1030,16 +1041,17 @@ func (n *node) handleReplay() {
 		}
 	}
 	for _, rec := range recs {
+		spec := !rec.finalSent.Load()
 		if tr := n.eng.tracer; tr != nil {
 			phase := metrics.PhaseFinalOut
-			if !rec.finalSent {
+			if spec {
 				phase = metrics.PhaseSpecOut
 			}
 			tr.RecordTrace(n.spec.Name, rec.id.String(), rec.trace, phase, "replay")
 		}
 		n.deliverToPort(rec.port, transport.Message{
 			Type:  transport.MsgEvent,
-			Event: rec.toEvent(!rec.finalSent),
+			Event: rec.toEvent(spec),
 		})
 	}
 }
@@ -1084,10 +1096,10 @@ func (n *node) handleInject(c cmdInject) {
 		key:         c.ev.Key,
 		payload:     c.ev.Payload,
 		trace:       c.ev.Trace,
-		finalSent:   true,
 		pendingAcks: n.bufferedLinks(0),
 		seq:         n.outEmitSeq,
 	}
+	rec.finalSent.Store(true)
 	if rec.pendingAcks > 0 {
 		n.outBuf[rec.id] = rec
 	}
@@ -1118,10 +1130,10 @@ func (n *node) handleInjectBatch(c cmdInjectBatch) {
 			key:         ev.Key,
 			payload:     ev.Payload,
 			trace:       ev.Trace,
-			finalSent:   true,
 			pendingAcks: n.bufferedLinks(0),
 			seq:         n.outEmitSeq,
 		}
+		rec.finalSent.Store(true)
 		if rec.pendingAcks > 0 {
 			n.outBuf[rec.id] = rec
 		}
@@ -1433,12 +1445,12 @@ func (n *node) publishOutputs(t *task) {
 			if rec.matches(out.port, out.ts, out.key, out.payload) {
 				continue
 			}
-			if rec.finalSent {
+			if rec.finalSent.Load() {
 				// A previously-final output changed: the theoretical hole
 				// in fine-grained finality (DESIGN.md §6.1). Count it and
 				// prefer correct content over the finality promise.
 				n.finalViolations.Add(1)
-				rec.finalSent = false
+				rec.finalSent.Store(false)
 			}
 			rec.version++
 			rec.port, rec.ts, rec.key, rec.payload = out.port, out.ts, out.key, out.payload
@@ -1458,7 +1470,7 @@ func (n *node) publishOutputs(t *task) {
 			seq:         n.outEmitSeq,
 		}
 		if !spec {
-			rec.finalSent = true
+			rec.finalSent.Store(true)
 		}
 		if rec.pendingAcks > 0 {
 			n.outBuf[rec.id] = rec
@@ -1800,8 +1812,7 @@ func (n *node) retireGroup(run []*task, fb *finFlush) {
 		var lateFinals []*outRecord
 		if n.spec.Speculative {
 			for _, rec := range t.sent {
-				if !rec.finalSent {
-					rec.finalSent = true
+				if rec.finalSent.CompareAndSwap(false, true) {
 					finalizes = append(finalizes, rec)
 				}
 			}
@@ -1817,10 +1828,10 @@ func (n *node) retireGroup(run []*task, fb *finFlush) {
 					key:         out.key,
 					payload:     out.payload,
 					trace:       p.inTrace,
-					finalSent:   true,
 					pendingAcks: n.bufferedLinks(out.port),
 					seq:         n.outEmitSeq,
 				}
+				rec.finalSent.Store(true)
 				if rec.pendingAcks > 0 {
 					n.outBuf[rec.id] = rec
 				}
@@ -1950,7 +1961,7 @@ func (n *node) takeCheckpoint() {
 	// belong to uncommitted tasks, which log replay re-executes.
 	pending := make([]*outRecord, 0, len(n.outBuf))
 	for _, rec := range n.outBuf {
-		if rec.finalSent {
+		if rec.finalSent.Load() {
 			pending = append(pending, rec)
 		}
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"streammine/internal/checkpoint"
 	"streammine/internal/event"
@@ -151,6 +152,9 @@ func (n *node) buildReplayPlan(lastByInput map[int]event.ID) (*replayPlan, map[e
 			recs = append(recs, r)
 		}
 	}
+	n.mu.Lock()
+	n.recStats.logRecords = int64(len(recs))
+	n.mu.Unlock()
 
 	// Admission order of every logged input (records are in LSN order).
 	pos := make(map[event.ID]int)
@@ -205,10 +209,13 @@ func (n *node) buildReplayPlan(lastByInput map[int]event.ID) (*replayPlan, map[e
 // recovery and restore-on-start (cluster partition reassignment); on an
 // empty store it is a no-op and the node starts from scratch.
 func (n *node) restoreDurable() error {
+	restoreStart := time.Now().UnixNano()
+	var ckptBytes int64
 	lastByInput := make(map[int]event.ID)
 	snap, err := n.eng.store.Latest(n.opID)
 	switch {
 	case err == nil:
+		ckptBytes = int64(len(checkpoint.Encode(snap)))
 		if err := n.mem.Restore(snap.Memory); err != nil {
 			return fmt.Errorf("restore checkpoint: %w", err)
 		}
@@ -232,10 +239,10 @@ func (n *node) restoreDurable() error {
 				payload:     o.Payload,
 				trace:       o.Trace,
 				version:     event.Version(o.Version),
-				finalSent:   true,
 				pendingAcks: n.bufferedLinks(o.Port),
 				seq:         n.outEmitSeq,
 			}
+			rec.finalSent.Store(true)
 			if rec.pendingAcks > 0 {
 				n.outBuf[rec.id] = rec
 			}
@@ -255,9 +262,25 @@ func (n *node) restoreDurable() error {
 	if err != nil {
 		return err
 	}
+	now := time.Now().UnixNano()
 	n.mu.Lock()
 	n.replay = plan
 	n.recoverDrop = covered
+	// Stamp the restore window and open the replay window for the
+	// anatomy profiler; with nothing to replay the replay phase is a
+	// zero-length span closed on the spot.
+	n.recStats.restoreStartNs = restoreStart
+	n.recStats.restoreEndNs = now
+	n.recStats.ckptBytes = ckptBytes
+	n.recStats.coveredSet = int64(len(covered))
+	n.recStats.replayStartNs = now
+	n.recStats.replayEvents = 0
+	n.recStats.replayDrops = 0
+	if plan == nil {
+		n.recStats.replayEndNs = now
+	} else {
+		n.recStats.replayEndNs = 0
+	}
 	n.mu.Unlock()
 	n.log.AdvanceLSN(maxSeen)
 	return nil
@@ -361,7 +384,9 @@ func (n *node) replayAdmit(m transport.Message) []plannedEvent {
 			ready = append(ready, plannedEvent{msg: tm})
 		}
 		n.replay = nil
+		n.recStats.replayEndNs = time.Now().UnixNano()
 	}
+	n.recStats.replayEvents += int64(len(ready))
 	n.mu.Unlock()
 	return ready
 }

@@ -34,6 +34,7 @@ type Server struct {
 	speculation func() any
 	cluster     func() any
 	healthView  func() any
+	recoveryFn  func() any
 	frDump      func() any
 	frSnap      func() (string, error)
 	draining    func() bool
@@ -51,6 +52,7 @@ func New(reg *metrics.Registry, health func() error) *Server {
 	mux.HandleFunc("/debug/speculation", s.handleSpeculation)
 	mux.HandleFunc("/debug/cluster", s.handleCluster)
 	mux.HandleFunc("/debug/health", s.handleHealth)
+	mux.HandleFunc("/debug/recovery", s.handleRecovery)
 	mux.HandleFunc("/debug/flightrec", s.handleFlightRec)
 	mux.HandleFunc("/debug/chaos", s.handleChaos)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -176,6 +178,22 @@ func (s *Server) SetFlightRec(get func() any, snap func() (string, error)) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	fn := s.healthView
+	s.mu.Unlock()
+	serveJSON(w, r, fn)
+}
+
+// SetRecovery installs the recovery anatomy report served as JSON at
+// /debug/recovery (per-incident phase timelines with attribution).
+// Unset, the route answers 404 — only coordinators stitch incidents.
+func (s *Server) SetRecovery(fn func() any) {
+	s.mu.Lock()
+	s.recoveryFn = fn
+	s.mu.Unlock()
+}
+
+func (s *Server) handleRecovery(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	fn := s.recoveryFn
 	s.mu.Unlock()
 	serveJSON(w, r, fn)
 }

@@ -32,10 +32,14 @@ const (
 	KindChaos
 	// KindSpan marks a sampled tracer span mirrored into the ring.
 	KindSpan
+	// KindRecovery marks recovery phase transitions (detect, decide,
+	// restore, refill, replay, catchup), so a process killed
+	// mid-takeover still leaves a parseable recovery trail.
+	KindRecovery
 	kindCount
 )
 
-var kindNames = [kindCount]string{"lifecycle", "epoch", "chaos", "span"}
+var kindNames = [kindCount]string{"lifecycle", "epoch", "chaos", "span", "recovery"}
 
 // String renders the kind for dumps and reports.
 func (k Kind) String() string {

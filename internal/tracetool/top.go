@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"streammine/internal/health"
+	"streammine/internal/recovery"
 )
 
 // FetchHealth pulls one /debug/health snapshot from a coordinator's
@@ -95,6 +96,20 @@ func WriteHealth(w io.Writer, v *health.View) {
 		}
 		sort.Strings(parts)
 		fmt.Fprintf(w, "workers: %s\n", strings.Join(parts, ", "))
+	}
+	if lr := v.LastRecovery; lr != nil {
+		state := "in progress"
+		if lr.Complete {
+			state = "complete"
+		}
+		var phases []string
+		for _, ph := range recovery.Phases {
+			if ms, ok := lr.PhaseMs[ph]; ok {
+				phases = append(phases, fmt.Sprintf("%s %.1f", ph, ms))
+			}
+		}
+		fmt.Fprintf(w, "last recovery: epoch %d, victim %q — %.1fms (%s), dominant %s [%s]\n",
+			lr.Epoch, lr.Victim, lr.TotalMs, state, lr.DominantPhase, strings.Join(phases, " | "))
 	}
 }
 

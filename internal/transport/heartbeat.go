@@ -145,6 +145,16 @@ func (d *Detector) Alive(peer string) bool {
 	return d.clock.Now().Sub(seen) <= d.timeout
 }
 
+// LastSeen returns the time of the last liveness signal from peer. The
+// recovery profiler anchors the detect phase here: last heartbeat →
+// declared down is the detection window.
+func (d *Detector) LastSeen(peer string) (time.Time, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	seen, ok := d.lastSeen[peer]
+	return seen, ok
+}
+
 // Peers returns all known peer names.
 func (d *Detector) Peers() []string {
 	d.mu.Lock()
